@@ -1,0 +1,381 @@
+package ftsg
+
+// Benchmarks regenerating the paper's evaluation, one per table/figure,
+// plus ablations for the design decisions called out in DESIGN.md. Wall
+// time per op reflects the simulation; the paper's quantities are the
+// virtual-time custom metrics (suffix "vsec").
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"ftsg/internal/core"
+	"ftsg/internal/mpi"
+	"ftsg/internal/recovery"
+	"ftsg/internal/topo"
+	"ftsg/internal/vtime"
+)
+
+// benchSteps keeps per-iteration runs small; recovery costs are
+// step-count-independent.
+const benchSteps = 32
+
+func runBench(b *testing.B, cfg core.Config) *core.Result {
+	b.Helper()
+	res, err := core.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig8FailedList regenerates Fig. 8a: the time to create a
+// globally consistent list of failed processes (detection agree + barrier +
+// group algebra), at the paper's 76-core scale with two real failures.
+func BenchmarkFig8FailedList(b *testing.B) {
+	var list float64
+	for i := 0; i < b.N; i++ {
+		res := runBench(b, core.Config{
+			Technique:    core.ResamplingCopying,
+			DiagProcs:    8,
+			Steps:        benchSteps,
+			NumFailures:  2,
+			RealFailures: true,
+			Seed:         int64(41 + i),
+		})
+		list += res.ListTime
+	}
+	b.ReportMetric(list/float64(b.N), "list-vsec/op")
+}
+
+// BenchmarkFig8Reconstruct regenerates Fig. 8b: communicator
+// reconstruction time at 76 cores, one vs two failures reported as
+// separate metrics.
+func BenchmarkFig8Reconstruct(b *testing.B) {
+	var one, two float64
+	for i := 0; i < b.N; i++ {
+		for _, f := range []int{1, 2} {
+			res := runBench(b, core.Config{
+				Technique:    core.ResamplingCopying,
+				DiagProcs:    8,
+				Steps:        benchSteps,
+				NumFailures:  f,
+				RealFailures: true,
+				Seed:         int64(43 + i),
+			})
+			if f == 1 {
+				one += res.ReconstructTime
+			} else {
+				two += res.ReconstructTime
+			}
+		}
+	}
+	b.ReportMetric(one/float64(b.N), "reconstruct-1f-vsec/op")
+	b.ReportMetric(two/float64(b.N), "reconstruct-2f-vsec/op")
+}
+
+// BenchmarkTable1Components regenerates Table I at 76 cores, two failures:
+// the per-component times of the beta fault-tolerant Open MPI.
+func BenchmarkTable1Components(b *testing.B) {
+	var spawn, shrink, agree, merge float64
+	for i := 0; i < b.N; i++ {
+		res := runBench(b, core.Config{
+			Technique:    core.ResamplingCopying,
+			DiagProcs:    8,
+			Steps:        benchSteps,
+			NumFailures:  2,
+			RealFailures: true,
+			Seed:         int64(61 + i),
+		})
+		spawn += res.SpawnTime
+		shrink += res.ShrinkTime
+		agree += res.AgreeTime
+		merge += res.MergeTime
+	}
+	n := float64(b.N)
+	b.ReportMetric(spawn/n, "spawn-vsec/op")
+	b.ReportMetric(shrink/n, "shrink-vsec/op")
+	b.ReportMetric(agree/n, "agree-vsec/op")
+	b.ReportMetric(merge/n, "merge-vsec/op")
+}
+
+// BenchmarkFig9Recovery regenerates Fig. 9a: data-recovery overhead for the
+// three techniques with two simulated lost grids, on OPL.
+func BenchmarkFig9Recovery(b *testing.B) {
+	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
+		b.Run(tech.String(), func(b *testing.B) {
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				res := runBench(b, core.Config{
+					Technique:   tech,
+					DiagProcs:   8,
+					Steps:       benchSteps,
+					NumFailures: 2,
+					Seed:        int64(71 + i),
+				})
+				overhead += res.RecoveryOverhead()
+			}
+			b.ReportMetric(overhead/float64(b.N), "recovery-vsec/op")
+		})
+	}
+}
+
+// BenchmarkFig9ProcessTime regenerates Fig. 9b's headline comparison: CR's
+// normalized process-time overhead on OPL vs Raijin (the disk-latency
+// crossover).
+func BenchmarkFig9ProcessTime(b *testing.B) {
+	pc := core.Config{Technique: core.CheckpointRestart, DiagProcs: 8}.WithDefaults().NumProcs()
+	for _, m := range []*vtime.Machine{vtime.OPL(), vtime.Raijin()} {
+		b.Run(m.Name, func(b *testing.B) {
+			var pt float64
+			for i := 0; i < b.N; i++ {
+				res := runBench(b, core.Config{
+					Technique:   core.CheckpointRestart,
+					Machine:     m,
+					DiagProcs:   8,
+					Steps:       benchSteps,
+					NumFailures: 1,
+					Seed:        int64(73 + i),
+				})
+				pt += res.ProcessTimeOverhead(pc)
+			}
+			b.ReportMetric(pt/float64(b.N), "process-time-vsec/op")
+		})
+	}
+}
+
+// BenchmarkFig10Error regenerates Fig. 10: the l1 approximation error with
+// two lost grids per technique (error-free recovery for CR, approximate for
+// RC and AC).
+func BenchmarkFig10Error(b *testing.B) {
+	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
+		b.Run(tech.String(), func(b *testing.B) {
+			var errSum float64
+			for i := 0; i < b.N; i++ {
+				res := runBench(b, core.Config{
+					Technique:   tech,
+					DiagProcs:   8,
+					Steps:       64,
+					NumFailures: 2,
+					Seed:        int64(91 + i),
+				})
+				errSum += res.L1Error
+			}
+			b.ReportMetric(errSum/float64(b.N)*1e6, "l1-error-x1e6/op")
+		})
+	}
+}
+
+// BenchmarkFig11Overall regenerates Fig. 11a at the 76-core scale: overall
+// execution time per technique with two real failures.
+func BenchmarkFig11Overall(b *testing.B) {
+	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
+		b.Run(tech.String(), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res := runBench(b, core.Config{
+					Technique:    tech,
+					DiagProcs:    8,
+					Steps:        benchSteps,
+					NumFailures:  2,
+					RealFailures: true,
+					Seed:         int64(111 + i),
+				})
+				total += res.TotalTime
+			}
+			b.ReportMetric(total/float64(b.N), "total-vsec/op")
+		})
+	}
+}
+
+// BenchmarkAblationDetection compares the paper's detection idiom
+// (agree + barrier, uniform result) against a bare barrier (non-uniform):
+// the virtual cost of the uniform path at 76 cores.
+func BenchmarkAblationDetection(b *testing.B) {
+	for _, uniform := range []bool{true, false} {
+		name := "barrier-only"
+		if uniform {
+			name = "agree+barrier"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				var after float64
+				_, err := mpi.Run(mpi.Options{NProcs: 76, Machine: vtime.OPL(), Entry: func(p *mpi.Proc) {
+					c := p.World()
+					if uniform {
+						_, _ = c.Agree(1)
+					}
+					_ = c.Barrier()
+					if c.Rank() == 0 {
+						after = p.Now()
+					}
+				}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost += after
+			}
+			b.ReportMetric(cost/float64(b.N), "detect-vsec/op")
+		})
+	}
+}
+
+// BenchmarkAblationPlacement compares respawn-on-same-host (the paper's
+// load-balance-preserving choice, derived from the failed rank and the
+// slots-per-host arithmetic) with a naive scheduler that packs replacements
+// from the first host of a stale, restart-fresh view. On a perfectly
+// balanced 72-rank cluster the paper's policy keeps the imbalance at
+// exactly 1.0; the naive policy stacks the replacements.
+func BenchmarkAblationPlacement(b *testing.B) {
+	cluster := topo.New(6, 12) // 72 ranks: perfectly balanced baseline
+	const n = 72
+	failed := []int{13, 25, 37, 49, 61} // one per host 1..5
+	baseline := make([]int, n)
+	for r := 0; r < n; r++ {
+		h, err := cluster.HostIndexOfRank(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseline[r] = h
+	}
+	b.Run("same-host", func(b *testing.B) {
+		var imbalance float64
+		for i := 0; i < b.N; i++ {
+			hostOf := append([]int(nil), baseline...)
+			hosts, err := cluster.SpawnHosts(failed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j, r := range failed {
+				idx, err := cluster.HostIndexByName(hosts[j])
+				if err != nil {
+					b.Fatal(err)
+				}
+				hostOf[r] = idx
+			}
+			imbalance += cluster.Imbalance(hostOf)
+		}
+		b.ReportMetric(imbalance/float64(b.N), "imbalance/op")
+	})
+	b.Run("first-fit-stale", func(b *testing.B) {
+		var imbalance float64
+		for i := 0; i < b.N; i++ {
+			hostOf := append([]int(nil), baseline...)
+			placed := cluster.FirstFit(map[int]int{}, len(failed))
+			for j, r := range failed {
+				hostOf[r] = placed[j]
+			}
+			imbalance += cluster.Imbalance(hostOf)
+		}
+		b.ReportMetric(imbalance/float64(b.N), "imbalance/op")
+	})
+}
+
+// BenchmarkAblationRankReorder quantifies what the ordering Split of
+// Fig. 7 — the step that restores the pre-failure rank layout so the
+// application's communication pattern is undisturbed — costs relative to
+// the whole reconstruction: it runs the paper's Fig. 2 scenario and reports
+// both the split time and the total repair time.
+func BenchmarkAblationRankReorder(b *testing.B) {
+	var split, total float64
+	for i := 0; i < b.N; i++ {
+		var s, tot float64
+		_, err := mpi.Run(mpi.Options{NProcs: 19, Machine: vtime.OPL(), Entry: func(p *mpi.Proc) {
+			var st recovery.Stats
+			if parent := p.Parent(); parent != nil {
+				if _, _, err := recovery.Reconstruct(p, nil, parent, &st); err != nil {
+					b.Error(err)
+				}
+				return
+			}
+			c := p.World()
+			if c.Rank() == 3 || c.Rank() == 5 {
+				p.Kill()
+			}
+			rec, rank, err := recovery.Reconstruct(p, c, nil, &st)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if rec.Size() != 19 || rank != c.Rank() {
+				b.Errorf("reorder broken: size %d rank %d", rec.Size(), rank)
+			}
+			if rank == 0 {
+				s = st.SplitTime
+				tot = st.ReconstructTime
+			}
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		split += s
+		total += tot
+	}
+	b.ReportMetric(split/float64(b.N), "split-vsec/op")
+	b.ReportMetric(total/float64(b.N), "reconstruct-vsec/op")
+}
+
+func containsRank(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchmarkAblationCombine compares the paper's parallel gather-scatter
+// combination (each group root accumulates its contribution; one Reduce
+// assembles the target grid) against the naive ship-everything-to-rank-0
+// baseline, in virtual combine time.
+func BenchmarkAblationCombine(b *testing.B) {
+	for _, serial := range []bool{false, true} {
+		name := "parallel-gather-scatter"
+		if serial {
+			name = "serial-rank0"
+		}
+		b.Run(name, func(b *testing.B) {
+			var combineTime float64
+			for i := 0; i < b.N; i++ {
+				res := runBench(b, core.Config{
+					Technique:     core.CheckpointRestart,
+					DiagProcs:     8,
+					Steps:         benchSteps,
+					SerialCombine: serial,
+					Seed:          int64(171 + i),
+				})
+				combineTime += res.CombineTime
+			}
+			b.ReportMetric(combineTime/float64(b.N), "combine-vsec/op")
+		})
+	}
+}
+
+// BenchmarkAblationDecomposition compares the 1D row-band decomposition
+// with the 2D Cartesian block decomposition in total virtual time (the 2D
+// variant exchanges less halo data per process at scale, at the cost of
+// more messages).
+func BenchmarkAblationDecomposition(b *testing.B) {
+	for _, twoD := range []bool{false, true} {
+		name := "rows-1d"
+		if twoD {
+			name = "blocks-2d"
+		}
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res := runBench(b, core.Config{
+					Technique: core.AlternateCombination,
+					DiagProcs: 8,
+					Steps:     benchSteps,
+					Decomp2D:  twoD,
+					Seed:      int64(191 + i),
+				})
+				total += res.TotalTime
+			}
+			b.ReportMetric(total/float64(b.N), "total-vsec/op")
+		})
+	}
+}

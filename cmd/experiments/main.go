@@ -1,0 +1,174 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section from the simulated system:
+//
+//	experiments -experiment fig8    # failure info + reconstruction times
+//	experiments -experiment table1  # beta-ULFM component times
+//	experiments -experiment fig9    # data recovery overheads
+//	experiments -experiment fig10   # approximation errors
+//	experiments -experiment fig11   # overall performance
+//	experiments -experiment all
+//	experiments -experiment extensions  # level sweep, node failure, Eq. 2 study
+//
+// -quick shrinks the sweep for a fast smoke run; -trials / -errtrials
+// control averaging (the paper uses 5 and 20).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ftsg/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig8 | table1 | fig9 | fig10 | fig11 | extensions | levelsweep | nodefailure | aclayers | checkpointrule | all")
+		trials     = flag.Int("trials", 5, "trials per timing configuration")
+		errTrials  = flag.Int("errtrials", 20, "trials per error configuration")
+		steps      = flag.Int("steps", 256, "solver timesteps per run")
+		quick      = flag.Bool("quick", false, "reduced sweep for a fast smoke run")
+		format     = flag.String("format", "table", "table | csv")
+		verbose    = flag.Bool("v", false, "log progress per configuration")
+	)
+	flag.Parse()
+
+	opts := harness.Options{
+		Trials:    *trials,
+		ErrTrials: *errTrials,
+		Steps:     *steps,
+		Quick:     *quick,
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	if err := run(os.Stdout, *experiment, *format, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, experiment, format string, opts harness.Options) error {
+	want := func(name string) bool { return experiment == name || experiment == "all" }
+	csv := format == "csv"
+	if format != "table" && format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", format)
+	}
+	any := false
+	if want("fig8") {
+		any = true
+		rows, err := harness.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			if err := harness.CSVFig8(w, rows); err != nil {
+				return err
+			}
+		} else {
+			harness.RenderFig8(w, rows)
+			fmt.Fprintln(w)
+		}
+	}
+	if want("table1") {
+		any = true
+		rows, err := harness.Table1(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			if err := harness.CSVTable1(w, rows); err != nil {
+				return err
+			}
+		} else {
+			harness.RenderTable1(w, rows)
+			fmt.Fprintln(w)
+		}
+	}
+	if want("fig9") {
+		any = true
+		rows, err := harness.Fig9(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			if err := harness.CSVFig9(w, rows); err != nil {
+				return err
+			}
+		} else {
+			harness.RenderFig9(w, rows)
+			fmt.Fprintln(w)
+		}
+	}
+	if want("fig10") {
+		any = true
+		rows, err := harness.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			if err := harness.CSVFig10(w, rows); err != nil {
+				return err
+			}
+		} else {
+			harness.RenderFig10(w, rows)
+			fmt.Fprintln(w)
+		}
+	}
+	if want("fig11") {
+		any = true
+		rows, err := harness.Fig11(opts)
+		if err != nil {
+			return err
+		}
+		if csv {
+			if err := harness.CSVFig11(w, rows); err != nil {
+				return err
+			}
+		} else {
+			harness.RenderFig11(w, rows)
+			fmt.Fprintln(w)
+		}
+	}
+	if want("extensions") || experiment == "levelsweep" {
+		any = true
+		rows, err := harness.LevelSweep(opts)
+		if err != nil {
+			return err
+		}
+		harness.RenderLevelSweep(w, rows)
+		fmt.Fprintln(w)
+	}
+	if want("extensions") || experiment == "nodefailure" {
+		any = true
+		rows, err := harness.NodeFailure(opts)
+		if err != nil {
+			return err
+		}
+		harness.RenderNodeFailure(w, rows)
+		fmt.Fprintln(w)
+	}
+	if want("extensions") || experiment == "aclayers" {
+		any = true
+		rows, err := harness.ACLayers(opts)
+		if err != nil {
+			return err
+		}
+		harness.RenderACLayers(w, rows)
+		fmt.Fprintln(w)
+	}
+	if want("extensions") || experiment == "checkpointrule" {
+		any = true
+		rows, err := harness.CheckpointRule(opts)
+		if err != nil {
+			return err
+		}
+		harness.RenderCheckpointRule(w, rows)
+		fmt.Fprintln(w)
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftsg/internal/harness"
+)
+
+func quickOpts() harness.Options {
+	return harness.Options{Quick: true, Trials: 1, ErrTrials: 1, Steps: 16}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", "table", quickOpts()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunCheckpointRule(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "checkpointrule", "table", quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Young") {
+		t.Fatalf("missing table: %q", buf.String())
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table1", "table", quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "Comm_spawn_multiple") {
+		t.Fatalf("missing Table I output: %q", out)
+	}
+}
+
+func TestRunFig10(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig10", "csv", quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "technique,lost_grids,l1_error") {
+		t.Fatalf("missing Fig 10 CSV header: %q", buf.String())
+	}
+}

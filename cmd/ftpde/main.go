@@ -1,0 +1,117 @@
+// Command ftpde runs one instance of the fault-tolerant sparse-grid
+// combination PDE solver on the simulated cluster and prints its metrics:
+//
+//	ftpde -technique AC -failures 2 -real           # kill 2 ranks, recover
+//	ftpde -technique CR -machine raijin -failures 3 # simulated grid losses
+//	ftpde -diagprocs 32                             # the 304-core layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ftsg/internal/core"
+	"ftsg/internal/trace"
+	"ftsg/internal/vtime"
+)
+
+func main() {
+	var (
+		technique = flag.String("technique", "AC", "CR | RC | AC")
+		machine   = flag.String("machine", "opl", "opl | raijin | generic")
+		diagProcs = flag.Int("diagprocs", 8, "processes per diagonal sub-grid (2..32)")
+		steps     = flag.Int("steps", 256, "solver timesteps")
+		n         = flag.Int("n", 8, "full grid exponent (paper: 13)")
+		level     = flag.Int("level", 4, "combination level l >= 4")
+		failures  = flag.Int("failures", 0, "number of failures to inject")
+		failStep  = flag.Int("failstep", 0, "step at which victims die (default steps/2)")
+		real      = flag.Bool("real", false, "kill real processes and reconstruct (default: simulated grid loss)")
+		nodefail  = flag.Bool("nodefail", false, "fail one whole host (requires -real and -spares >= 1)")
+		spares    = flag.Int("spares", 0, "spare hosts appended to the cluster for replacements")
+		seed      = flag.Int64("seed", 1, "failure-selection seed")
+		showTrace = flag.Bool("trace", false, "print the virtual-time event timeline")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Technique:    parseTechnique(*technique),
+		Machine:      parseMachine(*machine),
+		DiagProcs:    *diagProcs,
+		Steps:        *steps,
+		NumFailures:  *failures,
+		FailStep:     *failStep,
+		RealFailures: *real,
+		NodeFailure:  *nodefail,
+		SpareNodes:   *spares,
+		Seed:         *seed,
+	}
+	cfg.Layout.N, cfg.Layout.L = *n, *level
+	var rec *trace.Recorder
+	if *showTrace {
+		rec = trace.New(nil)
+		cfg.Trace = rec
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftpde:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("technique            %s on %s\n", res.Technique, res.Machine)
+	fmt.Printf("processes            %d across %d sub-grids (%d re-spawned)\n",
+		res.Procs, res.GridCount, res.Spawned)
+	fmt.Printf("steps                %d\n", res.Steps)
+	fmt.Printf("total virtual time   %.2f s\n", res.TotalTime)
+	if len(res.FailedRanks) > 0 {
+		fmt.Printf("failed ranks         %v\n", res.FailedRanks)
+		fmt.Printf("failure info time    %.3f s\n", res.ListTime)
+		fmt.Printf("reconstruction time  %.2f s (shrink %.2f, spawn %.2f, merge %.2f, agree %.2f, split %.2f)\n",
+			res.ReconstructTime, res.ShrinkTime, res.SpawnTime, res.MergeTime, res.AgreeTime, res.SplitTime)
+	}
+	if len(res.LostGrids) > 0 {
+		fmt.Printf("lost sub-grids       %v\n", res.LostGrids)
+		fmt.Printf("data recovery time   %.3f s\n", res.DataRecoveryTime)
+	}
+	if res.Technique == core.CheckpointRestart {
+		fmt.Printf("checkpoints          %d written, every %d steps\n",
+			res.CheckpointWrites, res.CheckpointPlan.IntervalSteps)
+	}
+	fmt.Printf("combined l1 error    %.4e\n", res.L1Error)
+	if rec != nil {
+		fmt.Println("\nevent timeline:")
+		rec.Render(os.Stdout)
+	}
+}
+
+func parseTechnique(s string) core.Technique {
+	switch strings.ToUpper(s) {
+	case "CR":
+		return core.CheckpointRestart
+	case "RC":
+		return core.ResamplingCopying
+	case "AC":
+		return core.AlternateCombination
+	default:
+		fmt.Fprintf(os.Stderr, "ftpde: unknown technique %q (want CR, RC or AC)\n", s)
+		os.Exit(2)
+		return 0
+	}
+}
+
+func parseMachine(s string) *vtime.Machine {
+	switch strings.ToLower(s) {
+	case "opl":
+		return vtime.OPL()
+	case "raijin":
+		return vtime.Raijin()
+	case "generic":
+		return vtime.Generic()
+	default:
+		fmt.Fprintf(os.Stderr, "ftpde: unknown machine %q (want opl, raijin or generic)\n", s)
+		os.Exit(2)
+		return nil
+	}
+}

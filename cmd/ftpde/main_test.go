@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"ftsg/internal/core"
+)
+
+func TestParseTechnique(t *testing.T) {
+	cases := map[string]core.Technique{
+		"CR": core.CheckpointRestart,
+		"cr": core.CheckpointRestart,
+		"RC": core.ResamplingCopying,
+		"AC": core.AlternateCombination,
+		"ac": core.AlternateCombination,
+	}
+	for in, want := range cases {
+		if got := parseTechnique(in); got != want {
+			t.Errorf("parseTechnique(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseMachine(t *testing.T) {
+	for in, want := range map[string]string{
+		"opl":     "OPL",
+		"OPL":     "OPL",
+		"raijin":  "Raijin",
+		"generic": "generic",
+	} {
+		if got := parseMachine(in); got.Name != want {
+			t.Errorf("parseMachine(%q) = %q, want %q", in, got.Name, want)
+		}
+	}
+}

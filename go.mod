@@ -1,0 +1,3 @@
+module ftsg
+
+go 1.22

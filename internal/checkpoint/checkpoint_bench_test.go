@@ -1,0 +1,38 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"ftsg/internal/mpi"
+	"ftsg/internal/vtime"
+)
+
+func BenchmarkWriteRead(b *testing.B) {
+	s, err := NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]float64, 8192) // one sub-grid band
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := mpi.Run(mpi.Options{NProcs: 1, Machine: vtime.Raijin(), Entry: func(p *mpi.Proc) {
+			if err := s.Write(p, 0, 0, i, data); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, _, err := s.Read(p, 0, 0); err != nil {
+				b.Error(err)
+			}
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NewPlan(8192, 0.04, 150, 3.52)
+	}
+}

@@ -1,0 +1,204 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ftsg/internal/mpi"
+	"ftsg/internal/vtime"
+)
+
+// withProc runs f on a single simulated process.
+func withProc(t *testing.T, m *vtime.Machine, f func(p *mpi.Proc)) {
+	t.Helper()
+	_, err := mpi.Run(mpi.Options{NProcs: 1, Machine: m, Entry: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []float64{1.5, -2.25, math.Pi, 0}
+	withProc(t, vtime.OPL(), func(p *mpi.Proc) {
+		if err := s.Write(p, 3, 7, 42, data); err != nil {
+			t.Error(err)
+			return
+		}
+		step, got, err := s.Read(p, 3, 7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if step != 42 {
+			t.Errorf("step = %d, want 42", step)
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Errorf("value %d = %g, want %g", i, got[i], data[i])
+			}
+		}
+	})
+}
+
+func TestWriteChargesTIO(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	withProc(t, vtime.OPL(), func(p *mpi.Proc) {
+		if err := s.Write(p, 0, 0, 1, []float64{1}); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := p.Now(); math.Abs(got-3.52) > 1e-9 {
+			t.Errorf("write charged %g s, want OPL T_I/O = 3.52", got)
+		}
+		if _, _, err := s.Read(p, 0, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := p.Now(); math.Abs(got-(3.52+1.10)) > 1e-9 {
+			t.Errorf("after read, clock = %g", got)
+		}
+	})
+}
+
+func TestRaijinChargesLess(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	withProc(t, vtime.Raijin(), func(p *mpi.Proc) {
+		if err := s.Write(p, 0, 0, 1, []float64{1}); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := p.Now(); math.Abs(got-0.03) > 1e-9 {
+			t.Errorf("Raijin write charged %g s, want 0.03", got)
+		}
+	})
+}
+
+func TestReadMissing(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+		if _, _, err := s.Read(p, 9, 9); err == nil {
+			t.Error("read of missing checkpoint succeeded")
+		}
+	})
+	if s.Exists(9, 9) {
+		t.Error("Exists on missing checkpoint")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+		if err := s.Write(p, 1, 2, 5, []float64{1, 2, 3}); err != nil {
+			t.Error(err)
+			return
+		}
+		path := filepath.Join(dir, "grid001_rank0002.ckpt")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		raw[30] ^= 0xFF
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, err := s.Read(p, 1, 2); err == nil {
+			t.Error("corrupted checkpoint accepted")
+		}
+	})
+}
+
+func TestOverwriteKeepsLatest(t *testing.T) {
+	s, _ := NewStore(t.TempDir())
+	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+		_ = s.Write(p, 0, 0, 10, []float64{1})
+		_ = s.Write(p, 0, 0, 20, []float64{2})
+		step, data, err := s.Read(p, 0, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if step != 20 || data[0] != 2 {
+			t.Errorf("got step %d value %g, want latest (20, 2)", step, data[0])
+		}
+	})
+}
+
+func TestPaperCount(t *testing.T) {
+	if got := PaperCount(100, 3.52); got != 28 {
+		t.Errorf("PaperCount(100, 3.52) = %d, want 28", got)
+	}
+	if got := PaperCount(0.1, 3.52); got != 1 {
+		t.Errorf("PaperCount floors at 1, got %d", got)
+	}
+	if got := PaperCount(10, 0); got != 1 {
+		t.Errorf("PaperCount with zero T_I/O = %d", got)
+	}
+}
+
+func TestYoungInterval(t *testing.T) {
+	if got, want := YoungInterval(150, 3.52), math.Sqrt(2*150*3.52); got != want {
+		t.Errorf("YoungInterval = %g, want %g", got, want)
+	}
+	// The defining tradeoff: faster disk, shorter interval.
+	if YoungInterval(150, 0.03) >= YoungInterval(150, 3.52) {
+		t.Error("faster disk did not shorten the interval")
+	}
+	if !math.IsInf(YoungInterval(0, 1), 1) {
+		t.Error("zero MTBF should disable checkpointing")
+	}
+}
+
+// TestCheckpointTotalOverheadDropsWithTIO is the Fig. 9b crossover at the
+// formula level: with Young's interval, total write overhead count*T_I/O
+// shrinks as T_I/O shrinks (unlike the paper's Eq. 2 as printed).
+func TestCheckpointTotalOverheadDropsWithTIO(t *testing.T) {
+	const steps, stepTime = 8192, 0.04
+	mtbf := steps * stepTime / 2
+	opl := NewPlan(steps, stepTime, mtbf, 3.52)
+	raijin := NewPlan(steps, stepTime, mtbf, 0.03)
+	oplOverhead := float64(opl.Count) * 3.52
+	raijinOverhead := float64(raijin.Count) * 0.03
+	if raijinOverhead >= oplOverhead {
+		t.Fatalf("Raijin total checkpoint overhead %g >= OPL %g", raijinOverhead, oplOverhead)
+	}
+	if raijin.Count <= opl.Count {
+		t.Fatalf("Raijin should checkpoint more often: %d vs %d", raijin.Count, opl.Count)
+	}
+}
+
+func TestPlanDueAndLastBefore(t *testing.T) {
+	p := Plan{IntervalSteps: 10, Count: 5}
+	if !p.Due(10) || !p.Due(50) || p.Due(11) || p.Due(0) {
+		t.Error("Due wrong")
+	}
+	if p.LastBefore(25) != 20 {
+		t.Errorf("LastBefore(25) = %d", p.LastBefore(25))
+	}
+	if p.LastBefore(9) != 0 {
+		t.Errorf("LastBefore(9) = %d", p.LastBefore(9))
+	}
+}
+
+func TestNewPlanBounds(t *testing.T) {
+	// Interval clamped to [1, totalSteps].
+	p := NewPlan(100, 1.0, 10000, 1e-9)
+	if p.IntervalSteps < 1 {
+		t.Fatalf("interval %d < 1", p.IntervalSteps)
+	}
+	p = NewPlan(100, 0.001, 1, 100)
+	if p.IntervalSteps > 100 {
+		t.Fatalf("interval %d > total steps", p.IntervalSteps)
+	}
+	if p.Count < 1 {
+		t.Fatalf("count %d < 1", p.Count)
+	}
+}

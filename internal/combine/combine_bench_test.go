@@ -1,0 +1,35 @@
+package combine
+
+import (
+	"testing"
+
+	"ftsg/internal/grid"
+	"ftsg/internal/pde"
+)
+
+func BenchmarkEvaluate(b *testing.B) {
+	ly := Layout{N: 8, L: 4}
+	s := ly.Classic()
+	sols := make(map[grid.Level]*grid.Grid, len(s))
+	for _, c := range s {
+		g := grid.New(c.Lv)
+		g.Fill(pde.SinProduct)
+		sols[c.Lv] = g
+	}
+	target := grid.Level{I: 8, J: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(s, sols, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassicScheme(b *testing.B) {
+	ly := Layout{N: 13, L: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ly.Classic()
+	}
+}

@@ -1,0 +1,757 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"ftsg/internal/checkpoint"
+	"ftsg/internal/combine"
+	"ftsg/internal/faultgen"
+	"ftsg/internal/ftcomb"
+	"ftsg/internal/grid"
+	"ftsg/internal/mpi"
+	"ftsg/internal/pde"
+	"ftsg/internal/recovery"
+	"ftsg/internal/topo"
+)
+
+// nominalSteps is the paper's timestep count (2^13); together with
+// ComputeScale it maps one-shot operations (the combination) onto the
+// nominal problem size.
+const nominalSteps = 8192
+
+// Application tags on the world communicator.
+const (
+	tagRecoverBase = 2000 // + lost grid ID: replication/resampling transfer
+	tagCombineBase = 3000 // + grid ID: sub-grid solutions to rank 0
+)
+
+// runState is the state shared (in-process) by all simulated ranks of one
+// run. Result fields are guarded by mu.
+type runState struct {
+	cfg     Config
+	grids   []SubGrid
+	prob    *pde.Problem
+	dt      float64
+	ckPlan  checkpoint.Plan
+	store   *checkpoint.Store
+	plan    *faultgen.Plan
+	simLost []int
+	cluster *topo.Cluster
+	place   recovery.Placement
+
+	mu  sync.Mutex
+	res Result
+}
+
+// Run executes the fault-tolerant application and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rs := &runState{cfg: cfg, grids: cfg.Grids()}
+	rs.prob, rs.dt = cfg.Problem()
+	for _, g := range rs.grids {
+		if err := pde.CheckStable(g.Lv, rs.prob, rs.dt); err != nil {
+			return nil, err
+		}
+	}
+
+	stepTime := cfg.EstimateStepTime()
+	mtbf := cfg.MTBF
+	if mtbf == 0 {
+		mtbf = float64(cfg.Steps) * stepTime / 2 // the paper's setup
+	}
+	rs.ckPlan = checkpoint.NewPlan(cfg.Steps, stepTime, mtbf, cfg.Machine.TIOWrite)
+
+	dir := cfg.CheckpointDir
+	cleanup := false
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "ftsg-ckpt-*")
+		if err != nil {
+			return nil, err
+		}
+		cleanup = true
+	}
+	store, err := checkpoint.NewStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	rs.store = store
+	if cleanup {
+		defer func() { _ = store.Remove() }()
+	}
+
+	var conflicts [][2]int
+	if cfg.Technique == ResamplingCopying {
+		conflicts = rcConflicts(rs.grids)
+	}
+	nprocs := cfg.NumProcs()
+
+	// Cluster layout, optionally with spare nodes; placement policy for
+	// replacements (same host by default, spare node when available).
+	slots := cfg.Machine.SlotsPerHost
+	baseHosts := (nprocs + slots - 1) / slots
+	rs.cluster = topo.New(baseHosts+cfg.SpareNodes, slots)
+	rs.place = recovery.SameHostPlacement
+	if cfg.SpareNodes > 0 {
+		rs.place = recovery.SpareNodePlacement(rs.cluster.Host(baseHosts).Name)
+	}
+
+	gridOfID := func(rank int) int {
+		g, gerr := gridOfRank(rs.grids, rank)
+		if gerr != nil {
+			return -1
+		}
+		return g.ID
+	}
+	if cfg.NodeFailure {
+		rs.plan, err = faultgen.NodePlan(cfg.Seed, cfg.FailStep, nprocs, func(rank int) int {
+			h, herr := rs.cluster.HostIndexOfRank(rank)
+			if herr != nil {
+				return -1
+			}
+			return h
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else if len(cfg.FailSchedule) > 0 {
+		rs.plan, err = faultgen.Schedule(faultgen.Config{
+			Seed:      cfg.Seed,
+			NumRanks:  nprocs,
+			GridOf:    gridOfID,
+			Conflicts: conflicts,
+		}, cfg.FailSchedule)
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.NumFailures > 0 {
+		if cfg.RealFailures {
+			rs.plan, err = faultgen.New(faultgen.Config{
+				Seed:        cfg.Seed,
+				NumFailures: cfg.NumFailures,
+				Step:        cfg.FailStep,
+				NumRanks:    nprocs,
+				GridOf:      gridOfID,
+				Conflicts:   conflicts,
+			})
+		} else {
+			// Simulated losses hit the combined solution grids and, for
+			// RC, the duplicates (the paper's "loss of 5 out of 10 grids"
+			// counts them — and without them the pairwise recovery
+			// constraints cap the losses at 3). Grid 0 holds the
+			// controlling rank 0 and is protected.
+			var candidates []int
+			for _, g := range rs.grids[1:] {
+				switch g.Role {
+				case RoleDiagonal, RoleLowerDiagonal:
+					candidates = append(candidates, g.ID)
+				case RoleDuplicate:
+					if cfg.Technique == ResamplingCopying {
+						candidates = append(candidates, g.ID)
+					}
+				}
+			}
+			rs.simLost, err = faultgen.PickGrids(cfg.Seed, cfg.NumFailures, candidates, conflicts)
+			sort.Ints(rs.simLost)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rs.res = Result{
+		Technique:      cfg.Technique,
+		Machine:        cfg.Machine.Name,
+		Procs:          nprocs,
+		GridCount:      len(rs.grids),
+		Steps:          cfg.Steps,
+		CheckpointPlan: rs.ckPlan,
+		LostGrids:      append([]int(nil), rs.simLost...),
+		TIOWrite:       cfg.Machine.TIOWrite,
+	}
+
+	rep, err := mpi.Run(mpi.Options{
+		NProcs:  nprocs,
+		Machine: cfg.Machine,
+		Cluster: rs.cluster,
+		Entry:   rs.entry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs.res.TotalTime = rep.MaxVirtualTime
+	rs.res.Spawned = rep.Spawned
+	return &rs.res, nil
+}
+
+// detectionPoints lists the steps at which failure detection is tested:
+// before every checkpoint write for CR, only before the combination for RC
+// and AC (Section III of the paper).
+func (rs *runState) detectionPoints() []int {
+	var dps []int
+	if rs.cfg.Technique == CheckpointRestart {
+		for s := rs.ckPlan.IntervalSteps; s < rs.cfg.Steps; s += rs.ckPlan.IntervalSteps {
+			dps = append(dps, s)
+		}
+	}
+	return append(dps, rs.cfg.Steps)
+}
+
+func (rs *runState) entry(p *mpi.Proc) {
+	if err := rs.rank(p); err != nil {
+		panic(fmt.Sprintf("core: world rank %d: %v", p.WorldRank(), err))
+	}
+}
+
+// rank is the program every simulated process runs, including re-spawned
+// replacements.
+func (rs *runState) rank(p *mpi.Proc) error {
+	cfg := rs.cfg
+	charge := func(cells int) { p.ComputeCells(cells, cfg.ComputeScale) }
+
+	var world *mpi.Comm
+	var rank, cur int
+	var failedList []int
+	replacement := p.Parent() != nil
+	var myStats recovery.Stats
+
+	if replacement {
+		w, r, err := recovery.ReconstructPlaced(p, nil, p.Parent(), &myStats, rs.place)
+		if err != nil {
+			return err
+		}
+		world, rank = w, r
+	} else {
+		world = p.World()
+		rank = world.Rank()
+	}
+
+	mine, err := gridOfRank(rs.grids, rank)
+	if err != nil {
+		return err
+	}
+
+	build := func(w *mpi.Comm) (*mpi.Comm, pde.Solver, error) {
+		gc, err := w.Split(mine.ID, rank)
+		if err != nil {
+			return nil, nil, fmt.Errorf("group split: %w", err)
+		}
+		var s pde.Solver
+		if cfg.Decomp2D {
+			px, py := decompDims(gc.Size(), mine.Lv)
+			s, err = pde.NewParallelSolver2D(gc, rs.prob, mine.Lv, rs.dt, px, py)
+		} else {
+			s, err = pde.NewParallelSolver(gc, rs.prob, mine.Lv, rs.dt)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		s.SetCharge(charge)
+		return gc, s, nil
+	}
+
+	var gcomm *mpi.Comm
+	var solver pde.Solver
+	if replacement {
+		// Rejoin the survivors: learn the detection step and failed ranks,
+		// rebuild the group communicator, and take part in data recovery
+		// (same sequence as the survivors' failure branch below).
+		cur, failedList, err = syncRecoveryInfo(world, 0, nil)
+		if err != nil {
+			return err
+		}
+		cfg.Trace.Emit(p.Now(), rank, "respawn",
+			"replacement world id %d attached on host %d, rejoining at step %d",
+			p.WorldRank(), p.Host(), cur)
+		gcomm, solver, err = build(world)
+		if err != nil {
+			return err
+		}
+		if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, cur); err != nil {
+			return err
+		}
+		rs.mergeStats(&myStats, failedList)
+	} else {
+		gcomm, solver, err = build(world)
+		if err != nil {
+			return err
+		}
+	}
+
+	gridLost := false
+	var detectOverhead float64
+	for _, dp := range rs.detectionPoints() {
+		if dp <= cur {
+			continue
+		}
+		for s := cur + 1; s <= dp; s++ {
+			if !replacement && rs.plan != nil {
+				rs.plan.Poll(p, rank, s)
+			}
+			if !gridLost {
+				if err := solver.Step(); err != nil {
+					// A group member died mid-solve: revoke the group
+					// communicators (both the split result and the solver's
+					// working communicator — the 2D solver runs on a
+					// Cartesian duplicate) so blocked peers stop too,
+					// abandon the grid, and wait for global detection.
+					gridLost = true
+					_ = solver.GroupComm().Revoke()
+					_ = gcomm.Revoke()
+				}
+			}
+		}
+		cur = dp
+
+		var st recovery.Stats
+		newWorld, newRank, err := recovery.ReconstructPlaced(p, world, nil, &st, rs.place)
+		if err != nil {
+			return err
+		}
+		if st.ReconstructTime > 0 {
+			// A failure was repaired: re-derive everything that hung off
+			// the old communicator.
+			world, rank = newWorld, newRank
+			_, failedList, err = syncRecoveryInfo(world, dp, st.FailedRanks)
+			if err != nil {
+				return err
+			}
+			if rank == 0 {
+				cfg.Trace.Emit(p.Now(), rank, "repair",
+					"failed ranks %v repaired at step %d (shrink %.2fs, spawn %.2fs, merge %.3fs, agree %.2fs, split %.3fs)",
+					failedList, dp, st.ShrinkTime, st.SpawnTime, st.MergeTime, st.AgreeTime, st.SplitTime)
+			}
+			oldState, oldStep := solver.State(), solver.Steps()
+			gcomm, solver, err = build(world)
+			if err != nil {
+				return err
+			}
+			if !gridLost {
+				if err := solver.Restore(oldStep, oldState); err != nil {
+					return err
+				}
+			}
+			if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, dp); err != nil {
+				return err
+			}
+			rs.mergeStats(&st, failedList)
+			gridLost = false
+		} else {
+			detectOverhead += st.ListTime
+			if cfg.Technique == CheckpointRestart && dp < cfg.Steps {
+				if err := rs.store.Write(p, mine.ID, gcomm.Rank(), dp, solver.State()); err != nil {
+					return err
+				}
+				if rank == 0 {
+					rs.mu.Lock()
+					rs.res.CheckpointWrites++
+					rs.mu.Unlock()
+					cfg.Trace.Emit(p.Now(), rank, "checkpoint", "checkpoint written at step %d", dp)
+				}
+			}
+		}
+	}
+
+	// Simulated failures (the paper's Figs. 9/10 mode): whole grids are
+	// assumed lost at the end, without killing processes.
+	if !cfg.RealFailures && len(rs.simLost) > 0 {
+		if err := rs.recoverData(p, world, gcomm, solver, mine, nil, cfg.Steps); err != nil {
+			return err
+		}
+	}
+
+	rs.mu.Lock()
+	if detectOverhead > rs.res.DetectOverhead {
+		rs.res.DetectOverhead = detectOverhead
+	}
+	rs.mu.Unlock()
+
+	return rs.combinePhase(p, world, gcomm, solver, mine, rs.lostGridIDs(failedList))
+}
+
+// syncRecoveryInfo broadcasts rank 0's failure information — the detection
+// step and the failed-rank list — over the reconstructed communicator, so
+// replacements learn where to rejoin and every survivor shares the global
+// view. (Replacements cannot derive the step themselves once multiple
+// failure events are allowed.)
+func syncRecoveryInfo(world *mpi.Comm, step int, mine []int) (int, []int, error) {
+	var buf []int
+	if world.Rank() == 0 {
+		buf = append([]int{step}, mine...)
+	}
+	out, err := mpi.Bcast(world, 0, buf)
+	if err != nil || len(out) < 1 {
+		return 0, nil, fmt.Errorf("core: broadcast recovery info: %w", err)
+	}
+	return out[0], out[1:], nil
+}
+
+// lostGridIDs maps failed ranks (real mode) or the simulated loss list onto
+// sub-grid IDs, ascending.
+func (rs *runState) lostGridIDs(failedRanks []int) []int {
+	if !rs.cfg.RealFailures {
+		return rs.simLost
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range failedRanks {
+		g, err := gridOfRank(rs.grids, r)
+		if err != nil {
+			continue
+		}
+		if !seen[g.ID] {
+			seen[g.ID] = true
+			out = append(out, g.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// recoverData restores the data of lost sub-grids at the given step using
+// the configured technique. Every process of the communicator calls it with
+// the same arguments; only members of the lost grids and their recovery
+// partners communicate.
+func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, failedRanks []int, atStep int) error {
+	lost := rs.lostGridIDs(failedRanks)
+	if len(lost) == 0 {
+		return nil
+	}
+	if world.Rank() == 0 {
+		rs.cfg.Trace.Emit(p.Now(), 0, "recover-data", "%v recovery of sub-grids %v at step %d",
+			rs.cfg.Technique, lost, atStep)
+	}
+	t0 := p.Now()
+	defer func() {
+		rs.mu.Lock()
+		if d := p.Now() - t0; d > rs.res.DataRecoveryTime {
+			rs.res.DataRecoveryTime = d
+		}
+		if len(rs.res.LostGrids) == 0 {
+			rs.res.LostGrids = append([]int(nil), lost...)
+		}
+		rs.mu.Unlock()
+	}()
+
+	switch rs.cfg.Technique {
+	case CheckpointRestart:
+		if !containsInt(lost, mine.ID) {
+			return nil
+		}
+		// Restart from the most recent checkpoint actually on disk (the
+		// write due at a detection point is skipped on failure, and an
+		// earlier recovery may have skipped one too), falling back to the
+		// initial condition, then recompute.
+		if rs.store.Exists(mine.ID, gcomm.Rank()) {
+			step, data, err := rs.store.Read(p, mine.ID, gcomm.Rank())
+			if err != nil {
+				return fmt.Errorf("core: CR restore: %w", err)
+			}
+			if err := solver.Restore(step, data); err != nil {
+				return err
+			}
+		} else {
+			ic := grid.New(mine.Lv)
+			ic.Fill(rs.prob.U0)
+			if err := solver.SetFromGrid(ic, 0); err != nil {
+				return err
+			}
+		}
+		if err := solver.Run(atStep - solver.Steps()); err != nil {
+			return fmt.Errorf("core: CR recompute: %w", err)
+		}
+		return nil
+
+	case ResamplingCopying:
+		for _, lg := range lost {
+			lostGrid := rs.grids[lg]
+			src, resample, err := recoveryPartner(rs.grids, lostGrid)
+			if err != nil {
+				return err
+			}
+			if containsInt(lost, src.ID) {
+				return fmt.Errorf("core: RC cannot recover grid %d: partner %d also lost", lg, src.ID)
+			}
+			if mine.ID == src.ID {
+				g, err := solver.Gather(0)
+				if err != nil {
+					return err
+				}
+				if gcomm.Rank() == 0 {
+					if resample {
+						g, err = grid.Restrict(g, lostGrid.Lv)
+						if err != nil {
+							return err
+						}
+					}
+					if err := mpi.Send(world, lostGrid.FirstRank, tagRecoverBase+lg, g.V); err != nil {
+						return err
+					}
+				}
+			}
+			if mine.ID == lg {
+				var vals []float64
+				if gcomm.Rank() == 0 {
+					var err error
+					vals, _, err = mpi.Recv[float64](world, src.FirstRank, tagRecoverBase+lg)
+					if err != nil {
+						return err
+					}
+				}
+				vals, err := mpi.Bcast(gcomm, 0, vals)
+				if err != nil {
+					return err
+				}
+				g := grid.New(lostGrid.Lv)
+				if len(vals) != len(g.V) {
+					return fmt.Errorf("core: RC transfer: got %d values for %v", len(vals), lostGrid.Lv)
+				}
+				copy(g.V, vals)
+				if err := solver.SetFromGrid(g, atStep); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+
+	case AlternateCombination:
+		// No data movement: the combination-phase coefficients are
+		// recomputed over the survivors (timed there as the recovery
+		// cost); lost grids simply do not contribute.
+		return nil
+	}
+	return fmt.Errorf("core: unknown technique %v", rs.cfg.Technique)
+}
+
+// computeScheme returns the combination scheme for the run: the classic
+// +1/-1 coefficients, or — under Alternate Combination with losses — the
+// recovered GCP coefficients over the surviving grids. Every rank computes
+// it deterministically; timeIt (rank 0) records the coefficient
+// recomputation as the AC data-recovery cost.
+func (rs *runState) computeScheme(p *mpi.Proc, lost []int, timeIt bool) (combine.Scheme, error) {
+	if rs.cfg.Technique != AlternateCombination || len(lost) == 0 {
+		return rs.cfg.Layout.Classic(), nil
+	}
+	lostSet := map[int]bool{}
+	for _, id := range lost {
+		lostSet[id] = true
+	}
+	tRec := p.Now()
+	held := make([]grid.Level, 0, len(rs.grids))
+	lostLvs := ftcomb.NewSet()
+	for _, sg := range rs.grids {
+		held = append(held, sg.Lv)
+		if lostSet[sg.ID] {
+			lostLvs[sg.Lv] = true
+		}
+	}
+	scheme, err := ftcomb.RecoverScheme(held, lostLvs)
+	if err != nil {
+		return nil, fmt.Errorf("core: alternate combination: %w", err)
+	}
+	if timeIt {
+		p.Compute(float64(len(rs.grids)*64) * 1e-7) // coefficient computation cost
+		rs.mu.Lock()
+		if d := p.Now() - tRec; d > rs.res.DataRecoveryTime {
+			rs.res.DataRecoveryTime = d
+		}
+		rs.mu.Unlock()
+	}
+	return scheme, nil
+}
+
+// combinePhase combines the sub-grid solutions onto the common grid and
+// measures the l1 error at rank 0. The default is the paper's parallel
+// gather-scatter: each group root accumulates its own coefficient-weighted
+// contribution on the target grid and a single elementwise Reduce assembles
+// the combined solution. Config.SerialCombine selects the naive
+// ship-everything-to-rank-0 variant for the ablation benchmark.
+func (rs *runState) combinePhase(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, lost []int) error {
+	scheme, err := rs.computeScheme(p, lost, world.Rank() == 0)
+	if err != nil {
+		return err
+	}
+	if rs.cfg.SerialCombine {
+		return rs.combineSerial(p, world, gcomm, solver, mine, lost, scheme)
+	}
+	return rs.combineParallel(p, world, gcomm, solver, mine, scheme)
+}
+
+// combineParallel is the gather-scatter combination of Section II-A.
+func (rs *runState) combineParallel(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, scheme combine.Scheme) error {
+	g, err := solver.Gather(0)
+	if err != nil {
+		return fmt.Errorf("core: combine gather: %w", err)
+	}
+	coeff := scheme.Coeff(mine.Lv)
+	contribute := gcomm.Rank() == 0 && mine.Role != RoleDuplicate && coeff != 0
+	color := mpi.Undefined
+	if contribute || world.Rank() == 0 {
+		color = 0
+	}
+	roots, err := world.Split(color, mine.ID)
+	if err != nil {
+		return fmt.Errorf("core: combine split: %w", err)
+	}
+	if roots == nil {
+		return nil
+	}
+
+	t0 := p.Now()
+	target := grid.Level{I: rs.cfg.Layout.N, J: rs.cfg.Layout.N}
+	oneShot := rs.cfg.ComputeScale * float64(rs.cfg.Steps) / nominalSteps
+	partial := grid.New(target)
+	if contribute {
+		partial.AccumulateSampled(g, coeff)
+		p.ComputeCells(target.Points(), oneShot)
+	}
+	total, err := mpi.Reduce(roots, 0, partial.V, mpi.Sum[float64])
+	if err != nil {
+		return fmt.Errorf("core: combine reduce: %w", err)
+	}
+	if roots.Rank() != 0 {
+		return nil
+	}
+	comb := grid.New(target)
+	copy(comb.V, total)
+	rs.recordCombined(p, comb, t0)
+	return nil
+}
+
+// combineSerial ships every sub-grid to rank 0, which combines alone.
+func (rs *runState) combineSerial(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, lost []int, scheme combine.Scheme) error {
+	g, err := solver.Gather(0)
+	if err != nil {
+		return fmt.Errorf("core: combine gather: %w", err)
+	}
+	if gcomm.Rank() == 0 && mine.ID != 0 {
+		if err := mpi.Send(world, 0, tagCombineBase+mine.ID, g.V); err != nil {
+			return fmt.Errorf("core: combine send: %w", err)
+		}
+	}
+	if world.Rank() != 0 {
+		return nil
+	}
+
+	t0 := p.Now()
+	lostSet := map[int]bool{}
+	for _, id := range lost {
+		lostSet[id] = true
+	}
+	solutions := make(map[grid.Level]*grid.Grid)
+	for _, sg := range rs.grids {
+		var vals []float64
+		if sg.ID == 0 {
+			vals = g.V
+		} else {
+			var err error
+			vals, _, err = mpi.Recv[float64](world, sg.FirstRank, tagCombineBase+sg.ID)
+			if err != nil {
+				return fmt.Errorf("core: combine recv grid %d: %w", sg.ID, err)
+			}
+		}
+		if sg.Role == RoleDuplicate {
+			// Duplicates exist purely as a backup of the diagonal grids;
+			// the combination uses the (possibly recovered) primaries.
+			continue
+		}
+		if rs.cfg.Technique == AlternateCombination && lostSet[sg.ID] {
+			// Under AC the lost grids hold no usable data; the recovered
+			// scheme avoids their levels.
+			continue
+		}
+		gg := grid.New(sg.Lv)
+		copy(gg.V, vals)
+		solutions[sg.Lv] = gg
+	}
+
+	target := grid.Level{I: rs.cfg.Layout.N, J: rs.cfg.Layout.N}
+	comb, err := combine.Evaluate(scheme, solutions, target)
+	if err != nil {
+		return fmt.Errorf("core: combine: %w", err)
+	}
+	oneShot := rs.cfg.ComputeScale * float64(rs.cfg.Steps) / nominalSteps
+	p.ComputeCells(target.Points()*len(scheme), oneShot)
+	rs.recordCombined(p, comb, t0)
+	return nil
+}
+
+// recordCombined measures the combined solution's error and stores the
+// combine-phase metrics (rank 0 only).
+func (rs *runState) recordCombined(p *mpi.Proc, comb *grid.Grid, t0 float64) {
+	finalT := float64(rs.cfg.Steps) * rs.dt
+	l1 := comb.L1Error(rs.prob.Exact(finalT))
+	rs.mu.Lock()
+	rs.res.L1Error = l1
+	rs.res.CombineTime = p.Now() - t0
+	rs.mu.Unlock()
+	rs.cfg.Trace.Emit(p.Now(), 0, "combine", "combined solution assembled, l1 error %.4e", l1)
+}
+
+// mergeStats folds one rank's recovery statistics into the shared result
+// (component times keep the maximum over ranks).
+func (rs *runState) mergeStats(st *recovery.Stats, failedList []int) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	res := &rs.res
+	maxf := func(dst *float64, v float64) {
+		if v > *dst {
+			*dst = v
+		}
+	}
+	// ListTime is merged with the MINIMUM over ranks: ranks that reach the
+	// detection agree early spend virtual time waiting for stragglers (an
+	// arrival skew, not an operation cost); the last arriver's window is
+	// the pure failure-information time of Fig. 8a.
+	if st.ListTime > 0 && (res.ListTime == 0 || st.ListTime < res.ListTime) {
+		res.ListTime = st.ListTime
+	}
+	maxf(&res.ReconstructTime, st.ReconstructTime)
+	maxf(&res.ShrinkTime, st.ShrinkTime)
+	maxf(&res.SpawnTime, st.SpawnTime)
+	maxf(&res.MergeTime, st.MergeTime)
+	maxf(&res.AgreeTime, st.AgreeTime)
+	maxf(&res.SplitTime, st.SplitTime)
+	if len(res.FailedRanks) == 0 && len(failedList) > 0 {
+		res.FailedRanks = append([]int(nil), failedList...)
+	}
+	if len(res.LostGrids) == 0 {
+		res.LostGrids = rs.lostGridIDs(failedList)
+	}
+}
+
+// decompDims picks a balanced 2D process grid for a sub-grid, giving the
+// larger factor to the longer grid dimension (and clamping so no dimension
+// gets more processes than cells).
+func decompDims(nprocs int, lv grid.Level) (px, py int) {
+	dims := mpi.DimsCreate(nprocs, 2) // largest first
+	nx, ny := 1<<lv.I, 1<<lv.J
+	if ny >= nx {
+		py, px = dims[0], dims[1]
+	} else {
+		px, py = dims[0], dims[1]
+	}
+	// Fall back to a 1D-like split if a dimension is oversubscribed.
+	if px > nx || py > ny {
+		if ny >= nprocs {
+			return 1, nprocs
+		}
+		return nprocs, 1
+	}
+	return px, py
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,388 @@
+// Package core implements the paper's application: a 2D advection solver
+// parallelised with the sparse grid combination technique that survives
+// real process failures via the ULFM recovery protocol, with three
+// selectable data-recovery techniques — Checkpoint/Restart, Resampling and
+// Copying, and Alternate Combination.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ftsg/internal/combine"
+	"ftsg/internal/faultgen"
+	"ftsg/internal/grid"
+	"ftsg/internal/pde"
+	"ftsg/internal/trace"
+	"ftsg/internal/vtime"
+)
+
+// Technique selects the data-recovery method for lost sub-grid data.
+type Technique int
+
+const (
+	// CheckpointRestart (CR) writes periodic disk checkpoints and, after a
+	// failure, restarts the lost grid from the last checkpoint and
+	// recomputes.
+	CheckpointRestart Technique = iota
+	// ResamplingCopying (RC) duplicates every diagonal sub-grid; a lost
+	// diagonal grid (or duplicate) is copied from its twin and a lost
+	// lower-diagonal grid is resampled from the finer diagonal grid above
+	// it.
+	ResamplingCopying
+	// AlternateCombination (AC) holds two extra layers of coarser
+	// sub-grids and, on loss, derives new combination coefficients over
+	// the survivors.
+	AlternateCombination
+)
+
+func (t Technique) String() string {
+	switch t {
+	case CheckpointRestart:
+		return "CR"
+	case ResamplingCopying:
+		return "RC"
+	case AlternateCombination:
+		return "AC"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// GridRole classifies a sub-grid within the layout of the paper's Fig. 1.
+type GridRole int
+
+const (
+	RoleDiagonal GridRole = iota
+	RoleLowerDiagonal
+	RoleDuplicate
+	RoleExtraLayer1
+	RoleExtraLayer2
+)
+
+func (r GridRole) String() string {
+	switch r {
+	case RoleDiagonal:
+		return "diagonal"
+	case RoleLowerDiagonal:
+		return "lower-diagonal"
+	case RoleDuplicate:
+		return "duplicate"
+	case RoleExtraLayer1:
+		return "extra-layer-1"
+	case RoleExtraLayer2:
+		return "extra-layer-2"
+	default:
+		return fmt.Sprintf("GridRole(%d)", int(r))
+	}
+}
+
+// SubGrid is one sub-grid of the application with its process group.
+type SubGrid struct {
+	ID        int
+	Lv        grid.Level
+	Role      GridRole
+	Procs     int
+	FirstRank int
+}
+
+// Config describes one run of the fault-tolerant application.
+type Config struct {
+	// Layout fixes the combination geometry (full grid exponent N, level L).
+	Layout combine.Layout
+	// Technique selects the data-recovery method.
+	Technique Technique
+	// Machine selects the cost-model profile (nil = OPL).
+	Machine *vtime.Machine
+	// DiagProcs is the process count of each diagonal (and duplicate)
+	// sub-grid; lower-diagonal grids get half, extra layers a quarter and
+	// an eighth (floored at 1). The paper's Fig. 8/11 core counts
+	// {19, 38, 76, 152, 304} correspond to DiagProcs {2, 4, 8, 16, 32}
+	// with the RC grid set.
+	DiagProcs int
+	// Steps is the number of solver timesteps.
+	Steps int
+	// ComputeScale multiplies the virtual per-cell compute charge, mapping
+	// a laptop-sized run onto the paper's nominal problem (n = 13, 2^13
+	// steps). The default 32768 makes N=8/256-step runs charge like the
+	// nominal problem.
+	ComputeScale float64
+	// Velocity is the advection velocity (ax, ay).
+	Velocity [2]float64
+	// CFL is the Courant number used to size the shared timestep.
+	CFL float64
+	// NumFailures processes are aborted together at FailStep
+	// (RealFailures), or NumFailures whole grids are marked lost at the
+	// end (simulated failures, the mode of the paper's Figs. 9 and 10).
+	NumFailures int
+	FailStep    int
+	// RealFailures selects real process kills plus communicator
+	// reconstruction; false selects the simulated-loss mode.
+	RealFailures bool
+	// Seed drives victim selection.
+	Seed int64
+	// FailSchedule injects several failure events at increasing steps,
+	// generalising the single NumFailures/FailStep event. Requires
+	// RealFailures; each event draws fresh victims under the same
+	// constraints (rank 0 protected, RC pairs not hit simultaneously).
+	FailSchedule []faultgen.Event
+	// NodeFailure, with RealFailures, kills every process of one randomly
+	// chosen host at FailStep instead of NumFailures individual processes
+	// — the node-failure scenario of the paper's future work. Requires
+	// SpareNodes >= 1 so the replacements have somewhere to go.
+	NodeFailure bool
+	// SpareNodes appends empty hosts to the cluster; when present,
+	// replacements are spawned onto the first spare instead of the failed
+	// processes' original hosts.
+	SpareNodes int
+	// ExtraLayers is the number of extra coarse layers the Alternate
+	// Combination technique holds (0 = the paper's default of 2; -1 = no
+	// extra layers; more layers tolerate deeper loss cascades at the cost
+	// of extra processes).
+	ExtraLayers int
+	// Decomp2D decomposes each sub-grid over a 2D Cartesian process grid
+	// (balanced MPI_Dims_create factors) instead of the default 1D row
+	// bands — the decomposition ablation.
+	Decomp2D bool
+	// SerialCombine ships every sub-grid to rank 0 for a serial
+	// combination instead of the default parallel gather-scatter — the
+	// baseline of the combine ablation benchmark.
+	SerialCombine bool
+	// Trace, when non-nil, records a virtual-time event timeline of the
+	// run (detection, repair, recovery, checkpoints, combination).
+	Trace *trace.Recorder
+	// CheckpointDir overrides the checkpoint directory (default: a fresh
+	// temporary directory, removed after the run).
+	CheckpointDir string
+	// MTBF overrides the mean time between failures used to size the
+	// checkpoint interval (0 = half the estimated run time, the paper's
+	// setup).
+	MTBF float64
+}
+
+// WithDefaults returns the configuration with zero fields filled in; Run
+// applies it automatically.
+func (c Config) WithDefaults() Config {
+	if c.Layout.N == 0 {
+		c.Layout = combine.Layout{N: 8, L: 4}
+	}
+	if c.Machine == nil {
+		c.Machine = vtime.OPL()
+	}
+	if c.DiagProcs == 0 {
+		c.DiagProcs = 8
+	}
+	if c.Steps == 0 {
+		c.Steps = 256
+	}
+	if c.ComputeScale == 0 {
+		c.ComputeScale = 32768
+	}
+	if c.Velocity == [2]float64{} {
+		c.Velocity = [2]float64{1, 0.5}
+	}
+	if c.CFL == 0 {
+		c.CFL = 0.8
+	}
+	if c.FailStep == 0 {
+		c.FailStep = c.Steps / 2
+	}
+	switch {
+	case c.ExtraLayers == 0:
+		c.ExtraLayers = 2
+	case c.ExtraLayers < 0:
+		c.ExtraLayers = -1 // normalised "none"
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Layout.Validate(); err != nil {
+		return err
+	}
+	if c.DiagProcs < 1 {
+		return fmt.Errorf("core: DiagProcs must be >= 1")
+	}
+	if c.DiagProcs > 1<<(c.Layout.N-c.Layout.L+1) {
+		return fmt.Errorf("core: DiagProcs %d exceeds the rows of the coarsest grid", c.DiagProcs)
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("core: Steps must be >= 1")
+	}
+	if c.FailStep < 0 || c.FailStep > c.Steps {
+		return fmt.Errorf("core: FailStep %d outside [0, %d]", c.FailStep, c.Steps)
+	}
+	if c.NodeFailure {
+		if !c.RealFailures {
+			return fmt.Errorf("core: NodeFailure requires RealFailures")
+		}
+		if c.SpareNodes < 1 {
+			return fmt.Errorf("core: NodeFailure requires at least one spare node")
+		}
+		if c.Technique == ResamplingCopying {
+			return fmt.Errorf("core: NodeFailure can violate RC's pairwise recovery constraint; use CR or AC")
+		}
+	}
+	if c.SpareNodes < 0 {
+		return fmt.Errorf("core: SpareNodes must be >= 0")
+	}
+	if c.ExtraLayers < -1 || c.ExtraLayers > c.Layout.L-2 {
+		return fmt.Errorf("core: ExtraLayers %d outside [-1, %d]", c.ExtraLayers, c.Layout.L-2)
+	}
+	if len(c.FailSchedule) > 0 {
+		if !c.RealFailures {
+			return fmt.Errorf("core: FailSchedule requires RealFailures")
+		}
+		if c.NodeFailure {
+			return fmt.Errorf("core: FailSchedule and NodeFailure are mutually exclusive")
+		}
+		for i, e := range c.FailSchedule {
+			if e.Step < 1 || e.Step > c.Steps {
+				return fmt.Errorf("core: FailSchedule event %d at step %d outside [1, %d]", i, e.Step, c.Steps)
+			}
+			if e.Failures < 1 {
+				return fmt.Errorf("core: FailSchedule event %d has %d failures", i, e.Failures)
+			}
+		}
+	}
+	return nil
+}
+
+// Grids returns the sub-grid set of the configured technique with process
+// counts and the contiguous rank assignment. CR holds the 7 main grids
+// (l = 4), RC adds the duplicates (11 grids) and AC the two extra layers
+// (10 grids); see Fig. 1.
+func (c Config) Grids() []SubGrid {
+	ly := c.Layout
+	procsOf := func(role GridRole) int {
+		switch role {
+		case RoleDiagonal, RoleDuplicate:
+			return c.DiagProcs
+		case RoleLowerDiagonal:
+			return maxI(1, c.DiagProcs/2)
+		case RoleExtraLayer1:
+			return maxI(1, c.DiagProcs/4)
+		default:
+			return maxI(1, c.DiagProcs/8)
+		}
+	}
+	var grids []SubGrid
+	add := func(lv grid.Level, role GridRole) {
+		grids = append(grids, SubGrid{ID: len(grids), Lv: lv, Role: role, Procs: procsOf(role)})
+	}
+	for _, lv := range ly.Diagonal() {
+		add(lv, RoleDiagonal)
+	}
+	for _, lv := range ly.LowerDiagonal() {
+		add(lv, RoleLowerDiagonal)
+	}
+	switch c.Technique {
+	case ResamplingCopying:
+		for _, lv := range ly.Diagonal() {
+			add(lv, RoleDuplicate)
+		}
+	case AlternateCombination:
+		layers := c.ExtraLayers
+		if layers == 0 {
+			layers = 2
+		}
+		if layers < 0 {
+			layers = 0
+		}
+		for d := 2; d < 2+layers; d++ {
+			role := RoleExtraLayer1
+			if d > 2 {
+				role = RoleExtraLayer2
+			}
+			for _, lv := range ly.Row(d) {
+				add(lv, role)
+			}
+		}
+	}
+	rank := 0
+	for i := range grids {
+		grids[i].FirstRank = rank
+		rank += grids[i].Procs
+	}
+	return grids
+}
+
+// NumProcs returns the total process count of the configuration.
+func (c Config) NumProcs() int {
+	n := 0
+	for _, g := range c.Grids() {
+		n += g.Procs
+	}
+	return n
+}
+
+// gridOfRank returns the sub-grid owning the given rank.
+func gridOfRank(grids []SubGrid, rank int) (SubGrid, error) {
+	for _, g := range grids {
+		if rank >= g.FirstRank && rank < g.FirstRank+g.Procs {
+			return g, nil
+		}
+	}
+	return SubGrid{}, fmt.Errorf("core: rank %d outside all process groups", rank)
+}
+
+// recoveryPartner returns, for a lost grid, the grid it recovers from under
+// Resampling and Copying, and whether restriction (resampling) is needed.
+// Diagonal grid d pairs with duplicate d and vice versa (exact copy); lower
+// grid m recovers by resampling the diagonal grid m+1 above it.
+func recoveryPartner(grids []SubGrid, lost SubGrid) (SubGrid, bool, error) {
+	l := 0
+	for _, g := range grids {
+		if g.Role == RoleDiagonal {
+			l++
+		}
+	}
+	switch lost.Role {
+	case RoleDiagonal:
+		return grids[2*l-1+lost.ID], false, nil
+	case RoleDuplicate:
+		return grids[lost.ID-(2*l-1)], false, nil
+	case RoleLowerDiagonal:
+		m := lost.ID - l
+		return grids[m+1], true, nil
+	default:
+		return SubGrid{}, false, fmt.Errorf("core: no recovery partner for %v grid %d", lost.Role, lost.ID)
+	}
+}
+
+// rcConflicts lists the grid pairs that must not fail simultaneously under
+// Resampling and Copying (the constraint of Section III).
+func rcConflicts(grids []SubGrid) [][2]int {
+	var out [][2]int
+	for _, g := range grids {
+		if g.Role == RoleDiagonal || g.Role == RoleLowerDiagonal {
+			p, _, err := recoveryPartner(grids, g)
+			if err == nil {
+				out = append(out, [2]int{g.ID, p.ID})
+			}
+		}
+	}
+	return out
+}
+
+// Problem returns the advection problem and shared timestep of the config.
+func (c Config) Problem() (*pde.Problem, float64) {
+	prob := &pde.Problem{Ax: c.Velocity[0], Ay: c.Velocity[1], U0: pde.SinProduct}
+	h := math.Pow(2, -float64(c.Layout.N))
+	return prob, pde.StableDt(h, h, prob.Ax, prob.Ay, c.CFL)
+}
+
+// EstimateStepTime returns the virtual time of one solver step for one
+// process (every grid has the same cells-per-process by construction).
+func (c Config) EstimateStepTime() float64 {
+	diagCells := float64(int64(1) << uint(2*c.Layout.N-c.Layout.L+1))
+	return diagCells / float64(c.DiagProcs) * c.Machine.CellCost * c.ComputeScale
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

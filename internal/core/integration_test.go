@@ -1,0 +1,457 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ftsg/internal/faultgen"
+	"ftsg/internal/trace"
+	"ftsg/internal/vtime"
+)
+
+// TestCRRealFailureIsExact is the strongest end-to-end correctness check:
+// after a REAL process failure, full communicator reconstruction, restore
+// from the on-disk checkpoint and recomputation, the combined solution must
+// be bitwise identical to the failure-free run — Checkpoint/Restart is an
+// exact recovery technique (the paper's Fig. 10 shows its error independent
+// of failures).
+func TestCRRealFailureIsExact(t *testing.T) {
+	base := fastCfg(CheckpointRestart)
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, failures := range []int{1, 2} {
+		cfg := base
+		cfg.NumFailures = failures
+		cfg.RealFailures = true
+		cfg.Seed = 17
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("failures=%d: %v", failures, err)
+		}
+		if res.Spawned != failures {
+			t.Fatalf("failures=%d: spawned %d", failures, res.Spawned)
+		}
+		if res.L1Error != clean.L1Error {
+			t.Errorf("failures=%d: error %.17g != failure-free %.17g (CR must be exact)",
+				failures, res.L1Error, clean.L1Error)
+		}
+	}
+}
+
+// TestRCRealFailureDiagonalCopyIsExact: a real failure confined to a
+// diagonal grid (or its duplicate) recovers by copying the twin, which
+// solved the identical problem — so the combined error is unchanged. Losing
+// a lower-diagonal grid resamples from a finer grid and perturbs the error.
+func TestRCRealFailureBounded(t *testing.T) {
+	base := fastCfg(ResamplingCopying)
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.NumFailures = 2
+	cfg.RealFailures = true
+	cfg.Seed = 23
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1Error <= 0 || res.L1Error > 100*clean.L1Error {
+		t.Errorf("RC error %g unreasonable vs clean %g", res.L1Error, clean.L1Error)
+	}
+}
+
+// TestDeterminism: identical configurations (same seed) must produce
+// identical numerics and failure sets; virtual times are reproducible to
+// within the schedule-dependent error-handler charges (see below).
+func TestDeterminism(t *testing.T) {
+	cfg := fastCfg(AlternateCombination)
+	cfg.NumFailures = 2
+	cfg.RealFailures = true
+	cfg.Seed = 31
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.L1Error != b.L1Error {
+		t.Errorf("L1 error differs: %.17g vs %.17g", a.L1Error, b.L1Error)
+	}
+	// Times are deterministic up to which ranks happen to observe a
+	// collective failure first (non-uniform reporting is genuinely
+	// schedule-dependent, and each observer charges the error-handler ack
+	// path); numerics and failure sets are exact, virtual times agree to
+	// within microseconds.
+	if d := math.Abs(a.TotalTime - b.TotalTime); d > 1e-3 {
+		t.Errorf("total time differs by %g s: %.17g vs %.17g", d, a.TotalTime, b.TotalTime)
+	}
+	if d := math.Abs(a.ReconstructTime - b.ReconstructTime); d > 1e-3 {
+		t.Errorf("reconstruct time differs by %g s", d)
+	}
+	if len(a.FailedRanks) != len(b.FailedRanks) {
+		t.Fatalf("failed ranks differ: %v vs %v", a.FailedRanks, b.FailedRanks)
+	}
+	for i := range a.FailedRanks {
+		if a.FailedRanks[i] != b.FailedRanks[i] {
+			t.Fatalf("failed ranks differ: %v vs %v", a.FailedRanks, b.FailedRanks)
+		}
+	}
+}
+
+// TestRaijinFasterCheckpoints: the same CR configuration on Raijin must
+// write more, cheaper checkpoints than on OPL and end up with lower total
+// time (the machine-profile contrast of Section III-B).
+func TestRaijinFasterCheckpoints(t *testing.T) {
+	opl := fastCfg(CheckpointRestart)
+	raijin := fastCfg(CheckpointRestart)
+	raijin.Machine = vtime.Raijin()
+	ro, err := Run(opl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Run(raijin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.CheckpointPlan.Count <= ro.CheckpointPlan.Count {
+		t.Errorf("Raijin plans %d checkpoints, OPL %d; want more on the faster disk",
+			rr.CheckpointPlan.Count, ro.CheckpointPlan.Count)
+	}
+	oplCkpt := float64(ro.CheckpointWrites) * 3.52
+	raijinCkpt := float64(rr.CheckpointWrites) * 0.03
+	if raijinCkpt >= oplCkpt {
+		t.Errorf("Raijin checkpoint time %g not below OPL %g", raijinCkpt, oplCkpt)
+	}
+}
+
+// TestFailureCostOrdering: the two-failure run pays the expensive
+// beta-ULFM repair path and must cost clearly more than the failure-free
+// run; the single-failure run stays close to baseline (its repair is cheap,
+// and under AC the abandoned grid even stops computing — an emergent effect
+// also visible in the paper's Fig. 11a, where the one-failure curves hug
+// the zero-failure ones).
+func TestFailureCostOrdering(t *testing.T) {
+	times := make([]float64, 3)
+	for f := 0; f <= 2; f++ {
+		cfg := fastCfg(AlternateCombination)
+		cfg.NumFailures = f
+		cfg.RealFailures = f > 0
+		cfg.Seed = 37
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[f] = res.TotalTime
+	}
+	if times[2] <= times[0]*1.02 {
+		t.Errorf("two-failure run (%g) not clearly above failure-free (%g)", times[2], times[0])
+	}
+	if d := math.Abs(times[1]-times[0]) / times[0]; d > 0.10 {
+		t.Errorf("single-failure run %g strays %.0f%% from baseline %g", times[1], d*100, times[0])
+	}
+}
+
+// TestResultHelpers exercises the Result accessors.
+func TestResultHelpers(t *testing.T) {
+	cfg := fastCfg(CheckpointRestart)
+	cfg.NumFailures = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AppTime() <= 0 || res.AppTime() > res.TotalTime {
+		t.Errorf("AppTime %g outside (0, %g]", res.AppTime(), res.TotalTime)
+	}
+	if res.RecoveryOverhead() <= 0 {
+		t.Error("CR recovery overhead not positive")
+	}
+	if s := res.String(); s == "" {
+		t.Error("empty String()")
+	}
+	if math.IsNaN(res.ProcessTimeOverhead(44)) {
+		t.Error("NaN process-time overhead")
+	}
+}
+
+// TestMTBFOverride: a shorter MTBF forces more frequent checkpoints.
+func TestMTBFOverride(t *testing.T) {
+	long := fastCfg(CheckpointRestart)
+	short := fastCfg(CheckpointRestart)
+	short.MTBF = long.WithDefaults().EstimateStepTime() * 4 // absurdly failure-prone
+	lr, err := Run(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Run(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.CheckpointPlan.IntervalSteps >= lr.CheckpointPlan.IntervalSteps {
+		t.Errorf("short MTBF interval %d not below default %d",
+			sr.CheckpointPlan.IntervalSteps, lr.CheckpointPlan.IntervalSteps)
+	}
+}
+
+// TestTechniqueStrings covers the Stringer implementations.
+func TestTechniqueStrings(t *testing.T) {
+	if CheckpointRestart.String() != "CR" || ResamplingCopying.String() != "RC" ||
+		AlternateCombination.String() != "AC" {
+		t.Error("technique names wrong")
+	}
+	if Technique(99).String() == "" {
+		t.Error("unknown technique has empty name")
+	}
+	for _, r := range []GridRole{RoleDiagonal, RoleLowerDiagonal, RoleDuplicate, RoleExtraLayer1, RoleExtraLayer2, GridRole(99)} {
+		if r.String() == "" {
+			t.Errorf("role %d has empty name", int(r))
+		}
+	}
+}
+
+// TestParallelCombineMatchesSerial: the default parallel gather-scatter
+// combination and the serial reference produce the same combined solution
+// (up to summation-order rounding in the Reduce).
+func TestParallelCombineMatchesSerial(t *testing.T) {
+	for _, tech := range []Technique{CheckpointRestart, ResamplingCopying, AlternateCombination} {
+		par := fastCfg(tech)
+		ser := fastCfg(tech)
+		ser.SerialCombine = true
+		pr, err := Run(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := Run(ser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(pr.L1Error - sr.L1Error); d > 1e-12 {
+			t.Errorf("%v: parallel combine error %.17g vs serial %.17g (diff %g)",
+				tech, pr.L1Error, sr.L1Error, d)
+		}
+	}
+}
+
+// TestParallelCombineWithLossesMatchesSerial repeats the comparison under
+// simulated losses, covering the recovered-coefficient path.
+func TestParallelCombineWithLossesMatchesSerial(t *testing.T) {
+	for _, tech := range []Technique{ResamplingCopying, AlternateCombination} {
+		par := fastCfg(tech)
+		par.NumFailures = 2
+		par.Seed = 41
+		ser := par
+		ser.SerialCombine = true
+		pr, err := Run(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := Run(ser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(pr.L1Error - sr.L1Error); d > 1e-12 {
+			t.Errorf("%v with losses: parallel %.17g vs serial %.17g", tech, pr.L1Error, sr.L1Error)
+		}
+	}
+}
+
+// TestParallelCombineFaster: the gather-scatter combination's virtual
+// combine time beats the ship-everything-to-rank-0 baseline.
+func TestParallelCombineFaster(t *testing.T) {
+	par := fastCfg(CheckpointRestart)
+	ser := par
+	ser.SerialCombine = true
+	pr, err := Run(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Run(ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CombineTime >= sr.CombineTime {
+		t.Errorf("parallel combine %g s not below serial %g s", pr.CombineTime, sr.CombineTime)
+	}
+}
+
+// TestTraceTimeline: a real-failure run emits the protocol phases in causal
+// order — repair before data recovery before combination.
+func TestTraceTimeline(t *testing.T) {
+	rec := trace.New(nil)
+	cfg := fastCfg(AlternateCombination)
+	cfg.NumFailures = 2
+	cfg.RealFailures = true
+	cfg.Trace = rec
+	cfg.Seed = 43
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	phases := rec.Phases()
+	idx := map[string]int{}
+	for i, ph := range phases {
+		idx[ph] = i + 1
+	}
+	for _, ph := range []string{"respawn", "repair", "recover-data", "combine"} {
+		if idx[ph] == 0 {
+			t.Fatalf("phase %q missing from timeline %v", ph, phases)
+		}
+	}
+	if !(idx["repair"] < idx["recover-data"] && idx["recover-data"] < idx["combine"]) {
+		t.Errorf("phase order wrong: %v", phases)
+	}
+	if rec.Count("respawn") != 2 {
+		t.Errorf("respawn events = %d, want 2", rec.Count("respawn"))
+	}
+}
+
+// TestTraceCheckpointEvents: a CR run records one event per checkpoint.
+func TestTraceCheckpointEvents(t *testing.T) {
+	rec := trace.New(nil)
+	cfg := fastCfg(CheckpointRestart)
+	cfg.Trace = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Count("checkpoint"); got != res.CheckpointWrites {
+		t.Errorf("checkpoint events %d != writes %d", got, res.CheckpointWrites)
+	}
+}
+
+// TestMultiEventFailures: two separate failure events at different steps,
+// each followed by its own detection and reconstruction, must both be
+// survived — and under CR the final solution stays bitwise exact.
+func TestMultiEventFailures(t *testing.T) {
+	base := fastCfg(CheckpointRestart)
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.New(nil)
+	cfg := base
+	cfg.RealFailures = true
+	cfg.FailSchedule = []faultgen.Event{{Step: 10, Failures: 1}, {Step: 40, Failures: 2}}
+	cfg.Trace = rec
+	cfg.Seed = 47
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spawned != 3 {
+		t.Fatalf("spawned %d, want 3 across two events", res.Spawned)
+	}
+	if res.L1Error != clean.L1Error {
+		t.Errorf("multi-event CR error %.17g != clean %.17g", res.L1Error, clean.L1Error)
+	}
+	if got := rec.Count("repair"); got != 2 {
+		t.Errorf("repair events = %d, want 2 (one per failure event)", got)
+	}
+}
+
+// TestMultiEventFailuresAC: the same schedule under Alternate Combination
+// (single detection at the end sees both events' victims).
+func TestMultiEventFailuresAC(t *testing.T) {
+	cfg := fastCfg(AlternateCombination)
+	cfg.RealFailures = true
+	cfg.FailSchedule = []faultgen.Event{{Step: 10, Failures: 1}, {Step: 40, Failures: 1}}
+	cfg.Seed = 53
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spawned != 2 {
+		t.Fatalf("spawned %d, want 2", res.Spawned)
+	}
+	if res.L1Error <= 0 || res.L1Error > 0.1 {
+		t.Errorf("error %g after multi-event AC run", res.L1Error)
+	}
+}
+
+// TestFailScheduleValidation covers the config checks.
+func TestFailScheduleValidation(t *testing.T) {
+	cfg := fastCfg(CheckpointRestart)
+	cfg.FailSchedule = []faultgen.Event{{Step: 1, Failures: 1}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("schedule without RealFailures accepted")
+	}
+	cfg.RealFailures = true
+	cfg.FailSchedule = []faultgen.Event{{Step: 0, Failures: 1}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("step 0 accepted")
+	}
+	cfg.FailSchedule = []faultgen.Event{{Step: 40, Failures: 1}, {Step: 10, Failures: 1}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("decreasing schedule accepted")
+	}
+}
+
+// TestDecomp2DMatches1D: the 2D block decomposition must produce the same
+// combined solution as the 1D row decomposition (bitwise — the stencil
+// arithmetic per cell is identical, only ownership differs).
+func TestDecomp2DMatches1D(t *testing.T) {
+	for _, tech := range []Technique{CheckpointRestart, AlternateCombination} {
+		one := fastCfg(tech)
+		two := fastCfg(tech)
+		two.Decomp2D = true
+		r1, err := Run(one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(two)
+		if err != nil {
+			t.Fatalf("%v 2D: %v", tech, err)
+		}
+		if r1.L1Error != r2.L1Error {
+			t.Errorf("%v: 2D error %.17g != 1D %.17g", tech, r2.L1Error, r1.L1Error)
+		}
+	}
+}
+
+// TestDecomp2DSurvivesFailure: real failures recover under the 2D
+// decomposition too (CR stays exact).
+func TestDecomp2DSurvivesFailure(t *testing.T) {
+	clean := fastCfg(CheckpointRestart)
+	clean.Decomp2D = true
+	cr, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := clean
+	cfg.NumFailures = 2
+	cfg.RealFailures = true
+	cfg.Seed = 59
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spawned != 2 {
+		t.Fatalf("spawned %d", res.Spawned)
+	}
+	if res.L1Error != cr.L1Error {
+		t.Errorf("2D CR with failures %.17g != clean %.17g", res.L1Error, cr.L1Error)
+	}
+}
+
+// TestMultiEventFailuresRC: under RC, both events' victims surface together
+// at the end-of-run detection; the cross-event conflict constraint keeps
+// every lost grid's recovery partner alive.
+func TestMultiEventFailuresRC(t *testing.T) {
+	cfg := fastCfg(ResamplingCopying)
+	cfg.RealFailures = true
+	cfg.FailSchedule = []faultgen.Event{{Step: 10, Failures: 1}, {Step: 30, Failures: 1}}
+	cfg.Seed = 61
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spawned != 2 {
+		t.Fatalf("spawned %d", res.Spawned)
+	}
+	if res.L1Error <= 0 || res.L1Error > 0.1 {
+		t.Errorf("error %g after RC multi-event run", res.L1Error)
+	}
+}

@@ -1,0 +1,306 @@
+// Package faultgen injects process failures into the simulated application,
+// mirroring the paper's failure generator, which "aborts single or multiple
+// random MPI processes together by the system call kill(getpid(), SIGKILL)
+// at some point before the combination of the sub-grid solutions".
+//
+// Victim selection honours the paper's constraints: process 0 never fails
+// (it is used for controlling purposes), and for the Resampling and Copying
+// technique no two victims may hit a pair of sub-grids that recover from
+// each other (Fig. 1's pairs 0-7, 1-8, 2-9, 3-10 and 1-4, 2-5, 3-6).
+package faultgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftsg/internal/mpi"
+)
+
+// Plan maps doomed world ranks to the solver step at which they die
+// (possibly different steps for different victims, when built from a
+// multi-event schedule). Plans are built deterministically from a seed, so
+// every simulated process derives the same plan without communication.
+type Plan struct {
+	step    int         // step of the first event (all victims' step for single-event plans)
+	victims map[int]int // rank -> death step
+}
+
+// Victims returns the victim ranks in ascending order.
+func (p *Plan) Victims() []int {
+	out := make([]int, 0, len(p.victims))
+	for r := range p.victims {
+		out = append(out, r)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; victim lists are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Step returns the step of the plan's first failure event.
+func (p *Plan) Step() int { return p.step }
+
+// IsVictim reports whether the rank is scheduled to die.
+func (p *Plan) IsVictim(rank int) bool {
+	if p == nil {
+		return false
+	}
+	_, ok := p.victims[rank]
+	return ok
+}
+
+// DeathStep returns the step at which a victim dies (0, false for
+// non-victims).
+func (p *Plan) DeathStep(rank int) (int, bool) {
+	if p == nil {
+		return 0, false
+	}
+	s, ok := p.victims[rank]
+	return s, ok
+}
+
+// Poll kills the calling process if it is a victim and its death step has
+// been reached. Call once per solver step. Replacement processes must not
+// poll (their predecessor already died).
+func (p *Plan) Poll(proc *mpi.Proc, rank, step int) {
+	if p == nil {
+		return
+	}
+	if at, ok := p.victims[rank]; ok && step >= at {
+		proc.Kill()
+	}
+}
+
+// Config describes how to draw a failure plan.
+type Config struct {
+	// Seed makes the plan deterministic across all simulated processes.
+	Seed int64
+	// NumFailures is the number of processes to abort together.
+	NumFailures int
+	// Step is the solver step at which the victims die.
+	Step int
+	// NumRanks is the world size; victims are drawn from 1..NumRanks-1
+	// (rank 0 is protected).
+	NumRanks int
+	// GridOf maps a rank to its sub-grid ID, and Conflicts lists pairs of
+	// sub-grids that must not fail simultaneously (nil = no constraint).
+	GridOf    func(rank int) int
+	Conflicts [][2]int
+}
+
+// New draws a failure plan. It errors when the constraints cannot be
+// satisfied (e.g. more victims requested than eligible ranks).
+func New(cfg Config) (*Plan, error) {
+	if cfg.NumFailures <= 0 {
+		return &Plan{step: cfg.Step, victims: map[int]int{}}, nil
+	}
+	if cfg.NumFailures >= cfg.NumRanks {
+		return nil, fmt.Errorf("faultgen: %d failures requested with %d ranks (rank 0 protected)",
+			cfg.NumFailures, cfg.NumRanks)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	conflict := buildConflictTable(cfg.Conflicts)
+	const maxAttempts = 10000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		victims := make(map[int]int, cfg.NumFailures)
+		hitGrids := make(map[int]bool)
+		ok := true
+		for len(victims) < cfg.NumFailures {
+			r := 1 + rng.Intn(cfg.NumRanks-1)
+			if _, dup := victims[r]; dup {
+				continue
+			}
+			if cfg.GridOf != nil {
+				g := cfg.GridOf(r)
+				bad := false
+				for other := range hitGrids {
+					if conflict[[2]int{g, other}] || conflict[[2]int{other, g}] {
+						bad = true
+						break
+					}
+				}
+				if bad {
+					ok = false
+					break
+				}
+				hitGrids[g] = true
+			}
+			victims[r] = cfg.Step
+		}
+		if ok {
+			return &Plan{step: cfg.Step, victims: victims}, nil
+		}
+	}
+	return nil, fmt.Errorf("faultgen: could not satisfy conflict constraints after %d attempts", 10000)
+}
+
+// Event is one failure event of a multi-event schedule.
+type Event struct {
+	// Step is the solver step at which this event's victims die.
+	Step int
+	// Failures is the number of processes aborted together in this event.
+	Failures int
+}
+
+// Schedule builds a plan with several failure events at increasing steps:
+// each event kills a fresh set of victims, distinct from every earlier
+// event's, with the constraints of New (rank 0 protected). Conflicting grid
+// pairs are avoided across ALL events, not just within one: techniques that
+// only detect failures at the end of the run (RC, AC) see every event's
+// victims at once, so a pair split across events is still a simultaneous
+// loss from the recovery's point of view.
+func Schedule(cfg Config, events []Event) (*Plan, error) {
+	if len(events) == 0 {
+		return &Plan{victims: map[int]int{}}, nil
+	}
+	all := make(map[int]int)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	conflict := buildConflictTable(cfg.Conflicts)
+	totalNeeded := 0
+	for _, e := range events {
+		totalNeeded += e.Failures
+	}
+	if totalNeeded >= cfg.NumRanks {
+		return nil, fmt.Errorf("faultgen: %d failures scheduled with %d ranks", totalNeeded, cfg.NumRanks)
+	}
+	placedGrids := make(map[int]bool)
+	for ei, e := range events {
+		if ei > 0 && e.Step <= events[ei-1].Step {
+			return nil, fmt.Errorf("faultgen: schedule steps must increase (%d after %d)", e.Step, events[ei-1].Step)
+		}
+		const maxAttempts = 10000
+		placed := false
+		for attempt := 0; attempt < maxAttempts && !placed; attempt++ {
+			victims := make(map[int]bool, e.Failures)
+			hitGrids := make(map[int]bool)
+			for g := range placedGrids {
+				hitGrids[g] = true
+			}
+			ok := true
+			for len(victims) < e.Failures {
+				r := 1 + rng.Intn(cfg.NumRanks-1)
+				if victims[r] {
+					continue
+				}
+				if _, gone := all[r]; gone {
+					continue
+				}
+				if cfg.GridOf != nil {
+					g := cfg.GridOf(r)
+					bad := false
+					for other := range hitGrids {
+						if conflict[[2]int{g, other}] || conflict[[2]int{other, g}] {
+							bad = true
+							break
+						}
+					}
+					if bad {
+						ok = false
+						break
+					}
+					hitGrids[g] = true
+				}
+				victims[r] = true
+			}
+			if ok {
+				for r := range victims {
+					all[r] = e.Step
+				}
+				if cfg.GridOf != nil {
+					for r := range victims {
+						placedGrids[cfg.GridOf(r)] = true
+					}
+				}
+				placed = true
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("faultgen: could not place event %d under constraints", ei)
+		}
+	}
+	return &Plan{step: events[0].Step, victims: all}, nil
+}
+
+// NodePlan builds a whole-node failure plan: every rank of one randomly
+// chosen host dies together at the given step, modelling the node-failure
+// scenario of the paper's future work. The host running rank 0 is protected
+// (rank 0 controls the application). It errors when no other host runs any
+// rank.
+func NodePlan(seed int64, step, numRanks int, hostOf func(rank int) int) (*Plan, error) {
+	ranksByHost := map[int][]int{}
+	for r := 0; r < numRanks; r++ {
+		h := hostOf(r)
+		ranksByHost[h] = append(ranksByHost[h], r)
+	}
+	protected := hostOf(0)
+	var candidates []int
+	for h := range ranksByHost {
+		if h != protected {
+			candidates = append(candidates, h)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("faultgen: no host without rank 0 to fail")
+	}
+	// Deterministic order before drawing.
+	for i := 1; i < len(candidates); i++ {
+		for j := i; j > 0 && candidates[j] < candidates[j-1]; j-- {
+			candidates[j], candidates[j-1] = candidates[j-1], candidates[j]
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	host := candidates[rng.Intn(len(candidates))]
+	victims := make(map[int]int, len(ranksByHost[host]))
+	for _, r := range ranksByHost[host] {
+		victims[r] = step
+	}
+	return &Plan{step: step, victims: victims}, nil
+}
+
+// PickGrids draws n distinct sub-grid IDs from candidates, honouring the
+// same conflict constraint — the paper's simulated-failure mode (Figs. 9 and
+// 10 assume whole grids are lost without killing processes).
+func PickGrids(seed int64, n int, candidates []int, conflicts [][2]int) ([]int, error) {
+	if n > len(candidates) {
+		return nil, fmt.Errorf("faultgen: %d grids requested from %d candidates", n, len(candidates))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	conflict := buildConflictTable(conflicts)
+	const maxAttempts = 10000
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		perm := rng.Perm(len(candidates))
+		var chosen []int
+		ok := true
+		for _, idx := range perm {
+			if len(chosen) == n {
+				break
+			}
+			g := candidates[idx]
+			bad := false
+			for _, c := range chosen {
+				if conflict[[2]int{g, c}] || conflict[[2]int{c, g}] {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				continue
+			}
+			chosen = append(chosen, g)
+		}
+		if len(chosen) == n && ok {
+			return chosen, nil
+		}
+	}
+	return nil, fmt.Errorf("faultgen: could not pick %d grids under constraints", n)
+}
+
+func buildConflictTable(pairs [][2]int) map[[2]int]bool {
+	t := make(map[[2]int]bool, len(pairs))
+	for _, p := range pairs {
+		t[p] = true
+	}
+	return t
+}

@@ -1,0 +1,288 @@
+package faultgen
+
+import (
+	"testing"
+
+	"ftsg/internal/mpi"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{Seed: 11, NumFailures: 3, Step: 100, NumRanks: 44}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, bv := a.Victims(), b.Victims()
+	if len(av) != 3 || len(bv) != 3 {
+		t.Fatalf("victim counts %d, %d", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("plans differ: %v vs %v", av, bv)
+		}
+	}
+}
+
+func TestRankZeroProtected(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p, err := New(Config{Seed: seed, NumFailures: 5, Step: 1, NumRanks: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsVictim(0) {
+			t.Fatalf("seed %d: rank 0 selected as victim", seed)
+		}
+	}
+}
+
+func TestZeroFailures(t *testing.T) {
+	p, err := New(Config{Seed: 1, NumFailures: 0, Step: 5, NumRanks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Victims()) != 0 {
+		t.Fatal("victims for zero failures")
+	}
+	// Poll must be a no-op.
+	_, err = mpi.Run(mpi.Options{NProcs: 1, Entry: func(proc *mpi.Proc) {
+		p.Poll(proc, 0, 10)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooManyFailures(t *testing.T) {
+	if _, err := New(Config{Seed: 1, NumFailures: 4, Step: 1, NumRanks: 4}); err == nil {
+		t.Fatal("4 failures among 4 ranks accepted (rank 0 protected)")
+	}
+}
+
+func TestConflictConstraint(t *testing.T) {
+	// 8 ranks, grid = rank/2 (4 grids); grids 1 and 2 conflict.
+	gridOf := func(r int) int { return r / 2 }
+	conflicts := [][2]int{{1, 2}}
+	for seed := int64(0); seed < 100; seed++ {
+		p, err := New(Config{
+			Seed: seed, NumFailures: 2, Step: 1, NumRanks: 8,
+			GridOf: gridOf, Conflicts: conflicts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := p.Victims()
+		grids := map[int]bool{}
+		for _, r := range v {
+			grids[gridOf(r)] = true
+		}
+		if grids[1] && grids[2] {
+			t.Fatalf("seed %d: victims %v hit conflicting grids", seed, v)
+		}
+	}
+}
+
+func TestPollKillsVictimAtStep(t *testing.T) {
+	plan, err := New(Config{Seed: 3, NumFailures: 1, Step: 7, NumRanks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := plan.Victims()[0]
+	rep, err := mpi.Run(mpi.Options{NProcs: 4, Entry: func(proc *mpi.Proc) {
+		rank := proc.World().Rank()
+		for step := 1; step <= 10; step++ {
+			plan.Poll(proc, rank, step)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0] != victim {
+		t.Fatalf("failed = %v, want [%d]", rep.Failed, victim)
+	}
+}
+
+func TestPollBeforeStepIsSafe(t *testing.T) {
+	plan, _ := New(Config{Seed: 3, NumFailures: 1, Step: 1000, NumRanks: 2})
+	rep, err := mpi.Run(mpi.Options{NProcs: 2, Entry: func(proc *mpi.Proc) {
+		plan.Poll(proc, proc.World().Rank(), 999)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatal("victim died before its step")
+	}
+}
+
+func TestPickGrids(t *testing.T) {
+	candidates := []int{1, 2, 3, 4, 5, 6}
+	conflicts := [][2]int{{1, 4}, {2, 5}, {3, 6}}
+	for seed := int64(0); seed < 100; seed++ {
+		got, err := PickGrids(seed, 3, candidates, conflicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("picked %v", got)
+		}
+		in := map[int]bool{}
+		for _, g := range got {
+			if in[g] {
+				t.Fatalf("duplicate grid in %v", got)
+			}
+			in[g] = true
+		}
+		for _, c := range conflicts {
+			if in[c[0]] && in[c[1]] {
+				t.Fatalf("seed %d: conflicting pair %v in %v", seed, c, got)
+			}
+		}
+	}
+}
+
+func TestPickGridsTooMany(t *testing.T) {
+	if _, err := PickGrids(1, 5, []int{1, 2}, nil); err == nil {
+		t.Fatal("overdraw accepted")
+	}
+}
+
+func TestPickGridsUnsatisfiable(t *testing.T) {
+	// Any two of {1,4} conflict; asking for 2 must fail.
+	if _, err := PickGrids(1, 2, []int{1, 4}, [][2]int{{1, 4}}); err == nil {
+		t.Fatal("unsatisfiable constraints accepted")
+	}
+}
+
+func TestVictimsSorted(t *testing.T) {
+	p, err := New(Config{Seed: 99, NumFailures: 6, Step: 1, NumRanks: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Victims()
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			t.Fatalf("victims not sorted: %v", v)
+		}
+	}
+}
+
+func TestNodePlan(t *testing.T) {
+	hostOf := func(r int) int { return r / 4 }
+	for seed := int64(0); seed < 30; seed++ {
+		p, err := NodePlan(seed, 10, 12, hostOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := p.Victims()
+		if len(v) != 4 {
+			t.Fatalf("seed %d: %d victims, want a whole 4-slot host", seed, len(v))
+		}
+		host := hostOf(v[0])
+		if host == 0 {
+			t.Fatalf("seed %d: rank 0's host failed", seed)
+		}
+		for _, r := range v {
+			if hostOf(r) != host {
+				t.Fatalf("seed %d: victims %v span hosts", seed, v)
+			}
+		}
+		if p.Step() != 10 {
+			t.Fatalf("step = %d", p.Step())
+		}
+	}
+}
+
+func TestNodePlanDeterministic(t *testing.T) {
+	hostOf := func(r int) int { return r / 3 }
+	a, _ := NodePlan(5, 1, 9, hostOf)
+	b, _ := NodePlan(5, 1, 9, hostOf)
+	av, bv := a.Victims(), b.Victims()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("plans differ: %v vs %v", av, bv)
+		}
+	}
+}
+
+func TestNodePlanNoCandidateHost(t *testing.T) {
+	// Every rank on one host: the host holding rank 0 cannot fail.
+	if _, err := NodePlan(1, 1, 4, func(int) int { return 0 }); err == nil {
+		t.Fatal("single-host cluster accepted for node failure")
+	}
+}
+
+func TestScheduleCrossEventConflicts(t *testing.T) {
+	gridOf := func(r int) int { return r / 2 } // 2 ranks per grid, grids 0..5
+	conflicts := [][2]int{{1, 4}, {2, 5}}
+	for seed := int64(0); seed < 60; seed++ {
+		p, err := Schedule(Config{
+			Seed: seed, NumRanks: 12, GridOf: gridOf, Conflicts: conflicts,
+		}, []Event{{Step: 5, Failures: 1}, {Step: 20, Failures: 1}, {Step: 40, Failures: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit := map[int]bool{}
+		for _, r := range p.Victims() {
+			hit[gridOf(r)] = true
+		}
+		for _, c := range conflicts {
+			if hit[c[0]] && hit[c[1]] {
+				t.Fatalf("seed %d: conflicting pair %v hit across events (victims %v)", seed, c, p.Victims())
+			}
+		}
+	}
+}
+
+func TestScheduleBasics(t *testing.T) {
+	p, err := Schedule(Config{Seed: 3, NumRanks: 20}, []Event{{Step: 5, Failures: 2}, {Step: 15, Failures: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Victims()) != 5 {
+		t.Fatalf("victims = %v", p.Victims())
+	}
+	if p.Step() != 5 {
+		t.Fatalf("first event step = %d", p.Step())
+	}
+	early, late := 0, 0
+	for _, r := range p.Victims() {
+		s, ok := p.DeathStep(r)
+		if !ok {
+			t.Fatalf("victim %d has no death step", r)
+		}
+		switch s {
+		case 5:
+			early++
+		case 15:
+			late++
+		default:
+			t.Fatalf("victim %d dies at %d", r, s)
+		}
+	}
+	if early != 2 || late != 3 {
+		t.Fatalf("event sizes %d/%d", early, late)
+	}
+	if p.IsVictim(0) {
+		t.Fatal("rank 0 selected")
+	}
+	if _, ok := p.DeathStep(0); ok {
+		t.Fatal("rank 0 has a death step")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := Schedule(Config{Seed: 1, NumRanks: 3}, []Event{{Step: 10, Failures: 1}, {Step: 5, Failures: 1}}); err == nil {
+		t.Fatal("decreasing steps accepted")
+	}
+	if _, err := Schedule(Config{Seed: 1, NumRanks: 3}, []Event{{Step: 1, Failures: 3}}); err == nil {
+		t.Fatal("overdraw accepted")
+	}
+	p, err := Schedule(Config{Seed: 1, NumRanks: 3}, nil)
+	if err != nil || len(p.Victims()) != 0 {
+		t.Fatalf("empty schedule: %v %v", p.Victims(), err)
+	}
+}

@@ -1,0 +1,34 @@
+package ftcomb_test
+
+import (
+	"fmt"
+
+	"ftsg/internal/combine"
+	"ftsg/internal/ftcomb"
+)
+
+// ExampleRecoverScheme derives new combination coefficients after losing a
+// diagonal sub-grid, the paper's Alternate Combination recovery.
+func ExampleRecoverScheme() {
+	ly := combine.Layout{N: 8, L: 4}
+	held := ftcomb.AlternateHeld(ly)        // diagonal + lower + two extra layers
+	lost := ftcomb.NewSet(ly.Diagonal()[1]) // sub-grid (6,7) is gone
+
+	scheme, err := ftcomb.RecoverScheme(held, lost)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range scheme {
+		fmt.Printf("%v: %+g\n", c.Lv, c.Coeff)
+	}
+	fmt.Printf("coefficient sum: %g\n", scheme.CoeffSum())
+	// The lost grid's column is truncated: the survivors (5,8), (7,6) and
+	// (8,5) carry +1, with -1 corrections at (5,6) and (7,5).
+	// Output:
+	// (5,6): -1
+	// (5,8): +1
+	// (7,5): -1
+	// (7,6): +1
+	// (8,5): +1
+	// coefficient sum: 1
+}

@@ -1,0 +1,219 @@
+package ftcomb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ftsg/internal/combine"
+	"ftsg/internal/grid"
+	"ftsg/internal/pde"
+)
+
+func TestDownset(t *testing.T) {
+	J := Downset([]grid.Level{{I: 1, J: 2}})
+	if len(J) != 6 {
+		t.Fatalf("|down((1,2))| = %d, want 6", len(J))
+	}
+	if !J[grid.Level{I: 0, J: 0}] || !J[grid.Level{I: 1, J: 2}] || J[grid.Level{I: 2, J: 0}] {
+		t.Fatal("downset membership wrong")
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	s := NewSet(grid.Level{I: 1, J: 2}, grid.Level{I: 2, J: 1}, grid.Level{I: 1, J: 1}, grid.Level{I: 0, J: 2})
+	m := Maximal(s)
+	if len(m) != 2 || m[0] != (grid.Level{I: 1, J: 2}) || m[1] != (grid.Level{I: 2, J: 1}) {
+		t.Fatalf("Maximal = %v", m)
+	}
+}
+
+// TestCoefficientsReproduceClassic: on the classic downset, the GCP formula
+// gives exactly the +1 diagonal / -1 lower-diagonal scheme.
+func TestCoefficientsReproduceClassic(t *testing.T) {
+	ly := combine.Layout{N: 13, L: 4}
+	J := Downset(ly.Diagonal())
+	c := Coefficients(J)
+	want := map[grid.Level]int{}
+	for _, lv := range ly.Diagonal() {
+		want[lv] = 1
+	}
+	for _, lv := range ly.LowerDiagonal() {
+		want[lv] = -1
+	}
+	// Outside the truncation, lower "corners" appear at the row ends; the
+	// classic scheme over the full triangle has them at (9,13)... but the
+	// truncated downset ends exactly at the held grids, so:
+	if len(c) != len(want) {
+		t.Fatalf("got %d non-zero coefficients %v, want %d", len(c), c, len(want))
+	}
+	for lv, coeff := range want {
+		if c[lv] != coeff {
+			t.Errorf("coefficient at %v = %d, want %d", lv, c[lv], coeff)
+		}
+	}
+}
+
+// TestCoefficientSumIsOneProperty: for any non-empty downset the GCP
+// coefficients telescope to exactly 1.
+func TestCoefficientSumIsOneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		ngen := 1 + rng.Intn(5)
+		gen := make([]grid.Level, ngen)
+		for i := range gen {
+			gen[i] = grid.Level{I: rng.Intn(8), J: rng.Intn(8)}
+		}
+		c := Coefficients(Downset(gen))
+		sum := 0
+		for _, v := range c {
+			sum += v
+		}
+		if sum != 1 {
+			t.Fatalf("trial %d: generators %v, coefficient sum %d", trial, gen, sum)
+		}
+	}
+}
+
+func TestRecoverSchemeNoLossEqualsClassic(t *testing.T) {
+	ly := combine.Layout{N: 8, L: 4}
+	s, err := RecoverScheme(AlternateHeld(ly), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := ly.Classic()
+	if len(s) != len(classic) {
+		t.Fatalf("recovered scheme %v, want classic %v", s, classic)
+	}
+	for _, c := range classic {
+		if s.Coeff(c.Lv) != c.Coeff {
+			t.Errorf("coeff at %v = %g, want %g", c.Lv, s.Coeff(c.Lv), c.Coeff)
+		}
+	}
+}
+
+func TestRecoverSchemeLostDiagonal(t *testing.T) {
+	ly := combine.Layout{N: 8, L: 4}
+	lost := NewSet(ly.Diagonal()[0]) // (5,8)
+	s, err := RecoverScheme(AlternateHeld(ly), lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSupported(t, s, AlternateHeld(ly), lost)
+	if s.Coeff(ly.Diagonal()[0]) != 0 {
+		t.Error("lost grid still has a coefficient")
+	}
+	if math.Abs(s.CoeffSum()-1) > 1e-12 {
+		t.Errorf("coefficient sum = %g", s.CoeffSum())
+	}
+}
+
+func TestRecoverSchemeLostLowerUsesCoarserGrids(t *testing.T) {
+	ly := combine.Layout{N: 8, L: 4}
+	// Lose a diagonal grid and the lower grid beneath it: the recovery must
+	// reach into the extra layers (this is why Alternate Combination keeps
+	// them).
+	diag, lower := ly.Diagonal(), ly.LowerDiagonal()
+	lost := NewSet(diag[1], lower[1])
+	s, err := RecoverScheme(AlternateHeld(ly), lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSupported(t, s, AlternateHeld(ly), lost)
+	usedExtra := false
+	for _, lv := range ly.ExtraLayers(2) {
+		if s.Coeff(lv) != 0 {
+			usedExtra = true
+		}
+	}
+	if !usedExtra {
+		t.Errorf("scheme %v did not use the extra layers", s)
+	}
+	if math.Abs(s.CoeffSum()-1) > 1e-12 {
+		t.Errorf("coefficient sum = %g", s.CoeffSum())
+	}
+}
+
+// TestRecoverSchemeRandomLossProperty: for any loss pattern that keeps at
+// least one grid, the recovered scheme is supported on surviving grids and
+// its coefficients sum to 1 (up to 5 lost grids, the paper's Fig. 10 range).
+func TestRecoverSchemeRandomLossProperty(t *testing.T) {
+	ly := combine.Layout{N: 9, L: 5}
+	held := AlternateHeld(ly)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nlost := 1 + rng.Intn(5)
+		lost := make(Set)
+		for len(lost) < nlost {
+			lost[held[rng.Intn(len(held))]] = true
+		}
+		s, err := RecoverScheme(held, lost)
+		if err != nil {
+			// Legal only if everything was lost, which cannot happen here.
+			t.Fatalf("trial %d lost %v: %v", trial, lost.Levels(), err)
+		}
+		assertSupported(t, s, held, lost)
+		if math.Abs(s.CoeffSum()-1) > 1e-12 {
+			t.Fatalf("trial %d: coefficient sum %g", trial, s.CoeffSum())
+		}
+	}
+}
+
+func TestRecoverSchemeAllLost(t *testing.T) {
+	ly := combine.Layout{N: 8, L: 4}
+	held := AlternateHeld(ly)
+	lost := NewSet(held...)
+	if _, err := RecoverScheme(held, lost); err == nil {
+		t.Fatal("empty survivor set accepted")
+	}
+}
+
+// TestAlternateCombinationAccuracy: interpolation with recovered
+// coefficients degrades, but stays bounded, under single losses. (The
+// paper's "within a factor of 10" claim in Fig. 10 is against the combined
+// *solver* error, which is much larger than the pure interpolation error of
+// a smooth sinusoid measured here; the solver-level property is exercised
+// in internal/core.)
+func TestAlternateCombinationAccuracy(t *testing.T) {
+	ly := combine.Layout{N: 8, L: 4}
+	f := pde.SinProduct
+	target := grid.Level{I: 8, J: 8}
+	base, err := combine.InterpolationScheme(ly.Classic(), f, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseErr := base.L1Error(f)
+	held := AlternateHeld(ly)
+	for _, lostLv := range append(append([]grid.Level{}, ly.Diagonal()...), ly.LowerDiagonal()...) {
+		s, err := RecoverScheme(held, NewSet(lostLv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		comb, err := combine.InterpolationScheme(s, f, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := comb.L1Error(f)
+		if e <= baseErr {
+			t.Errorf("losing %v: error %g did not degrade from baseline %g", lostLv, e, baseErr)
+		}
+		if e > 1e-3 {
+			t.Errorf("losing %v: error %g unbounded (baseline %g)", lostLv, e, baseErr)
+		}
+	}
+}
+
+func assertSupported(t *testing.T, s combine.Scheme, held []grid.Level, lost Set) {
+	t.Helper()
+	avail := make(Set)
+	for _, lv := range held {
+		if !lost[lv] {
+			avail[lv] = true
+		}
+	}
+	for _, c := range s {
+		if c.Coeff != 0 && !avail[c.Lv] {
+			t.Errorf("scheme uses unavailable grid %v", c.Lv)
+		}
+	}
+}

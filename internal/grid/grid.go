@@ -1,0 +1,220 @@
+// Package grid provides the 2D tensor-product grids of the sparse grid
+// combination technique: anisotropic grids of (2^i+1) x (2^j+1) points on
+// the unit square, level-vector algebra, injection/restriction resampling
+// (the paper's Resampling and Copying recovery), bilinear sampling (used to
+// combine sub-grid solutions onto a common grid), and error norms.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Level is a 2D level vector: the sub-grid u_{i,j} of the paper has
+// (2^i + 1) x (2^j + 1) points.
+type Level struct {
+	I, J int
+}
+
+// Sum returns i + j, the quantity the combination formula constrains.
+func (l Level) Sum() int { return l.I + l.J }
+
+// LE reports componentwise l <= m, the partial order of the grid lattice.
+func (l Level) LE(m Level) bool { return l.I <= m.I && l.J <= m.J }
+
+// Points returns the number of grid points of the level's grid.
+func (l Level) Points() int { return ((1 << l.I) + 1) * ((1 << l.J) + 1) }
+
+// Cells returns the number of interior cells (periodic unknowns).
+func (l Level) Cells() int { return (1 << l.I) * (1 << l.J) }
+
+func (l Level) String() string { return fmt.Sprintf("(%d,%d)", l.I, l.J) }
+
+// Grid is a dense 2D grid of values on the unit square [0,1]^2 with
+// (2^Li + 1) x (2^Lj + 1) points. Point (ix, iy) sits at
+// (ix * 2^-Li, iy * 2^-Lj); row-major storage. For periodic problems the
+// last row and column duplicate the first.
+type Grid struct {
+	Lv     Level
+	Nx, Ny int
+	V      []float64
+}
+
+// New allocates a zeroed grid of the given level. Levels must be
+// non-negative and small enough to allocate.
+func New(lv Level) *Grid {
+	if lv.I < 0 || lv.J < 0 || lv.I > 30 || lv.J > 30 {
+		panic(fmt.Sprintf("grid: invalid level %v", lv))
+	}
+	nx, ny := (1<<lv.I)+1, (1<<lv.J)+1
+	return &Grid{Lv: lv, Nx: nx, Ny: ny, V: make([]float64, nx*ny)}
+}
+
+// Hx returns the grid spacing in x.
+func (g *Grid) Hx() float64 { return 1.0 / float64(g.Nx-1) }
+
+// Hy returns the grid spacing in y.
+func (g *Grid) Hy() float64 { return 1.0 / float64(g.Ny-1) }
+
+// At returns the value at point (ix, iy).
+func (g *Grid) At(ix, iy int) float64 { return g.V[iy*g.Nx+ix] }
+
+// Set stores v at point (ix, iy).
+func (g *Grid) Set(ix, iy int, v float64) { g.V[iy*g.Nx+ix] = v }
+
+// X returns the x coordinate of column ix.
+func (g *Grid) X(ix int) float64 { return float64(ix) * g.Hx() }
+
+// Y returns the y coordinate of row iy.
+func (g *Grid) Y(iy int) float64 { return float64(iy) * g.Hy() }
+
+// Clone returns a deep copy.
+func (g *Grid) Clone() *Grid {
+	out := &Grid{Lv: g.Lv, Nx: g.Nx, Ny: g.Ny, V: make([]float64, len(g.V))}
+	copy(out.V, g.V)
+	return out
+}
+
+// Fill evaluates f at every grid point.
+func (g *Grid) Fill(f func(x, y float64) float64) {
+	for iy := 0; iy < g.Ny; iy++ {
+		y := g.Y(iy)
+		for ix := 0; ix < g.Nx; ix++ {
+			g.V[iy*g.Nx+ix] = f(g.X(ix), y)
+		}
+	}
+}
+
+// Scale multiplies every value by s.
+func (g *Grid) Scale(s float64) {
+	for i := range g.V {
+		g.V[i] *= s
+	}
+}
+
+// Zero clears the grid.
+func (g *Grid) Zero() {
+	for i := range g.V {
+		g.V[i] = 0
+	}
+}
+
+// Restrict samples a finer (or equal) grid down to level lv by injection:
+// the coarse points coincide with a stride of the fine points, so the
+// operation is exact at shared points. This is the paper's "resampling" of a
+// lower-diagonal sub-grid from the finer diagonal sub-grid above it.
+func Restrict(fine *Grid, lv Level) (*Grid, error) {
+	if !lv.LE(fine.Lv) {
+		return nil, fmt.Errorf("grid: cannot restrict %v to finer level %v", fine.Lv, lv)
+	}
+	coarse := New(lv)
+	sx := 1 << (fine.Lv.I - lv.I)
+	sy := 1 << (fine.Lv.J - lv.J)
+	for iy := 0; iy < coarse.Ny; iy++ {
+		for ix := 0; ix < coarse.Nx; ix++ {
+			coarse.V[iy*coarse.Nx+ix] = fine.At(ix*sx, iy*sy)
+		}
+	}
+	return coarse, nil
+}
+
+// SampleBilinear evaluates the grid's bilinear interpolant at (x, y), which
+// must lie in [0,1]^2 (clamped).
+func (g *Grid) SampleBilinear(x, y float64) float64 {
+	x = clamp01(x)
+	y = clamp01(y)
+	fx := x * float64(g.Nx-1)
+	fy := y * float64(g.Ny-1)
+	ix := int(fx)
+	iy := int(fy)
+	if ix >= g.Nx-1 {
+		ix = g.Nx - 2
+	}
+	if iy >= g.Ny-1 {
+		iy = g.Ny - 2
+	}
+	tx := fx - float64(ix)
+	ty := fy - float64(iy)
+	v00 := g.At(ix, iy)
+	v10 := g.At(ix+1, iy)
+	v01 := g.At(ix, iy+1)
+	v11 := g.At(ix+1, iy+1)
+	return (1-tx)*(1-ty)*v00 + tx*(1-ty)*v10 + (1-tx)*ty*v01 + tx*ty*v11
+}
+
+// AccumulateSampled adds coeff times src's bilinear interpolant, evaluated
+// at every point of g, into g. It is the elementary operation of the
+// combination formula u_c = sum_i c_i u_i evaluated on a common grid.
+func (g *Grid) AccumulateSampled(src *Grid, coeff float64) {
+	for iy := 0; iy < g.Ny; iy++ {
+		y := g.Y(iy)
+		for ix := 0; ix < g.Nx; ix++ {
+			g.V[iy*g.Nx+ix] += coeff * src.SampleBilinear(g.X(ix), y)
+		}
+	}
+}
+
+// L1Error returns the mean absolute difference between the grid and f
+// evaluated at every grid point — the error measure of the paper's Fig. 10
+// (the l1-norm of the difference with the exact analytic solution, averaged
+// over points).
+func (g *Grid) L1Error(f func(x, y float64) float64) float64 {
+	var sum float64
+	for iy := 0; iy < g.Ny; iy++ {
+		y := g.Y(iy)
+		for ix := 0; ix < g.Nx; ix++ {
+			sum += math.Abs(g.V[iy*g.Nx+ix] - f(g.X(ix), y))
+		}
+	}
+	return sum / float64(len(g.V))
+}
+
+// L2Error returns the root-mean-square difference between the grid and f.
+func (g *Grid) L2Error(f func(x, y float64) float64) float64 {
+	var sum float64
+	for iy := 0; iy < g.Ny; iy++ {
+		y := g.Y(iy)
+		for ix := 0; ix < g.Nx; ix++ {
+			d := g.V[iy*g.Nx+ix] - f(g.X(ix), y)
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum / float64(len(g.V)))
+}
+
+// MaxError returns the maximum absolute difference between the grid and f.
+func (g *Grid) MaxError(f func(x, y float64) float64) float64 {
+	var m float64
+	for iy := 0; iy < g.Ny; iy++ {
+		y := g.Y(iy)
+		for ix := 0; ix < g.Nx; ix++ {
+			if d := math.Abs(g.V[iy*g.Nx+ix] - f(g.X(ix), y)); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// L1Diff returns the mean absolute difference between two grids of the same
+// level.
+func L1Diff(a, b *Grid) (float64, error) {
+	if a.Lv != b.Lv {
+		return 0, fmt.Errorf("grid: L1Diff level mismatch %v vs %v", a.Lv, b.Lv)
+	}
+	var sum float64
+	for i := range a.V {
+		sum += math.Abs(a.V[i] - b.V[i])
+	}
+	return sum / float64(len(a.V)), nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,212 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensions(t *testing.T) {
+	g := New(Level{3, 5})
+	if g.Nx != 9 || g.Ny != 33 {
+		t.Fatalf("dimensions %dx%d, want 9x33", g.Nx, g.Ny)
+	}
+	if len(g.V) != 9*33 {
+		t.Fatalf("storage %d", len(g.V))
+	}
+	if g.Hx() != 0.125 || g.Hy() != 1.0/32 {
+		t.Fatalf("spacing %g %g", g.Hx(), g.Hy())
+	}
+}
+
+func TestNewPanicsOnBadLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative level")
+		}
+	}()
+	New(Level{-1, 2})
+}
+
+func TestLevelAlgebra(t *testing.T) {
+	a, b := Level{2, 3}, Level{3, 3}
+	if !a.LE(b) || b.LE(a) {
+		t.Fatal("LE wrong")
+	}
+	if a.Sum() != 5 {
+		t.Fatalf("Sum = %d", a.Sum())
+	}
+	if a.Points() != 5*9 {
+		t.Fatalf("Points = %d", a.Points())
+	}
+	if a.Cells() != 4*8 {
+		t.Fatalf("Cells = %d", a.Cells())
+	}
+	if a.String() != "(2,3)" {
+		t.Fatalf("String = %s", a)
+	}
+}
+
+func TestFillAtSetXY(t *testing.T) {
+	g := New(Level{2, 2})
+	g.Fill(func(x, y float64) float64 { return x + 10*y })
+	if got := g.At(1, 2); math.Abs(got-(0.25+5.0)) > 1e-15 {
+		t.Fatalf("At(1,2) = %g", got)
+	}
+	g.Set(0, 0, -7)
+	if g.At(0, 0) != -7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if g.X(4) != 1 || g.Y(0) != 0 {
+		t.Fatal("coordinates wrong")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := New(Level{1, 1})
+	g.Fill(func(x, y float64) float64 { return x * y })
+	h := g.Clone()
+	h.Set(0, 0, 99)
+	if g.At(0, 0) == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestRestrictExactAtSharedPoints(t *testing.T) {
+	fine := New(Level{4, 5})
+	fine.Fill(func(x, y float64) float64 { return math.Sin(x) + math.Cos(y) })
+	coarse, err := Restrict(fine, Level{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every coarse point must exactly equal the fine value there.
+	for iy := 0; iy < coarse.Ny; iy++ {
+		for ix := 0; ix < coarse.Nx; ix++ {
+			want := math.Sin(coarse.X(ix)) + math.Cos(coarse.Y(iy))
+			if got := coarse.At(ix, iy); math.Abs(got-want) > 1e-15 {
+				t.Fatalf("restricted value at (%d,%d) = %g, want %g", ix, iy, got, want)
+			}
+		}
+	}
+}
+
+func TestRestrictToFinerFails(t *testing.T) {
+	g := New(Level{2, 2})
+	if _, err := Restrict(g, Level{3, 2}); err == nil {
+		t.Fatal("restriction to finer level succeeded")
+	}
+}
+
+func TestRestrictSameLevelIsCopy(t *testing.T) {
+	g := New(Level{3, 2})
+	g.Fill(func(x, y float64) float64 { return x - y })
+	r, err := Restrict(g, g.Lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := L1Diff(g, r); d != 0 {
+		t.Fatalf("same-level restrict differs by %g", d)
+	}
+}
+
+func TestSampleBilinearReproducesBilinearFunctions(t *testing.T) {
+	g := New(Level{3, 4})
+	g.Fill(func(x, y float64) float64 { return 2*x + 3*y + x*y })
+	for _, pt := range [][2]float64{{0.1, 0.9}, {0.5, 0.5}, {0, 0}, {1, 1}, {0.37, 0.68}} {
+		x, y := pt[0], pt[1]
+		want := 2*x + 3*y + x*y
+		if got := g.SampleBilinear(x, y); math.Abs(got-want) > 1e-12 {
+			t.Errorf("SampleBilinear(%g,%g) = %g, want %g", x, y, got, want)
+		}
+	}
+}
+
+func TestSampleBilinearClamps(t *testing.T) {
+	g := New(Level{1, 1})
+	g.Fill(func(x, y float64) float64 { return x })
+	if got := g.SampleBilinear(-0.5, 0.5); got != 0 {
+		t.Fatalf("clamped sample = %g", got)
+	}
+	if got := g.SampleBilinear(1.5, 0.5); got != 1 {
+		t.Fatalf("clamped sample = %g", got)
+	}
+}
+
+func TestSampleBilinearPropertyWithinRange(t *testing.T) {
+	g := New(Level{3, 3})
+	g.Fill(func(x, y float64) float64 { return math.Sin(6 * x * y) })
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range g.V {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	f := func(a, b float64) bool {
+		v := g.SampleBilinear(math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1)))
+		return v >= lo-1e-12 && v <= hi+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulateSampled(t *testing.T) {
+	src := New(Level{5, 5})
+	src.Fill(func(x, y float64) float64 { return x + y })
+	dst := New(Level{3, 3})
+	dst.Fill(func(x, y float64) float64 { return 1 })
+	dst.AccumulateSampled(src, 2.0)
+	// dst = 1 + 2*(x+y) exactly (bilinear reproduces linear).
+	err := dst.L1Error(func(x, y float64) float64 { return 1 + 2*(x+y) })
+	if err > 1e-12 {
+		t.Fatalf("AccumulateSampled error %g", err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	g := New(Level{2, 2})
+	g.Fill(func(x, y float64) float64 { return 1 })
+	zero := func(x, y float64) float64 { return 0 }
+	if e := g.L1Error(zero); math.Abs(e-1) > 1e-15 {
+		t.Fatalf("L1 = %g", e)
+	}
+	if e := g.L2Error(zero); math.Abs(e-1) > 1e-15 {
+		t.Fatalf("L2 = %g", e)
+	}
+	if e := g.MaxError(zero); e != 1 {
+		t.Fatalf("Max = %g", e)
+	}
+	g.Scale(-3)
+	if e := g.MaxError(zero); e != 3 {
+		t.Fatalf("Max after scale = %g", e)
+	}
+	g.Zero()
+	if e := g.L1Error(zero); e != 0 {
+		t.Fatalf("L1 after zero = %g", e)
+	}
+}
+
+func TestL1DiffMismatch(t *testing.T) {
+	if _, err := L1Diff(New(Level{1, 1}), New(Level{1, 2})); err == nil {
+		t.Fatal("level mismatch accepted")
+	}
+}
+
+// Property: norms are non-negative and L1 <= Max.
+func TestNormOrderingProperty(t *testing.T) {
+	f := func(vals [16]float64) bool {
+		g := New(Level{2, 2})
+		for i := range g.V {
+			v := vals[i%16]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			g.V[i] = math.Remainder(v, 1e6) // avoid overflow in the summed norm
+		}
+		zero := func(x, y float64) float64 { return 0 }
+		l1, mx := g.L1Error(zero), g.MaxError(zero)
+		return l1 >= 0 && mx >= 0 && l1 <= mx+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV renderers for every experiment, for plotting pipelines. Each writes a
+// header row and one record per data point.
+
+func writeCSV(w io.Writer, header []string, records [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(records); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%g", v) }
+func d(v int) string     { return fmt.Sprintf("%d", v) }
+
+// CSVFig8 writes Fig. 8's rows as CSV.
+func CSVFig8(w io.Writer, rows []Fig8Row) error {
+	recs := make([][]string, len(rows))
+	for i, r := range rows {
+		recs[i] = []string{d(r.Cores), d(r.Failures), f(r.ListTime), f(r.Reconstruct)}
+	}
+	return writeCSV(w, []string{"cores", "failures", "list_s", "reconstruct_s"}, recs)
+}
+
+// CSVTable1 writes Table I's rows as CSV.
+func CSVTable1(w io.Writer, rows []Table1Row) error {
+	recs := make([][]string, len(rows))
+	for i, r := range rows {
+		recs[i] = []string{d(r.Cores), f(r.Spawn), f(r.Shrink), f(r.Agree), f(r.Merge)}
+	}
+	return writeCSV(w, []string{"cores", "spawn_s", "shrink_s", "agree_s", "merge_s"}, recs)
+}
+
+// CSVFig9 writes Fig. 9's rows as CSV.
+func CSVFig9(w io.Writer, rows []Fig9Row) error {
+	recs := make([][]string, len(rows))
+	for i, r := range rows {
+		recs[i] = []string{r.Machine, r.Technique.String(), d(r.LostGrids), f(r.Overhead), f(r.ProcessTime)}
+	}
+	return writeCSV(w, []string{"machine", "technique", "lost_grids", "overhead_s", "process_time_s"}, recs)
+}
+
+// CSVFig10 writes Fig. 10's rows as CSV.
+func CSVFig10(w io.Writer, rows []Fig10Row) error {
+	recs := make([][]string, len(rows))
+	for i, r := range rows {
+		recs[i] = []string{r.Technique.String(), d(r.LostGrids), f(r.L1Error)}
+	}
+	return writeCSV(w, []string{"technique", "lost_grids", "l1_error"}, recs)
+}
+
+// CSVFig11 writes Fig. 11's rows as CSV.
+func CSVFig11(w io.Writer, rows []Fig11Row) error {
+	recs := make([][]string, len(rows))
+	for i, r := range rows {
+		recs[i] = []string{r.Technique.String(), d(r.Failures), d(r.Cores), d(r.SweepCores), f(r.Time), f(r.Efficiency)}
+	}
+	return writeCSV(w, []string{"technique", "failures", "cores", "sweep_cores", "time_s", "efficiency"}, recs)
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ftsg/internal/core"
+)
+
+func TestCSVRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSVFig8(&buf, []Fig8Row{{Cores: 19, Failures: 2, ListTime: 0.018, Reconstruct: 0.54}}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "cores,failures,list_s,reconstruct_s\n") {
+		t.Fatalf("fig8 header: %q", got)
+	}
+	if !strings.Contains(got, "19,2,0.018,0.54") {
+		t.Fatalf("fig8 record: %q", got)
+	}
+
+	buf.Reset()
+	if err := CSVTable1(&buf, []Table1Row{{Cores: 76, Spawn: 60.75, Shrink: 43.35, Agree: 1.03, Merge: 0.02}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "76,60.75,43.35,1.03,0.02") {
+		t.Fatalf("table1 record: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := CSVFig9(&buf, []Fig9Row{{Machine: "OPL", Technique: core.CheckpointRestart, LostGrids: 1, Overhead: 22.7, ProcessTime: 22.7}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "OPL,CR,1,22.7,22.7") {
+		t.Fatalf("fig9 record: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := CSVFig10(&buf, []Fig10Row{{Technique: core.AlternateCombination, LostGrids: 3, L1Error: 4.67e-4}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AC,3,0.000467") {
+		t.Fatalf("fig10 record: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := CSVFig11(&buf, []Fig11Row{{Technique: core.ResamplingCopying, Failures: 2, Cores: 76, SweepCores: 76, Time: 178.8, Efficiency: 0.39}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "RC,2,76,76,178.8,0.39") {
+		t.Fatalf("fig11 record: %q", buf.String())
+	}
+}

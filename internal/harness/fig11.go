@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"ftsg/internal/core"
+)
+
+// Fig11Row is one point of Figs. 11a/11b: overall execution time and
+// parallel efficiency at a core count, for a technique and failure count.
+type Fig11Row struct {
+	Technique  core.Technique
+	Failures   int
+	Cores      int // total processes of THIS technique's grid set
+	SweepCores int // the shared x-axis (RC-set core count at this scale)
+	Time       float64
+	Efficiency float64
+}
+
+// Fig11 reproduces Figs. 11a and 11b: overall parallel performance across
+// the core-count sweep for the three techniques with zero, one and two real
+// failures, on OPL. Efficiency is relative to each series' smallest
+// configuration: eff(p) = T(p0)·p0 / (T(p)·p).
+func Fig11(o Options) ([]Fig11Row, error) {
+	o = o.WithDefaults()
+	failuresList := []int{0, 1, 2}
+	if o.Quick {
+		failuresList = []int{0, 2}
+	}
+	var rows []Fig11Row
+	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
+		for _, failures := range failuresList {
+			var series []Fig11Row
+			for _, dp := range o.DiagProcsList {
+				cfg := core.Config{
+					Technique:    tech,
+					DiagProcs:    dp,
+					Steps:        o.Steps,
+					NumFailures:  failures,
+					RealFailures: failures > 0,
+					Seed:         111,
+				}
+				var total float64
+				if err := averageRuns(cfg, o.Trials, func(r *core.Result) {
+					total += r.TotalTime
+				}); err != nil {
+					return nil, fmt.Errorf("fig11 %v f=%d dp=%d: %w", tech, failures, dp, err)
+				}
+				series = append(series, Fig11Row{
+					Technique:  tech,
+					Failures:   failures,
+					Cores:      cfg.WithDefaults().NumProcs(),
+					SweepCores: coresFor(dp),
+					Time:       total / float64(o.Trials),
+				})
+			}
+			base := series[0]
+			for i := range series {
+				r := &series[i]
+				r.Efficiency = base.Time * float64(base.Cores) / (r.Time * float64(r.Cores))
+				o.logf("fig11: %v f=%d cores=%d time=%.1fs eff=%.2f",
+					r.Technique, r.Failures, r.Cores, r.Time, r.Efficiency)
+			}
+			rows = append(rows, series...)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig11 prints both panels.
+func RenderFig11(w io.Writer, rows []Fig11Row) {
+	fmt.Fprintln(w, "Fig. 11a — overall execution time (s)")
+	fmt.Fprintln(w, "Fig. 11b — overall parallel efficiency (relative to each series' smallest run)")
+	fmt.Fprintf(w, "%4s  %9s  %7s  %12s  %12s\n", "tech", "failures", "cores", "time (11a)", "eff (11b)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4s  %9d  %7d  %12.1f  %12.2f\n",
+			r.Technique, r.Failures, r.Cores, r.Time, r.Efficiency)
+	}
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"ftsg/internal/core"
+)
+
+// Fig8Row is one point of the paper's Fig. 8: wall time for creating the
+// failed-process list (8a) and reconstructing the faulty communicator (8b)
+// at a given core count and failure count.
+type Fig8Row struct {
+	Cores       int
+	Failures    int
+	ListTime    float64 // Fig. 8a series
+	Reconstruct float64 // Fig. 8b series
+}
+
+// Fig8 reproduces Fig. 8: real process failures injected before the
+// combination, on the OPL profile, sweeping cores with one and two
+// failures.
+func Fig8(o Options) ([]Fig8Row, error) {
+	o = o.WithDefaults()
+	var rows []Fig8Row
+	for _, failures := range []int{1, 2} {
+		for _, dp := range o.DiagProcsList {
+			cfg := core.Config{
+				Technique:    core.ResamplingCopying,
+				DiagProcs:    dp,
+				Steps:        o.Steps,
+				NumFailures:  failures,
+				RealFailures: true,
+				Seed:         41,
+			}
+			var list, rec float64
+			if err := averageRuns(cfg, o.Trials, func(r *core.Result) {
+				list += r.ListTime
+				rec += r.ReconstructTime
+			}); err != nil {
+				return nil, fmt.Errorf("fig8 cores=%d f=%d: %w", coresFor(dp), failures, err)
+			}
+			row := Fig8Row{
+				Cores:       coresFor(dp),
+				Failures:    failures,
+				ListTime:    list / float64(o.Trials),
+				Reconstruct: rec / float64(o.Trials),
+			}
+			rows = append(rows, row)
+			o.logf("fig8: cores=%d failures=%d list=%.3fs reconstruct=%.3fs",
+				row.Cores, row.Failures, row.ListTime, row.Reconstruct)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig8 prints the two panels as aligned text tables.
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "Fig. 8a — time for creating a list of failed processes (s)")
+	fmt.Fprintln(w, "Fig. 8b — time for reconstructing the faulty communicator (s)")
+	fmt.Fprintf(w, "%8s  %9s  %12s  %14s\n", "cores", "failures", "list (8a)", "reconstruct (8b)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d  %9d  %12.3f  %14.2f\n", r.Cores, r.Failures, r.ListTime, r.Reconstruct)
+	}
+}
+
+// Table1Row is one row of the paper's Table I: component times of the beta
+// fault-tolerant Open MPI when two processes have failed.
+type Table1Row struct {
+	Cores  int
+	Spawn  float64
+	Shrink float64
+	Agree  float64
+	Merge  float64
+}
+
+// Table1 reproduces Table I by running real double failures and extracting
+// the component times of the repair.
+func Table1(o Options) ([]Table1Row, error) {
+	o = o.WithDefaults()
+	var rows []Table1Row
+	for _, dp := range o.DiagProcsList {
+		cfg := core.Config{
+			Technique:    core.ResamplingCopying,
+			DiagProcs:    dp,
+			Steps:        o.Steps,
+			NumFailures:  2,
+			RealFailures: true,
+			Seed:         61,
+		}
+		var spawn, shrink, agree, merge float64
+		if err := averageRuns(cfg, o.Trials, func(r *core.Result) {
+			spawn += r.SpawnTime
+			shrink += r.ShrinkTime
+			agree += r.AgreeTime
+			merge += r.MergeTime
+		}); err != nil {
+			return nil, fmt.Errorf("table1 cores=%d: %w", coresFor(dp), err)
+		}
+		n := float64(o.Trials)
+		row := Table1Row{
+			Cores:  coresFor(dp),
+			Spawn:  spawn / n,
+			Shrink: shrink / n,
+			Agree:  agree / n,
+			Merge:  merge / n,
+		}
+		rows = append(rows, row)
+		o.logf("table1: cores=%d spawn=%.2f shrink=%.2f agree=%.2f merge=%.2f",
+			row.Cores, row.Spawn, row.Shrink, row.Agree, row.Merge)
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints Table I in the paper's layout.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table I — beta Open MPI component wall time (s), two processes failed")
+	fmt.Fprintf(w, "%8s  %20s  %12s  %12s  %16s\n",
+		"# cores", "Comm_spawn_multiple", "Comm_shrink", "Comm_agree", "Intercomm_merge")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d  %20.2f  %12.2f  %12.2f  %16.2f\n",
+			r.Cores, r.Spawn, r.Shrink, r.Agree, r.Merge)
+	}
+}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"ftsg/internal/core"
+)
+
+// Fig9Row is one point of Figs. 9a/9b: per-technique data-recovery overhead
+// at a given number of lost grids, plain (9a) and process-time normalized
+// (9b), on a given machine profile.
+type Fig9Row struct {
+	Machine     string
+	Technique   core.Technique
+	LostGrids   int
+	Overhead    float64 // Fig. 9a
+	ProcessTime float64 // Fig. 9b (normalized to CR's process count)
+}
+
+// Fig9 reproduces Figs. 9a and 9b: simulated failures of 1-5 grids (no
+// communicator reconstruction), per-grid processes 8/4/2/1, on OPL; the CR
+// series is also run on Raijin, whose ultra-low disk write latency flips
+// the ordering (the paper's crossover observation).
+func Fig9(o Options) ([]Fig9Row, error) {
+	o = o.WithDefaults()
+	maxLost := 5
+	if o.Quick {
+		maxLost = 3
+	}
+	type variant struct {
+		machine string
+		tech    core.Technique
+	}
+	variants := []variant{
+		{"OPL", core.CheckpointRestart},
+		{"OPL", core.ResamplingCopying},
+		{"OPL", core.AlternateCombination},
+		{"Raijin", core.CheckpointRestart},
+	}
+	// Pc: the process count of the CR configuration at the same scale,
+	// the normalization of the paper's process-time formulas.
+	pc := core.Config{Technique: core.CheckpointRestart, DiagProcs: 8}.WithDefaults().NumProcs()
+
+	var rows []Fig9Row
+	for _, v := range variants {
+		for lost := 1; lost <= maxLost; lost++ {
+			cfg := core.Config{
+				Technique:   v.tech,
+				Machine:     machineByName(v.machine),
+				DiagProcs:   8,
+				Steps:       o.Steps,
+				NumFailures: lost,
+				Seed:        71,
+			}
+			var overhead, ptime float64
+			if err := averageRuns(cfg, o.Trials, func(r *core.Result) {
+				overhead += r.RecoveryOverhead()
+				ptime += r.ProcessTimeOverhead(pc)
+			}); err != nil {
+				return nil, fmt.Errorf("fig9 %s/%v lost=%d: %w", v.machine, v.tech, lost, err)
+			}
+			n := float64(o.Trials)
+			row := Fig9Row{
+				Machine:     v.machine,
+				Technique:   v.tech,
+				LostGrids:   lost,
+				Overhead:    overhead / n,
+				ProcessTime: ptime / n,
+			}
+			rows = append(rows, row)
+			o.logf("fig9: %s %v lost=%d overhead=%.3fs process-time=%.3fs",
+				row.Machine, row.Technique, lost, row.Overhead, row.ProcessTime)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig9 prints both panels.
+func RenderFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintln(w, "Fig. 9a — failed grid data recovery overhead (s)")
+	fmt.Fprintln(w, "Fig. 9b — process-time data recovery overhead (s, normalized to CR's process count)")
+	fmt.Fprintf(w, "%8s  %4s  %11s  %14s  %18s\n", "machine", "tech", "lost grids", "overhead (9a)", "process-time (9b)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8s  %4s  %11d  %14.4g  %18.4g\n",
+			r.Machine, r.Technique, r.LostGrids, r.Overhead, r.ProcessTime)
+	}
+}
+
+// Fig10Row is one point of Fig. 10: average l1 approximation error of the
+// combined solution vs the number of lost grids.
+type Fig10Row struct {
+	Technique core.Technique
+	LostGrids int
+	L1Error   float64
+}
+
+// Fig10 reproduces Fig. 10: simulated failures of 0-5 grids, error averaged
+// over ErrTrials random loss draws (the paper averages 20), on OPL.
+func Fig10(o Options) ([]Fig10Row, error) {
+	o = o.WithDefaults()
+	maxLost := 5
+	if o.Quick {
+		maxLost = 3
+	}
+	var rows []Fig10Row
+	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
+		for lost := 0; lost <= maxLost; lost++ {
+			cfg := core.Config{
+				Technique:   tech,
+				DiagProcs:   8,
+				Steps:       o.Steps,
+				NumFailures: lost,
+				Seed:        91,
+			}
+			trials := o.ErrTrials
+			if lost == 0 {
+				trials = 1 // deterministic baseline
+			}
+			var errSum float64
+			if err := averageRuns(cfg, trials, func(r *core.Result) {
+				errSum += r.L1Error
+			}); err != nil {
+				return nil, fmt.Errorf("fig10 %v lost=%d: %w", tech, lost, err)
+			}
+			row := Fig10Row{Technique: tech, LostGrids: lost, L1Error: errSum / float64(trials)}
+			rows = append(rows, row)
+			o.logf("fig10: %v lost=%d l1=%.4e", tech, lost, row.L1Error)
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig10 prints the error series.
+func RenderFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintln(w, "Fig. 10 — average l1 approximation error of the combined solution")
+	fmt.Fprintf(w, "%4s  %11s  %12s\n", "tech", "lost grids", "l1 error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4s  %11d  %12.4e\n", r.Technique, r.LostGrids, r.L1Error)
+	}
+}

@@ -1,0 +1,101 @@
+// Package harness defines and runs the paper's experiments: every table and
+// figure of the evaluation section maps to one function here, returning
+// typed rows and rendering the same series the paper reports.
+//
+//	Fig. 8a/8b  failure-information and reconstruction times vs cores
+//	Table I     beta-ULFM component times at two failures vs cores
+//	Fig. 9a/9b  data-recovery overheads (plain and process-time normalized)
+//	Fig. 10     approximation error vs number of lost grids
+//	Fig. 11a/b  overall execution time and parallel efficiency
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"ftsg/internal/core"
+	"ftsg/internal/vtime"
+)
+
+// Options tunes experiment size. The zero value gives the paper's full
+// matrix; Quick shrinks it for tests and smoke runs.
+type Options struct {
+	// Trials per configuration for timing experiments (paper: 5).
+	Trials int
+	// ErrTrials per configuration for error experiments (paper: 20).
+	ErrTrials int
+	// Steps per run (default 256; the virtual-time model maps this onto
+	// the paper's nominal 2^13-step problem).
+	Steps int
+	// DiagProcsList selects the core-count sweep; default {2,4,8,16,32}
+	// reproduces the paper's {19,38,76,152,304} cores with the RC grid
+	// set.
+	DiagProcsList []int
+	// Quick reduces the matrix: fewer core counts, fewer trials.
+	Quick bool
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// WithDefaults fills zero fields.
+func (o Options) WithDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 5
+	}
+	if o.ErrTrials == 0 {
+		o.ErrTrials = 20
+	}
+	if o.Steps == 0 {
+		o.Steps = 256
+	}
+	if len(o.DiagProcsList) == 0 {
+		o.DiagProcsList = []int{2, 4, 8, 16, 32}
+	}
+	if o.Quick {
+		o.Trials = 2
+		o.ErrTrials = 4
+		o.DiagProcsList = []int{2, 4, 8}
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// coresFor returns the total core count of the RC configuration at the
+// given diagonal process count (the paper's Fig. 8 / Table I / Fig. 11
+// x-axis).
+func coresFor(diagProcs int) int {
+	cfg := core.Config{Technique: core.ResamplingCopying, DiagProcs: diagProcs}.WithDefaults()
+	return cfg.NumProcs()
+}
+
+// averageRuns executes the config Trials times with distinct seeds and
+// returns per-field averages via the fold function.
+func averageRuns(cfg core.Config, trials int, fold func(*core.Result)) error {
+	for tr := 0; tr < trials; tr++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(tr)*101
+		res, err := core.Run(c)
+		if err != nil {
+			return err
+		}
+		fold(res)
+	}
+	return nil
+}
+
+// machineByName resolves a profile name.
+func machineByName(name string) *vtime.Machine {
+	switch name {
+	case "Raijin", "raijin":
+		return vtime.Raijin()
+	case "generic":
+		return vtime.Generic()
+	default:
+		return vtime.OPL()
+	}
+}

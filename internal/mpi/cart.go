@@ -1,0 +1,138 @@
+package mpi
+
+import "fmt"
+
+// Cart is a Cartesian process topology over an intracommunicator,
+// mirroring MPI_Cart_create (without rank reordering) and its query and
+// shift operations. It gives domain-decomposed solvers their neighbour
+// arithmetic.
+type Cart struct {
+	// Comm is the topology's communicator (a duplicate of the one the
+	// topology was created over).
+	Comm *Comm
+	// Dims are the process counts per dimension; their product equals the
+	// communicator size.
+	Dims []int
+	// Periods marks the periodic dimensions.
+	Periods []bool
+	// Coords are the calling process's coordinates.
+	Coords []int
+}
+
+// NewCart builds a Cartesian topology (collective over c). Ranks are laid
+// out row-major: rank = coords[0]*dims[1]*... + ... + coords[n-1], matching
+// MPI_Cart_create with reorder = false.
+func NewCart(c *Comm, dims []int, periods []bool) (*Cart, error) {
+	if len(dims) == 0 || len(dims) != len(periods) {
+		return nil, c.fire(fmt.Errorf("mpi: NewCart: %d dims, %d periods: %w", len(dims), len(periods), ErrComm))
+	}
+	size := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, c.fire(fmt.Errorf("mpi: NewCart: non-positive dimension %d: %w", d, ErrComm))
+		}
+		size *= d
+	}
+	if size != c.Size() {
+		return nil, c.fire(fmt.Errorf("mpi: NewCart: dims %v need %d processes, communicator has %d: %w",
+			dims, size, c.Size(), ErrComm))
+	}
+	dup, err := c.Dup()
+	if err != nil {
+		return nil, err
+	}
+	ct := &Cart{
+		Comm:    dup,
+		Dims:    append([]int(nil), dims...),
+		Periods: append([]bool(nil), periods...),
+	}
+	ct.Coords = ct.CoordsOf(dup.Rank())
+	return ct, nil
+}
+
+// CoordsOf converts a rank to coordinates (MPI_Cart_coords).
+func (ct *Cart) CoordsOf(rank int) []int {
+	coords := make([]int, len(ct.Dims))
+	for i := len(ct.Dims) - 1; i >= 0; i-- {
+		coords[i] = rank % ct.Dims[i]
+		rank /= ct.Dims[i]
+	}
+	return coords
+}
+
+// RankOf converts coordinates to a rank (MPI_Cart_rank). Out-of-range
+// coordinates wrap in periodic dimensions and return -1 (MPI_PROC_NULL)
+// otherwise.
+func (ct *Cart) RankOf(coords []int) int {
+	if len(coords) != len(ct.Dims) {
+		return -1
+	}
+	rank := 0
+	for i, c := range coords {
+		d := ct.Dims[i]
+		if c < 0 || c >= d {
+			if !ct.Periods[i] {
+				return -1
+			}
+			c = ((c % d) + d) % d
+		}
+		rank = rank*d + c
+	}
+	return rank
+}
+
+// Shift returns the ranks of the source and destination neighbours for a
+// displacement along one dimension (MPI_Cart_shift): src sends to me, I
+// send to dst. Either may be -1 (MPI_PROC_NULL) at a non-periodic boundary.
+func (ct *Cart) Shift(dim, disp int) (src, dst int) {
+	if dim < 0 || dim >= len(ct.Dims) {
+		return -1, -1
+	}
+	from := append([]int(nil), ct.Coords...)
+	to := append([]int(nil), ct.Coords...)
+	from[dim] -= disp
+	to[dim] += disp
+	return ct.RankOf(from), ct.RankOf(to)
+}
+
+// DimsCreate factors nprocs into ndims balanced dimensions, largest first
+// (MPI_Dims_create with all dimensions free).
+func DimsCreate(nprocs, ndims int) []int {
+	dims := make([]int, ndims)
+	for i := range dims {
+		dims[i] = 1
+	}
+	// Factorise, then hand the factors out largest-first, each to the
+	// currently smallest dimension — the balanced assignment MPI produces.
+	var factors []int
+	n := nprocs
+	for f := 2; f*f <= n; {
+		if n%f == 0 {
+			factors = append(factors, f)
+			n /= f
+		} else {
+			f++
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		smallest := 0
+		for j := 1; j < ndims; j++ {
+			if dims[j] < dims[smallest] {
+				smallest = j
+			}
+		}
+		dims[smallest] *= factors[i]
+	}
+	// Largest first, as MPI requires.
+	for i := 0; i < ndims; i++ {
+		for j := i + 1; j < ndims; j++ {
+			if dims[j] > dims[i] {
+				dims[i], dims[j] = dims[j], dims[i]
+			}
+		}
+	}
+	return dims
+}

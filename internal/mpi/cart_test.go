@@ -1,0 +1,111 @@
+package mpi
+
+import "testing"
+
+func TestDimsCreate(t *testing.T) {
+	cases := []struct {
+		n, d int
+		want []int
+	}{
+		{12, 2, []int{4, 3}},
+		{16, 2, []int{4, 4}},
+		{7, 2, []int{7, 1}},
+		{24, 3, []int{4, 3, 2}},
+		{1, 2, []int{1, 1}},
+	}
+	for _, c := range cases {
+		got := DimsCreate(c.n, c.d)
+		prod := 1
+		for _, v := range got {
+			prod *= v
+		}
+		if prod != c.n {
+			t.Errorf("DimsCreate(%d,%d) = %v: product %d", c.n, c.d, got, prod)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("DimsCreate(%d,%d) = %v, want %v", c.n, c.d, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestCartCoordsRankRoundTrip(t *testing.T) {
+	runWorld(t, 12, func(p *Proc) {
+		ct, err := NewCart(p.World(), []int{3, 4}, []bool{true, true})
+		must(t, err)
+		r := ct.Comm.Rank()
+		coords := ct.CoordsOf(r)
+		if got := ct.RankOf(coords); got != r {
+			t.Errorf("rank %d -> coords %v -> rank %d", r, coords, got)
+		}
+		if coords[0] != r/4 || coords[1] != r%4 {
+			t.Errorf("rank %d coords = %v", r, coords)
+		}
+		if ct.Coords[0] != coords[0] || ct.Coords[1] != coords[1] {
+			t.Errorf("cached coords %v != computed %v", ct.Coords, coords)
+		}
+	})
+}
+
+func TestCartShiftPeriodic(t *testing.T) {
+	runWorld(t, 6, func(p *Proc) {
+		ct, err := NewCart(p.World(), []int{2, 3}, []bool{true, true})
+		must(t, err)
+		src, dst := ct.Shift(1, 1) // along the 3-wide dimension
+		wantDst := ct.RankOf([]int{ct.Coords[0], ct.Coords[1] + 1})
+		wantSrc := ct.RankOf([]int{ct.Coords[0], ct.Coords[1] - 1})
+		if src != wantSrc || dst != wantDst {
+			t.Errorf("shift = (%d,%d), want (%d,%d)", src, dst, wantSrc, wantDst)
+		}
+		// Wrap check at the edge.
+		if ct.Coords[1] == 2 {
+			if dst != ct.RankOf([]int{ct.Coords[0], 0}) {
+				t.Errorf("periodic wrap broken: dst %d", dst)
+			}
+		}
+	})
+}
+
+func TestCartShiftNonPeriodicEdge(t *testing.T) {
+	runWorld(t, 4, func(p *Proc) {
+		ct, err := NewCart(p.World(), []int{4}, []bool{false})
+		must(t, err)
+		src, dst := ct.Shift(0, 1)
+		if ct.Coords[0] == 3 && dst != -1 {
+			t.Errorf("top edge dst = %d, want MPI_PROC_NULL", dst)
+		}
+		if ct.Coords[0] == 0 && src != -1 {
+			t.Errorf("bottom edge src = %d, want MPI_PROC_NULL", src)
+		}
+		if ct.Coords[0] == 1 && (src != 0 || dst != 2) {
+			t.Errorf("interior shift = (%d,%d)", src, dst)
+		}
+	})
+}
+
+func TestCartValidation(t *testing.T) {
+	runWorld(t, 4, func(p *Proc) {
+		c := p.World()
+		if _, err := NewCart(c, []int{3}, []bool{true}); err == nil {
+			t.Error("size mismatch accepted")
+		}
+		if _, err := NewCart(c, []int{2, 2}, []bool{true}); err == nil {
+			t.Error("dims/periods mismatch accepted")
+		}
+		if _, err := NewCart(c, []int{-2, -2}, []bool{true, true}); err == nil {
+			t.Error("negative dims accepted")
+		}
+	})
+}
+
+func TestCartShiftBadDim(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		ct, err := NewCart(p.World(), []int{2}, []bool{true})
+		must(t, err)
+		if s, d := ct.Shift(5, 1); s != -1 || d != -1 {
+			t.Errorf("bad dim shift = (%d,%d)", s, d)
+		}
+	})
+}

@@ -1,0 +1,296 @@
+package mpi
+
+import "fmt"
+
+// Collective kinds for internal tag construction.
+const (
+	kindBarrier = iota + 1
+	kindBcast
+	kindReduce
+	kindGather
+	kindScatter
+	kindAllgather
+	kindAllreduce
+)
+
+// Number constrains the element types usable with the built-in reduction
+// operators.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 | ~float32 | ~float64
+}
+
+// Sum is the MPI_SUM reduction operator.
+func Sum[T Number](a, b T) T { return a + b }
+
+// MaxOp is the MPI_MAX reduction operator.
+func MaxOp[T Number](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinOp is the MPI_MIN reduction operator.
+func MinOp[T Number](a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BAnd is the MPI_BAND reduction operator on ints.
+func BAnd(a, b int) int { return a & b }
+
+// Barrier blocks until all members of the intracommunicator have entered it
+// (dissemination algorithm over point-to-point messages). If any member has
+// failed, the barrier terminates at every rank — possibly non-uniformly,
+// some ranks succeeding and others reporting MPI_ERR_PROC_FAILED — which is
+// exactly the detection idiom the paper builds on (Fig. 3, line 13).
+func (c *Comm) Barrier() error {
+	if c.IsInter() {
+		return c.fire(fmt.Errorf("mpi: Barrier on intercommunicator: %w", ErrComm))
+	}
+	tag := internalTag(kindBarrier, c.nextSeq("barrier"))
+	n, me := c.Size(), c.rank
+	for k := 1; k < n; k <<= 1 {
+		if err := sendRaw(c, (me+k)%n, tag, []byte{1}); err != nil {
+			poisonCollective(c, tag)
+			return c.fire(err)
+		}
+		if _, _, err := recvRaw[byte](c, (me-k+n)%n, tag, true); err != nil {
+			poisonCollective(c, tag)
+			return c.fire(err)
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts root's buffer to all members of the intracommunicator
+// using a binomial tree. Non-root callers pass nil and receive the data in
+// the return value.
+func Bcast[T any](c *Comm, root int, data []T) ([]T, error) {
+	if c.IsInter() {
+		return nil, c.fire(fmt.Errorf("mpi: Bcast on intercommunicator: %w", ErrComm))
+	}
+	tag := internalTag(kindBcast, c.nextSeq("bcast"))
+	buf, err := bcastTree(c, root, tag, data)
+	if err != nil {
+		poisonCollective(c, tag)
+		return nil, c.fire(err)
+	}
+	return buf, nil
+}
+
+// bcastTree is the binomial broadcast shared by Bcast and Allreduce.
+func bcastTree[T any](c *Comm, root, tag int, data []T) ([]T, error) {
+	n := c.Size()
+	vr := (c.rank - root + n) % n
+	buf := data
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			src := (vr - mask + root) % n
+			got, _, err := recvRaw[T](c, src, tag, true)
+			if err != nil {
+				return nil, err
+			}
+			buf = got
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < n {
+			dst := (vr + mask + root) % n
+			if err := sendRaw(c, dst, tag, buf); err != nil {
+				return nil, err
+			}
+		}
+		mask >>= 1
+	}
+	return buf, nil
+}
+
+// Reduce combines every member's buffer elementwise with op into a single
+// buffer delivered at root (binomial reduction tree). Non-root callers
+// receive nil.
+func Reduce[T any](c *Comm, root int, data []T, op func(T, T) T) ([]T, error) {
+	if c.IsInter() {
+		return nil, c.fire(fmt.Errorf("mpi: Reduce on intercommunicator: %w", ErrComm))
+	}
+	tag := internalTag(kindReduce, c.nextSeq("reduce"))
+	buf, err := reduceTree(c, root, tag, data, op)
+	if err != nil {
+		poisonCollective(c, tag)
+		return nil, c.fire(err)
+	}
+	return buf, nil
+}
+
+func reduceTree[T any](c *Comm, root, tag int, data []T, op func(T, T) T) ([]T, error) {
+	n := c.Size()
+	vr := (c.rank - root + n) % n
+	buf := append([]T(nil), data...)
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask == 0 {
+			srcVr := vr + mask
+			if srcVr < n {
+				got, _, err := recvRaw[T](c, (srcVr+root)%n, tag, true)
+				if err != nil {
+					return nil, err
+				}
+				if len(got) != len(buf) {
+					return nil, fmt.Errorf("mpi: Reduce: length mismatch %d vs %d: %w", len(got), len(buf), ErrType)
+				}
+				for i := range buf {
+					buf[i] = op(buf[i], got[i])
+				}
+			}
+		} else {
+			if err := sendRaw(c, (vr-mask+root)%n, tag, buf); err != nil {
+				return nil, err
+			}
+			return nil, nil // non-root contributors are done
+		}
+	}
+	if c.rank == root {
+		return buf, nil
+	}
+	return nil, nil
+}
+
+// Allreduce combines all buffers with op and delivers the result to every
+// member (reduce to rank 0, then broadcast, sharing one internal tag so
+// failure poisoning covers both phases).
+func Allreduce[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
+	if c.IsInter() {
+		return nil, c.fire(fmt.Errorf("mpi: Allreduce on intercommunicator: %w", ErrComm))
+	}
+	tag := internalTag(kindAllreduce, c.nextSeq("allreduce"))
+	buf, err := reduceTree(c, 0, tag, data, op)
+	if err == nil {
+		buf, err = bcastTree(c, 0, tag, buf)
+	}
+	if err != nil {
+		poisonCollective(c, tag)
+		return nil, c.fire(err)
+	}
+	return buf, nil
+}
+
+// Gather collects every member's buffer at root. At root the result has one
+// slice per rank (rank order); elsewhere the result is nil.
+func Gather[T any](c *Comm, root int, data []T) ([][]T, error) {
+	if c.IsInter() {
+		return nil, c.fire(fmt.Errorf("mpi: Gather on intercommunicator: %w", ErrComm))
+	}
+	tag := internalTag(kindGather, c.nextSeq("gather"))
+	n := c.Size()
+	if c.rank != root {
+		if err := sendRaw(c, root, tag, data); err != nil {
+			poisonCollective(c, tag)
+			return nil, c.fire(err)
+		}
+		return nil, nil
+	}
+	out := make([][]T, n)
+	out[root] = append([]T(nil), data...)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		got, _, err := recvRaw[T](c, r, tag, true)
+		if err != nil {
+			poisonCollective(c, tag)
+			return nil, c.fire(err)
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// Scatter distributes parts[i] from root to rank i. Only root's parts
+// argument is significant; it must have exactly Size slices.
+func Scatter[T any](c *Comm, root int, parts [][]T) ([]T, error) {
+	if c.IsInter() {
+		return nil, c.fire(fmt.Errorf("mpi: Scatter on intercommunicator: %w", ErrComm))
+	}
+	tag := internalTag(kindScatter, c.nextSeq("scatter"))
+	n := c.Size()
+	if c.rank == root {
+		if len(parts) != n {
+			return nil, c.fire(fmt.Errorf("mpi: Scatter: %d parts for %d ranks: %w", len(parts), n, ErrType))
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			if err := sendRaw(c, r, tag, parts[r]); err != nil {
+				poisonCollective(c, tag)
+				return nil, c.fire(err)
+			}
+		}
+		return append([]T(nil), parts[root]...), nil
+	}
+	got, _, err := recvRaw[T](c, root, tag, true)
+	if err != nil {
+		poisonCollective(c, tag)
+		return nil, c.fire(err)
+	}
+	return got, nil
+}
+
+// Allgather collects equal-length buffers from every member and delivers the
+// full rank-ordered set to all members (gather to rank 0 plus broadcast of
+// the flattened buffer, one internal tag).
+func Allgather[T any](c *Comm, data []T) ([][]T, error) {
+	if c.IsInter() {
+		return nil, c.fire(fmt.Errorf("mpi: Allgather on intercommunicator: %w", ErrComm))
+	}
+	tag := internalTag(kindAllgather, c.nextSeq("allgather"))
+	n := c.Size()
+	m := len(data)
+	var flat []T
+	var err error
+	if c.rank == 0 {
+		flat = make([]T, 0, n*m)
+		flat = append(flat, data...)
+		pieces := make([][]T, n)
+		pieces[0] = data
+		for r := 1; r < n; r++ {
+			var got []T
+			got, _, err = recvRaw[T](c, r, tag, true)
+			if err == nil && len(got) != m {
+				err = fmt.Errorf("mpi: Allgather: unequal contribution (%d vs %d): %w", len(got), m, ErrType)
+			}
+			if err != nil {
+				break
+			}
+			pieces[r] = got
+		}
+		if err == nil {
+			flat = flat[:0]
+			for _, p := range pieces {
+				flat = append(flat, p...)
+			}
+		}
+	} else {
+		err = sendRaw(c, 0, tag, data)
+	}
+	if err == nil {
+		flat, err = bcastTree(c, 0, tag, flat)
+	}
+	if err != nil {
+		poisonCollective(c, tag)
+		return nil, c.fire(err)
+	}
+	if len(flat) != n*m {
+		return nil, c.fire(fmt.Errorf("mpi: Allgather: bad flattened length %d: %w", len(flat), ErrType))
+	}
+	out := make([][]T, n)
+	for r := 0; r < n; r++ {
+		out[r] = flat[r*m : (r+1)*m : (r+1)*m]
+	}
+	return out, nil
+}

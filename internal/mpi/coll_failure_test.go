@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// These tests pin down the failure behaviour of every collective: with a
+// dead member no surviving rank may deadlock, and the paper's detection
+// idiom — the collective followed by a barrier — must surface
+// MPI_ERR_PROC_FAILED at some rank. (The collective alone may legally
+// complete everywhere: an eager send to a victim that dies after delivery
+// succeeds, and a leaf victim is depended on by nobody. That non-uniformity
+// is exactly why the paper follows up with a barrier, Section II-B.)
+
+func collectiveFailureHarness(t *testing.T, n, victim int, body func(p *Proc, c *Comm) error) {
+	t.Helper()
+	var mu sync.Mutex
+	errs := 0
+	runWorld(t, n, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == victim {
+			p.Kill()
+		}
+		err := body(p, c)
+		if err == nil {
+			err = c.Barrier() // the paper's detection step
+		}
+		if err != nil {
+			if !errors.Is(err, ErrProcFailed) {
+				t.Errorf("rank %d: wrong error class: %v", c.Rank(), err)
+			}
+			mu.Lock()
+			errs++
+			mu.Unlock()
+		}
+	})
+	if errs == 0 {
+		t.Fatal("no surviving rank observed the failure")
+	}
+}
+
+func TestBcastWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 8, 5, func(p *Proc, c *Comm) error {
+		_, err := Bcast(c, 0, []int{1, 2, 3})
+		return err
+	})
+}
+
+func TestBcastWithDeadRoot(t *testing.T) {
+	collectiveFailureHarness(t, 8, 0, func(p *Proc, c *Comm) error {
+		var data []int
+		if c.Rank() == 0 {
+			data = []int{1}
+		}
+		_, err := Bcast(c, 0, data)
+		return err
+	})
+}
+
+func TestReduceWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 8, 3, func(p *Proc, c *Comm) error {
+		_, err := Reduce(c, 0, []float64{1}, Sum[float64])
+		return err
+	})
+}
+
+func TestAllreduceWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 8, 6, func(p *Proc, c *Comm) error {
+		_, err := Allreduce(c, []float64{1}, Sum[float64])
+		return err
+	})
+}
+
+func TestGatherWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 6, 4, func(p *Proc, c *Comm) error {
+		_, err := Gather(c, 0, []int{c.Rank()})
+		return err
+	})
+}
+
+func TestScatterWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 6, 2, func(p *Proc, c *Comm) error {
+		var parts [][]int
+		if c.Rank() == 0 {
+			parts = make([][]int, 6)
+			for i := range parts {
+				parts[i] = []int{i}
+			}
+		}
+		_, err := Scatter(c, 0, parts)
+		return err
+	})
+}
+
+func TestAllgatherWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 6, 1, func(p *Proc, c *Comm) error {
+		_, err := Allgather(c, []int{c.Rank()})
+		return err
+	})
+}
+
+func TestAlltoallWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 5, 3, func(p *Proc, c *Comm) error {
+		parts := make([][]int, 5)
+		for i := range parts {
+			parts[i] = []int{c.Rank()}
+		}
+		_, err := Alltoall(c, parts)
+		return err
+	})
+}
+
+func TestExscanWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 5, 2, func(p *Proc, c *Comm) error {
+		_, err := Exscan(c, []int{1}, Sum[int])
+		return err
+	})
+}
+
+func TestReduceScatterWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 4, 2, func(p *Proc, c *Comm) error {
+		_, err := ReduceScatterBlock(c, []int{1, 2, 3, 4}, Sum[int])
+		return err
+	})
+}
+
+// TestSplitWithDeadMember: communicator management fails cleanly on a
+// broken communicator (failOnDeath rendezvous semantics).
+func TestSplitWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 5, 3, func(p *Proc, c *Comm) error {
+		sub, err := c.Split(0, c.Rank())
+		if err == nil && sub == nil {
+			t.Errorf("rank %d: nil comm without error", c.Rank())
+		}
+		return err
+	})
+}
+
+// TestDupWithDeadMember: same for Dup.
+func TestDupWithDeadMember(t *testing.T) {
+	collectiveFailureHarness(t, 5, 1, func(p *Proc, c *Comm) error {
+		_, err := c.Dup()
+		return err
+	})
+}

@@ -1,0 +1,222 @@
+package mpi
+
+import (
+	"ftsg/internal/topo"
+	"ftsg/internal/vtime"
+)
+
+// commShared is the state of a communicator shared by all of its members.
+// a is the local group of side 0 (and the only group of an intracommunicator);
+// b, when non-nil, is the group of side 1 of an intercommunicator. Groups
+// hold world ranks; a member's rank in the communicator is its index in its
+// side's group. The revoked flag is guarded by World.mu.
+type commShared struct {
+	id      int
+	a, b    []int
+	revoked bool
+	// repairFor records, for a spawn intercommunicator, how many failed
+	// processes the spawn replaced. The beta ULFM keeps such
+	// communicators on the expensive multi-failure agreement path
+	// (coll_ftbasic_method = 3), which is what Table I measures; Agree
+	// charges accordingly.
+	repairFor int
+}
+
+// Comm is one process's handle on a communicator, mirroring MPI_Comm. The
+// handle carries the process's rank, its side of an intercommunicator, its
+// per-operation collective sequence numbers, its error handler, and its
+// locally acknowledged failures (ULFM failure_ack state).
+type Comm struct {
+	sh   *commShared
+	p    *Proc
+	side int // 0 or 1; which of sh.a / sh.b is the local group
+	rank int // my rank within the local group
+	seqs map[string]int
+	errh Errhandler
+	// acked is the snapshot of failed world ranks acknowledged by
+	// OMPI_Comm_failure_ack on this handle.
+	acked []int
+}
+
+// Errhandler mirrors MPI_Comm_create_errhandler/MPI_Comm_set_errhandler:
+// invoked with the communicator and the error before the operation returns.
+type Errhandler func(c *Comm, err error)
+
+// SetErrhandler attaches an error handler to this handle. A nil handler
+// restores MPI_ERRORS_RETURN behaviour (errors are simply returned).
+func (c *Comm) SetErrhandler(h Errhandler) { c.errh = h }
+
+// ErrorsAreFatal is the default MPI error handler: it panics, aborting the
+// simulated job (tests use it to assert clean paths).
+func ErrorsAreFatal(c *Comm, err error) {
+	panic("mpi: MPI_ERRORS_ARE_FATAL: " + err.Error())
+}
+
+// fire routes an error through the handle's error handler, then returns it.
+// It must be called without World.mu held.
+func (c *Comm) fire(err error) error {
+	if err != nil && c.errh != nil {
+		c.errh(c, err)
+	}
+	return err
+}
+
+// Rank returns the calling process's rank in the (local group of the)
+// communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the size of the local group.
+func (c *Comm) Size() int { return len(c.localGroup()) }
+
+// RemoteSize returns the size of the remote group of an intercommunicator,
+// or 0 for an intracommunicator.
+func (c *Comm) RemoteSize() int { return len(c.remoteGroup()) }
+
+// IsInter reports whether this is an intercommunicator.
+func (c *Comm) IsInter() bool { return c.sh.b != nil }
+
+// Group returns the local group (world ranks, rank order), mirroring
+// MPI_Comm_group.
+func (c *Comm) Group() Group { return append(Group(nil), c.localGroup()...) }
+
+// RemoteGroup returns the remote group of an intercommunicator.
+func (c *Comm) RemoteGroup() Group { return append(Group(nil), c.remoteGroup()...) }
+
+func (c *Comm) localGroup() []int {
+	if c.side == 0 {
+		return c.sh.a
+	}
+	return c.sh.b
+}
+
+func (c *Comm) remoteGroup() []int {
+	if c.side == 0 {
+		return c.sh.b
+	}
+	return c.sh.a
+}
+
+// allMembers returns the union of both groups (just the local group for an
+// intracommunicator).
+func (c *Comm) allMembers() []int {
+	if c.sh.b == nil {
+		return c.sh.a
+	}
+	out := make([]int, 0, len(c.sh.a)+len(c.sh.b))
+	out = append(out, c.sh.a...)
+	out = append(out, c.sh.b...)
+	return out
+}
+
+// peerWorld resolves a peer rank for point-to-point traffic: the remote
+// group of an intercommunicator, the local group otherwise.
+func (c *Comm) peerWorld(rank int) (int, error) {
+	g := c.localGroup()
+	if c.sh.b != nil {
+		g = c.remoteGroup()
+	}
+	if rank < 0 || rank >= len(g) {
+		return 0, ErrComm
+	}
+	return g[rank], nil
+}
+
+// Revoked reports whether the communicator has been revoked.
+func (c *Comm) Revoked() bool {
+	w := c.p.st.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return c.sh.revoked
+}
+
+// WorldRankOf returns the world rank behind a local-group rank.
+func (c *Comm) WorldRankOf(rank int) int {
+	g := c.localGroup()
+	if rank < 0 || rank >= len(g) {
+		return -1
+	}
+	return g[rank]
+}
+
+// FailedRanks returns the local-group ranks of currently failed members.
+func (c *Comm) FailedRanks() []int {
+	w := c.p.st.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []int
+	for i, wr := range c.localGroup() {
+		if !w.aliveLocked(wr) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// nextSeq returns the next per-operation collective sequence number for this
+// handle. Members of a communicator call collectives of one kind in the same
+// order, so handles stay in lockstep per kind (this tolerates the paper's
+// merge/agree cross-ordering between the parent and child sides of the
+// spawn intercommunicator).
+func (c *Comm) nextSeq(op string) int {
+	s := c.seqs[op]
+	c.seqs[op] = s + 1
+	return s
+}
+
+// Proc is the handle a simulated process's code receives: its identity, its
+// initial communicator, and (for spawned processes) the parent
+// intercommunicator, mirroring MPI_Comm_get_parent.
+type Proc struct {
+	st     *procState
+	world  *Comm
+	parent *Comm
+}
+
+// World returns the process's MPI_COMM_WORLD: for initial processes the
+// job-wide communicator, for spawned processes the communicator of their
+// spawn cohort (as in MPI dynamic process management).
+func (p *Proc) World() *Comm { return p.world }
+
+// Parent returns the intercommunicator to the spawning group, or nil for an
+// initially started process (MPI_Comm_get_parent returning MPI_COMM_NULL).
+func (p *Proc) Parent() *Comm { return p.parent }
+
+// WorldRank returns the process's world-unique id. Initial processes have
+// ids 0..NProcs-1; spawned processes get fresh ids.
+func (p *Proc) WorldRank() int { return p.st.wrank }
+
+// Host returns the index of the cluster host this process runs on.
+func (p *Proc) Host() int { return p.st.host }
+
+// Machine returns the cost-model profile of the simulated system.
+func (p *Proc) Machine() *vtime.Machine { return p.st.w.machine }
+
+// Cluster returns the simulated cluster layout.
+func (p *Proc) Cluster() *topo.Cluster { return p.st.w.cluster }
+
+// Now returns the process's current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.st.clock.Now() }
+
+// Compute charges dt seconds of local computation to the virtual clock.
+func (p *Proc) Compute(dt float64) { p.st.clock.Advance(dt) }
+
+// ComputeCells charges the virtual cost of n stencil cell updates, scaled by
+// the given factor (1 charges the machine's calibrated per-cell cost).
+func (p *Proc) ComputeCells(n int, scale float64) {
+	p.st.clock.Advance(float64(n) * p.st.w.machine.CellCost * scale)
+}
+
+// Kill aborts the process fail-stop, emulating kill(getpid(), SIGKILL). It
+// never returns: the runtime marks the process failed at its current virtual
+// time and wakes all peers blocked on it.
+func (p *Proc) Kill() {
+	panic(killSignal{})
+}
+
+// Alive reports whether the world rank is currently alive.
+func (p *Proc) Alive(worldRank int) bool {
+	w := p.st.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.aliveLocked(worldRank)
+}

@@ -1,0 +1,46 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors mirroring the MPI/ULFM error classes used by the paper.
+var (
+	// ErrProcFailed corresponds to MPI_ERR_PROC_FAILED: the operation
+	// involved a process that has failed.
+	ErrProcFailed = errors.New("mpi: process failed (MPI_ERR_PROC_FAILED)")
+	// ErrPending corresponds to MPI_ERR_PENDING for wildcard receives that
+	// cannot complete while there are unacknowledged failures.
+	ErrPending = errors.New("mpi: unacknowledged failure pending (MPI_ERR_PENDING)")
+	// ErrRevoked corresponds to MPI_ERR_REVOKED: the communicator has been
+	// revoked by OMPI_Comm_revoke.
+	ErrRevoked = errors.New("mpi: communicator revoked (MPI_ERR_REVOKED)")
+	// ErrComm corresponds to MPI_ERR_COMM: invalid communicator or rank.
+	ErrComm = errors.New("mpi: invalid communicator or rank (MPI_ERR_COMM)")
+	// ErrType reports a datatype mismatch between a send and its receive.
+	ErrType = errors.New("mpi: datatype mismatch")
+)
+
+// FailedError wraps ErrProcFailed with the identity of a failed process.
+type FailedError struct {
+	// Rank is the rank of the failed process in the communicator on which
+	// the failure was observed; -1 when unknown (collective detection).
+	Rank int
+	// WorldRank is the failed process's global identity.
+	WorldRank int
+}
+
+func (e *FailedError) Error() string {
+	if e.Rank < 0 {
+		return "mpi: process failed (MPI_ERR_PROC_FAILED)"
+	}
+	return fmt.Sprintf("mpi: process failed: rank %d (world %d) (MPI_ERR_PROC_FAILED)", e.Rank, e.WorldRank)
+}
+
+// Unwrap lets errors.Is(err, ErrProcFailed) succeed.
+func (e *FailedError) Unwrap() error { return ErrProcFailed }
+
+func failedErr(rank, world int) error {
+	return &FailedError{Rank: rank, WorldRank: world}
+}

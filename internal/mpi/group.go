@@ -1,0 +1,132 @@
+package mpi
+
+// Group is an ordered set of world ranks, mirroring MPI_Group. Groups are
+// immutable value types; the algebra below implements the calls the paper's
+// failed-process-list procedure uses (Fig. 6): MPI_Group_compare,
+// MPI_Group_difference and MPI_Group_translate_ranks.
+type Group []int
+
+// Comparison results for Compare, mirroring MPI_IDENT / MPI_SIMILAR /
+// MPI_UNEQUAL.
+type GroupRelation int
+
+const (
+	GroupIdent GroupRelation = iota
+	GroupSimilar
+	GroupUnequal
+)
+
+func (r GroupRelation) String() string {
+	switch r {
+	case GroupIdent:
+		return "MPI_IDENT"
+	case GroupSimilar:
+		return "MPI_SIMILAR"
+	default:
+		return "MPI_UNEQUAL"
+	}
+}
+
+// Size returns the number of processes in the group.
+func (g Group) Size() int { return len(g) }
+
+// Rank returns the rank of world process w in the group, or -1
+// (MPI_UNDEFINED) if w is not a member.
+func (g Group) Rank(w int) int {
+	for i, x := range g {
+		if x == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// Compare mirrors MPI_Group_compare.
+func (g Group) Compare(h Group) GroupRelation {
+	if len(g) == len(h) {
+		ident := true
+		for i := range g {
+			if g[i] != h[i] {
+				ident = false
+				break
+			}
+		}
+		if ident {
+			return GroupIdent
+		}
+	}
+	if len(g) != len(h) {
+		return GroupUnequal
+	}
+	set := make(map[int]bool, len(g))
+	for _, x := range g {
+		set[x] = true
+	}
+	for _, x := range h {
+		if !set[x] {
+			return GroupUnequal
+		}
+	}
+	return GroupSimilar
+}
+
+// Difference mirrors MPI_Group_difference: members of g not in h, in g's
+// order.
+func (g Group) Difference(h Group) Group {
+	in := make(map[int]bool, len(h))
+	for _, x := range h {
+		in[x] = true
+	}
+	var out Group
+	for _, x := range g {
+		if !in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Union mirrors MPI_Group_union: members of g, then members of h not in g.
+func (g Group) Union(h Group) Group {
+	out := append(Group(nil), g...)
+	in := make(map[int]bool, len(g))
+	for _, x := range g {
+		in[x] = true
+	}
+	for _, x := range h {
+		if !in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Intersection mirrors MPI_Group_intersection: members of g also in h, in
+// g's order.
+func (g Group) Intersection(h Group) Group {
+	in := make(map[int]bool, len(h))
+	for _, x := range h {
+		in[x] = true
+	}
+	var out Group
+	for _, x := range g {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TranslateRanks mirrors MPI_Group_translate_ranks: for each rank r in g,
+// the corresponding rank in h (or -1 = MPI_UNDEFINED when absent).
+func (g Group) TranslateRanks(ranks []int, h Group) []int {
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= len(g) {
+			out[i] = -1
+			continue
+		}
+		out[i] = h.Rank(g[r])
+	}
+	return out
+}

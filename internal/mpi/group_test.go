@@ -1,0 +1,119 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupCompare(t *testing.T) {
+	cases := []struct {
+		g, h Group
+		want GroupRelation
+	}{
+		{Group{1, 2, 3}, Group{1, 2, 3}, GroupIdent},
+		{Group{1, 2, 3}, Group{3, 2, 1}, GroupSimilar},
+		{Group{1, 2, 3}, Group{1, 2}, GroupUnequal},
+		{Group{1, 2, 3}, Group{1, 2, 4}, GroupUnequal},
+		{Group{}, Group{}, GroupIdent},
+	}
+	for _, c := range cases {
+		if got := c.g.Compare(c.h); got != c.want {
+			t.Errorf("Compare(%v, %v) = %v, want %v", c.g, c.h, got, c.want)
+		}
+	}
+}
+
+func TestGroupDifference(t *testing.T) {
+	g := Group{0, 1, 2, 3, 4}
+	h := Group{1, 3}
+	d := g.Difference(h)
+	want := Group{0, 2, 4}
+	if d.Compare(want) != GroupIdent {
+		t.Fatalf("Difference = %v, want %v", d, want)
+	}
+	if got := g.Difference(g); got.Size() != 0 {
+		t.Fatalf("g \\ g = %v, want empty", got)
+	}
+}
+
+func TestGroupUnionIntersection(t *testing.T) {
+	g := Group{0, 2, 4}
+	h := Group{4, 5, 0}
+	if got := g.Union(h); got.Compare(Group{0, 2, 4, 5}) != GroupIdent {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := g.Intersection(h); got.Compare(Group{0, 4}) != GroupIdent {
+		t.Fatalf("Intersection = %v", got)
+	}
+}
+
+func TestGroupTranslateRanks(t *testing.T) {
+	// The exact idiom of the paper's Fig. 6: translate every rank of the
+	// failed group into the old group to obtain the failed old ranks.
+	oldGroup := Group{10, 11, 12, 13, 14, 15, 16} // world ranks of a comm
+	shrunk := Group{10, 11, 12, 14, 16}           // after ranks 3,5 failed
+	failedGroup := oldGroup.Difference(shrunk)    // world ranks {13, 15}
+	tempRanks := []int{0, 1}
+	failedOldRanks := failedGroup.TranslateRanks(tempRanks, oldGroup)
+	if len(failedOldRanks) != 2 || failedOldRanks[0] != 3 || failedOldRanks[1] != 5 {
+		t.Fatalf("failed old ranks = %v, want [3 5]", failedOldRanks)
+	}
+}
+
+func TestGroupTranslateRanksUndefined(t *testing.T) {
+	g := Group{7, 8}
+	h := Group{8}
+	out := g.TranslateRanks([]int{0, 1, 5, -1}, h)
+	want := []int{-1, 0, -1, -1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("TranslateRanks = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestGroupRank(t *testing.T) {
+	g := Group{5, 9, 2}
+	if g.Rank(9) != 1 {
+		t.Fatalf("Rank(9) = %d", g.Rank(9))
+	}
+	if g.Rank(7) != -1 {
+		t.Fatalf("Rank(7) = %d, want -1", g.Rank(7))
+	}
+}
+
+// Property: difference and intersection partition the group.
+func TestGroupPartitionProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		g := dedup(a)
+		h := dedup(b)
+		d := g.Difference(h)
+		i := g.Intersection(h)
+		if d.Size()+i.Size() != g.Size() {
+			return false
+		}
+		// Every member of g is in exactly one of d, i.
+		for _, x := range g {
+			inD, inI := d.Rank(x) >= 0, i.Rank(x) >= 0
+			if inD == inI {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dedup(xs []uint8) Group {
+	seen := make(map[int]bool)
+	var g Group
+	for _, x := range xs {
+		if !seen[int(x)] {
+			seen[int(x)] = true
+			g = append(g, int(x))
+		}
+	}
+	return g
+}

@@ -1,0 +1,125 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Undefined mirrors MPI_UNDEFINED for Split colors: the caller receives no
+// new communicator.
+const Undefined = -1
+
+type splitInput struct {
+	color, key, rank int
+}
+
+type splitResult struct {
+	comms map[int]*commShared
+}
+
+// Split partitions the intracommunicator by color, ordering ranks within
+// each new communicator by (key, old rank) — exactly MPI_Comm_split. The
+// paper uses it with carefully chosen keys to restore the pre-failure rank
+// order on the reconstructed communicator (Fig. 3 line 24, Fig. 5 line 25,
+// Fig. 7). Callers passing a negative color receive (nil, nil).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	if c.IsInter() {
+		return nil, c.fire(fmt.Errorf("mpi: Split on intercommunicator: %w", ErrComm))
+	}
+	in := splitInput{color: color, key: key, rank: c.rank}
+	res, err := runRendezvous(c, "split", failOnDeath, false, in, buildSplit)
+	if err != nil {
+		return nil, c.fire(err)
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	sh := res.(*splitResult).comms[color]
+	rank := Group(sh.a).Rank(c.p.st.wrank)
+	return &Comm{sh: sh, p: c.p, rank: rank, seqs: make(map[string]int)}, nil
+}
+
+func buildSplit(w *World, r *rendezvous) (any, float64) {
+	type member struct {
+		in    splitInput
+		wrank int
+	}
+	byColor := make(map[int][]member)
+	for wrank, in := range r.inputs {
+		si := in.(splitInput)
+		if si.color < 0 {
+			continue
+		}
+		byColor[si.color] = append(byColor[si.color], member{si, wrank})
+	}
+	res := &splitResult{comms: make(map[int]*commShared, len(byColor))}
+	for color, ms := range byColor {
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].in.key != ms[j].in.key {
+				return ms[i].in.key < ms[j].in.key
+			}
+			return ms[i].in.rank < ms[j].in.rank
+		})
+		ranks := make([]int, len(ms))
+		for i, m := range ms {
+			ranks[i] = m.wrank
+		}
+		res.comms[color] = w.newCommLocked(ranks, nil)
+	}
+	return res, logCost(w, len(r.members))
+}
+
+// Dup duplicates the communicator (same group, fresh context), mirroring
+// MPI_Comm_dup.
+func (c *Comm) Dup() (*Comm, error) {
+	res, err := runRendezvous(c, "dup", failOnDeath, false, nil,
+		func(w *World, r *rendezvous) (any, float64) {
+			return w.newCommLocked(c.sh.a, c.sh.b), logCost(w, len(r.members))
+		})
+	if err != nil {
+		return nil, c.fire(err)
+	}
+	return &Comm{sh: res.(*commShared), p: c.p, side: c.side, rank: c.rank, seqs: make(map[string]int)}, nil
+}
+
+// CommCreate builds a new intracommunicator over the given subgroup of this
+// communicator, mirroring MPI_Comm_create: every member of c must call with
+// the same group; callers outside the group receive (nil, nil).
+func (c *Comm) CommCreate(group Group) (*Comm, error) {
+	if c.IsInter() {
+		return nil, c.fire(fmt.Errorf("mpi: CommCreate on intercommunicator: %w", ErrComm))
+	}
+	res, err := runRendezvous(c, "create", failOnDeath, false, append(Group(nil), group...),
+		func(w *World, r *rendezvous) (any, float64) {
+			// Use the lowest-world-rank arrival's group as canonical.
+			lowest := math.MaxInt
+			for wrank := range r.inputs {
+				if wrank < lowest {
+					lowest = wrank
+				}
+			}
+			g := r.inputs[lowest].(Group)
+			return w.newCommLocked(g, nil), logCost(w, len(r.members))
+		})
+	if err != nil {
+		return nil, c.fire(err)
+	}
+	sh := res.(*commShared)
+	rank := Group(sh.a).Rank(c.p.st.wrank)
+	if rank < 0 {
+		return nil, nil
+	}
+	return &Comm{sh: sh, p: c.p, rank: rank, seqs: make(map[string]int)}, nil
+}
+
+// logCost models the latency of a communicator-management collective as a
+// logarithmic number of message rounds. Caller holds World.mu (reads only
+// immutable machine fields).
+func logCost(w *World, n int) float64 {
+	rounds := 0
+	for p := 1; p < n; p <<= 1 {
+		rounds++
+	}
+	return float64(rounds+1) * (w.machine.Alpha + w.machine.SendOverhead + w.machine.RecvOverhead)
+}

@@ -1,0 +1,160 @@
+package mpi
+
+import (
+	"testing"
+
+	"ftsg/internal/vtime"
+)
+
+// BenchmarkPingPong measures the runtime's point-to-point round-trip cost
+// (real wall time of the simulation, not virtual time).
+func BenchmarkPingPong(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Options{NProcs: 2, Entry: func(p *Proc) {
+			c := p.World()
+			buf := make([]float64, 128)
+			for k := 0; k < 100; k++ {
+				if c.Rank() == 0 {
+					if err := Send(c, 1, 0, buf); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, _, err := Recv[float64](c, 1, 0); err != nil {
+						b.Error(err)
+						return
+					}
+				} else {
+					if _, _, err := Recv[float64](c, 0, 0); err != nil {
+						b.Error(err)
+						return
+					}
+					if err := Send(c, 0, 0, buf); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100, "roundtrips/op")
+}
+
+func benchCollective(b *testing.B, nprocs int, body func(p *Proc)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Options{NProcs: nprocs, Entry: body}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarrier64(b *testing.B) {
+	benchCollective(b, 64, func(p *Proc) {
+		for k := 0; k < 10; k++ {
+			if err := p.World().Barrier(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkAllreduce64(b *testing.B) {
+	benchCollective(b, 64, func(p *Proc) {
+		buf := make([]float64, 64)
+		for k := 0; k < 10; k++ {
+			if _, err := Allreduce(p.World(), buf, Sum[float64]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkSplit64(b *testing.B) {
+	benchCollective(b, 64, func(p *Proc) {
+		c := p.World()
+		if _, err := c.Split(c.Rank()%8, c.Rank()); err != nil {
+			b.Error(err)
+		}
+	})
+}
+
+// BenchmarkRepairDance measures the full shrink/spawn/merge/split repair of
+// a 19-rank communicator with two dead members — the inner loop of every
+// recovery in the application.
+func BenchmarkRepairDance(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Options{NProcs: 19, Machine: vtime.OPL(), Entry: func(p *Proc) {
+			if p.Parent() != nil {
+				_, _ = p.Parent().Agree(1)
+				unordered, err := p.Parent().IntercommMerge(true)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				oldRank, _, err := RecvOne[int](unordered, 0, 5)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := unordered.Split(0, oldRank); err != nil {
+					b.Error(err)
+				}
+				return
+			}
+			c := p.World()
+			if c.Rank() == 3 || c.Rank() == 5 {
+				p.Kill()
+			}
+			_ = c.Barrier()
+			_ = c.Revoke()
+			shrunk, err := c.Shrink()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			failed := c.Group().Difference(shrunk.Group())
+			failedRanks := make([]int, failed.Size())
+			for j := range failedRanks {
+				failedRanks[j] = c.Group().Rank(failed[j])
+			}
+			hosts, err := p.Cluster().SpawnHosts(failedRanks)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			inter, err := shrunk.SpawnMultiple(len(failedRanks), hosts, 0)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			unordered, err := inter.IntercommMerge(false)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = inter.Agree(1)
+			if unordered.Rank() == 0 {
+				for j, fr := range failedRanks {
+					if err := SendOne(unordered, shrunk.Size()+j, 5, fr); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+			if _, err := unordered.Split(0, c.Rank()); err != nil {
+				b.Error(err)
+			}
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

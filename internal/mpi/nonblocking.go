@@ -1,0 +1,319 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements nonblocking point-to-point communication:
+// MPI_Isend / MPI_Irecv / MPI_Wait / MPI_Waitall, plus MPI_Probe and
+// MPI_Iprobe. Posted receives are matched in posting order against arriving
+// sends (a per-process posted-receive queue), exactly as the MPI matching
+// rules require, so overlapping halo exchanges behave like the real thing.
+
+// Request represents an outstanding nonblocking operation, mirroring
+// MPI_Request. A send request is complete at creation (the runtime buffers
+// eagerly); a receive request completes when a matching message arrives.
+type Request struct {
+	c    *Comm
+	src  int // requested source (receives only)
+	tag  int
+	recv bool
+
+	done   bool
+	env    *envelope
+	status Status
+	err    error
+}
+
+// postedRecv is a receive waiting in the posted queue of a process.
+type postedRecv struct {
+	req *Request
+}
+
+// Isend starts a nonblocking send. The runtime buffers eagerly, so the
+// returned request is already complete; Wait only reports the send status.
+// The data slice is copied at call time, as if MPI_Isend's buffer were
+// reusable immediately (an eager-protocol guarantee).
+func Isend[T any](c *Comm, dest, tag int, data []T) (*Request, error) {
+	if tag < 0 {
+		return nil, c.fire(fmt.Errorf("mpi: Isend: negative tag %d is reserved: %w", tag, ErrComm))
+	}
+	err := sendRaw(c, dest, tag, data)
+	req := &Request{c: c, tag: tag, done: true, err: err}
+	if err != nil {
+		return req, c.fire(err)
+	}
+	return req, nil
+}
+
+// Irecv posts a nonblocking receive. If a matching message is already
+// buffered it completes immediately; otherwise the request joins the
+// process's posted queue and is matched in posting order as messages
+// arrive.
+func Irecv[T any](c *Comm, src, tag int) (*Request, error) {
+	if tag < 0 && tag != AnyTag {
+		return nil, c.fire(fmt.Errorf("mpi: Irecv: negative tag %d is reserved: %w", tag, ErrComm))
+	}
+	st := c.p.st
+	w := st.w
+	req := &Request{c: c, src: src, tag: tag, recv: true}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c.sh.revoked {
+		req.done = true
+		req.err = ErrRevoked
+		return req, nil
+	}
+	if i := matchEnvelope(st.mbox, c.sh.id, src, tag, false); i >= 0 {
+		req.complete(st.mbox[i])
+		st.mbox = append(st.mbox[:i], st.mbox[i+1:]...)
+		return req, nil
+	}
+	st.posted = append(st.posted, postedRecv{req: req})
+	return req, nil
+}
+
+// complete fills a receive request from an envelope. Caller holds World.mu
+// (or the envelope is exclusively owned).
+func (r *Request) complete(env *envelope) {
+	r.done = true
+	r.env = env
+	r.status = Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}
+}
+
+// Wait blocks until the request completes and returns its payload (nil for
+// sends). The type parameter must match the matching send's element type.
+func Wait[T any](r *Request) ([]T, Status, error) {
+	c := r.c
+	st := c.p.st
+	w := st.w
+
+	w.mu.Lock()
+	for !r.done {
+		if c.sh.revoked {
+			r.done = true
+			r.err = ErrRevoked
+			w.removePosted(st, r)
+			break
+		}
+		if r.recv {
+			if r.src != AnySource {
+				pw, err := c.peerWorld(r.src)
+				if err != nil {
+					r.done = true
+					r.err = err
+					w.removePosted(st, r)
+					break
+				}
+				if !w.aliveLocked(pw) {
+					r.done = true
+					r.err = failedErr(r.src, pw)
+					w.removePosted(st, r)
+					break
+				}
+			} else if hasUnacked(w, c) {
+				r.done = true
+				r.err = ErrPending
+				w.removePosted(st, r)
+				break
+			}
+		}
+		st.cond.Wait()
+	}
+	env := r.env
+	err := r.err
+	stt := r.status
+	if env != nil {
+		st.clock.SyncTo(env.arrival)
+		st.clock.Advance(w.machine.RecvOverhead)
+	}
+	w.mu.Unlock()
+
+	if err != nil {
+		return nil, stt, c.fire(err)
+	}
+	if env == nil {
+		return nil, stt, nil // completed send
+	}
+	data, ok := env.data.([]T)
+	if !ok {
+		return nil, stt, c.fire(fmt.Errorf("mpi: Wait: message holds %T: %w", env.data, ErrType))
+	}
+	return data, stt, nil
+}
+
+// Waitall waits for every request, returning the first error encountered
+// (all requests are drained regardless). Payloads are discarded; use Wait
+// for receives whose data matters.
+func Waitall(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, _, err := Wait[byte](r); err != nil {
+			// A type mismatch here only means the payload was not []byte;
+			// that is expected for Waitall, which discards data.
+			if first == nil && !errors.Is(err, ErrType) {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Test reports whether the request has completed, without blocking
+// (MPI_Test without the status output).
+func (r *Request) Test() bool {
+	w := r.c.p.st.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return r.done
+}
+
+// removePosted drops a request from a process's posted queue. Caller holds
+// World.mu.
+func (w *World) removePosted(st *procState, r *Request) {
+	for i, p := range st.posted {
+		if p.req == r {
+			st.posted = append(st.posted[:i], st.posted[i+1:]...)
+			return
+		}
+	}
+}
+
+// matchPosted tries to deliver an arriving envelope to the earliest posted
+// receive that matches it. Caller holds World.mu. Returns true if consumed.
+func matchPosted(st *procState, env *envelope) bool {
+	if env.poison {
+		return false // collectives never use the posted queue
+	}
+	for i, p := range st.posted {
+		r := p.req
+		if r.c.sh.id != env.commID {
+			continue
+		}
+		if r.src != AnySource && r.src != env.src {
+			continue
+		}
+		if r.tag == AnyTag {
+			if env.tag < 0 {
+				continue
+			}
+		} else if r.tag != env.tag {
+			continue
+		}
+		r.complete(env)
+		st.posted = append(st.posted[:i], st.posted[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// Probe blocks until a matching message is available and returns its
+// status without receiving it (MPI_Probe). It reports the same failure
+// conditions as Recv.
+func (c *Comm) Probe(src, tag int) (Status, error) {
+	st := c.p.st
+	w := st.w
+	w.mu.Lock()
+	for {
+		if c.sh.revoked {
+			w.mu.Unlock()
+			return Status{}, c.fire(ErrRevoked)
+		}
+		if i := matchEnvelope(st.mbox, c.sh.id, src, tag, false); i >= 0 {
+			env := st.mbox[i]
+			stt := Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}
+			st.clock.SyncTo(env.arrival)
+			w.mu.Unlock()
+			return stt, nil
+		}
+		if src != AnySource {
+			pw, err := c.peerWorld(src)
+			if err != nil {
+				w.mu.Unlock()
+				return Status{}, c.fire(err)
+			}
+			if !w.aliveLocked(pw) {
+				w.mu.Unlock()
+				return Status{}, c.fire(failedErr(src, pw))
+			}
+		} else if hasUnacked(w, c) {
+			w.mu.Unlock()
+			return Status{}, c.fire(ErrPending)
+		}
+		st.cond.Wait()
+	}
+}
+
+// Iprobe reports whether a matching message is available, without blocking
+// (MPI_Iprobe).
+func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
+	st := c.p.st
+	w := st.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c.sh.revoked {
+		return false, Status{}, ErrRevoked
+	}
+	if i := matchEnvelope(st.mbox, c.sh.id, src, tag, false); i >= 0 {
+		env := st.mbox[i]
+		return true, Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}, nil
+	}
+	return false, Status{}, nil
+}
+
+// Sendrecv performs a combined send and receive (MPI_Sendrecv), the idiom
+// of halo exchanges: both transfers proceed concurrently, so it cannot
+// deadlock against a partner doing the mirror-image call.
+func Sendrecv[S, R any](c *Comm, dest, sendTag int, data []S, src, recvTag int) ([]R, Status, error) {
+	if err := Send(c, dest, sendTag, data); err != nil {
+		return nil, Status{}, err
+	}
+	return Recv[R](c, src, recvTag)
+}
+
+// Waitany blocks until at least one of the requests completes and returns
+// its index (MPI_Waitany). The caller extracts the payload with Wait on
+// that request (which returns immediately once complete). It returns -1 for
+// an empty request list.
+func Waitany(reqs ...*Request) int {
+	if len(reqs) == 0 {
+		return -1
+	}
+	c := reqs[0].c
+	st := c.p.st
+	w := st.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		for i, r := range reqs {
+			if r.done {
+				return i
+			}
+			// A request whose failure condition already holds completes
+			// with its error; re-check the same conditions Wait uses.
+			if r.recv {
+				if r.c.sh.revoked {
+					r.done = true
+					r.err = ErrRevoked
+					w.removePosted(r.c.p.st, r)
+					return i
+				}
+				if r.src != AnySource {
+					if pw, err := r.c.peerWorld(r.src); err != nil || !w.aliveLocked(pw) {
+						r.done = true
+						if err != nil {
+							r.err = err
+						} else {
+							r.err = failedErr(r.src, -1)
+						}
+						w.removePosted(r.c.p.st, r)
+						return i
+					}
+				}
+			}
+		}
+		st.cond.Wait()
+	}
+}

@@ -1,0 +1,299 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestIsendIrecvBasic(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			req, err := Isend(c, 1, 4, []int{7, 8})
+			must(t, err)
+			_, _, err = Wait[int](req)
+			must(t, err)
+		} else {
+			req, err := Irecv[int](c, 0, 4)
+			must(t, err)
+			data, st, err := Wait[int](req)
+			must(t, err)
+			if len(data) != 2 || data[0] != 7 || st.Source != 0 || st.Tag != 4 {
+				t.Errorf("got %v status %+v", data, st)
+			}
+		}
+	})
+}
+
+// TestIrecvPostingOrder is the MPI matching rule: two receives posted for
+// the same (source, tag) must match the two sends in posting order.
+func TestIrecvPostingOrder(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			// Post both receives BEFORE any send happens.
+			r1, err := Irecv[int](c, 1, 9)
+			must(t, err)
+			r2, err := Irecv[int](c, 1, 9)
+			must(t, err)
+			must(t, SendOne(c, 1, 1, 0)) // release the sender
+			v2, _, err := Wait[int](r2)  // wait out of order on purpose
+			must(t, err)
+			v1, _, err := Wait[int](r1)
+			must(t, err)
+			if v1[0] != 100 || v2[0] != 200 {
+				t.Errorf("posting order violated: r1=%d r2=%d", v1[0], v2[0])
+			}
+		} else {
+			_, _, err := RecvOne[int](c, 0, 1)
+			must(t, err)
+			must(t, SendOne(c, 0, 9, 100))
+			must(t, SendOne(c, 0, 9, 200))
+		}
+	})
+}
+
+func TestIrecvImmediateCompletion(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			must(t, SendOne(c, 1, 2, 5))
+			must(t, c.Barrier())
+		} else {
+			must(t, c.Barrier()) // message has arrived by now
+			req, err := Irecv[int](c, 0, 2)
+			must(t, err)
+			if !req.Test() {
+				t.Error("Irecv with buffered message not immediately complete")
+			}
+			v, _, err := Wait[int](req)
+			must(t, err)
+			if v[0] != 5 {
+				t.Errorf("got %d", v[0])
+			}
+		}
+	})
+}
+
+func TestWaitallHaloPattern(t *testing.T) {
+	// The overlapped halo-exchange idiom: post both receives, then send
+	// both rows, then wait for everything.
+	runWorld(t, 3, func(p *Proc) {
+		c := p.World()
+		n := c.Size()
+		up, down := (c.Rank()+1)%n, (c.Rank()-1+n)%n
+		rUp, err := Irecv[float64](c, down, 11)
+		must(t, err)
+		rDown, err := Irecv[float64](c, up, 12)
+		must(t, err)
+		sUp, err := Isend(c, up, 11, []float64{float64(c.Rank())})
+		must(t, err)
+		sDown, err := Isend(c, down, 12, []float64{float64(-c.Rank())})
+		must(t, err)
+		must(t, Waitall(sUp, sDown))
+		fromDown, _, err := Wait[float64](rUp)
+		must(t, err)
+		fromUp, _, err := Wait[float64](rDown)
+		must(t, err)
+		if int(fromDown[0]) != down || int(-fromUp[0]) != up {
+			t.Errorf("rank %d: halos %v %v", c.Rank(), fromDown, fromUp)
+		}
+	})
+}
+
+func TestWaitBlockedWokenByFailure(t *testing.T) {
+	runWorld(t, 3, func(p *Proc) {
+		c := p.World()
+		switch c.Rank() {
+		case 0:
+			req, err := Irecv[int](c, 1, 0)
+			must(t, err)
+			_, _, err = Wait[int](req)
+			if !errors.Is(err, ErrProcFailed) {
+				t.Errorf("Wait on dead source: %v", err)
+			}
+		case 1:
+			_, _, err := RecvOne[int](c, 2, 5)
+			must(t, err)
+			p.Kill()
+		case 2:
+			must(t, SendOne(c, 1, 5, 1))
+		}
+	})
+}
+
+func TestWaitTypeMismatch(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			must(t, SendOne(c, 1, 0, "hello"))
+		} else {
+			req, err := Irecv[string](c, 0, 0)
+			must(t, err)
+			if _, _, err := Wait[int](req); !errors.Is(err, ErrType) {
+				t.Errorf("type mismatch not reported: %v", err)
+			}
+		}
+	})
+}
+
+func TestIrecvOnRevokedComm(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		must(t, c.Revoke())
+		req, err := Irecv[int](c, 0, 0)
+		must(t, err) // Irecv itself returns the error via the request
+		if _, _, werr := Wait[int](req); !errors.Is(werr, ErrRevoked) {
+			t.Errorf("Wait on revoked comm: %v", werr)
+		}
+	})
+}
+
+func TestRevokeWakesPendingWait(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			req, err := Irecv[int](c, 1, 0)
+			must(t, err)
+			_, _, werr := Wait[int](req)
+			if !errors.Is(werr, ErrRevoked) {
+				t.Errorf("pending Wait after revoke: %v", werr)
+			}
+		} else {
+			p.Compute(0.1)
+			must(t, c.Revoke())
+		}
+	})
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			must(t, Send(c, 1, 6, []float64{1, 2, 3}))
+		} else {
+			st, err := c.Probe(0, 6)
+			must(t, err)
+			if st.Bytes != 24 || st.Source != 0 {
+				t.Errorf("probe status %+v", st)
+			}
+			// Probing must not consume: the receive still works.
+			data, _, err := Recv[float64](c, 0, 6)
+			must(t, err)
+			if len(data) != 3 {
+				t.Errorf("recv after probe got %v", data)
+			}
+		}
+	})
+}
+
+func TestProbeDetectsFailure(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 1 {
+			p.Kill()
+		}
+		if _, err := c.Probe(1, 0); !errors.Is(err, ErrProcFailed) {
+			t.Errorf("Probe on dead rank: %v", err)
+		}
+	})
+}
+
+func TestIprobe(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			ok, _, err := c.Iprobe(1, 3)
+			must(t, err)
+			if ok {
+				t.Error("Iprobe found a message before any send")
+			}
+			must(t, SendOne(c, 1, 7, 1)) // release partner
+			_, _, err = RecvOne[int](c, 1, 8)
+			must(t, err)
+			ok, st, err := c.Iprobe(1, 3)
+			must(t, err)
+			if !ok || st.Tag != 3 {
+				t.Errorf("Iprobe after send: ok=%v st=%+v", ok, st)
+			}
+		} else {
+			_, _, err := RecvOne[int](c, 0, 7)
+			must(t, err)
+			must(t, SendOne(c, 0, 3, 42))
+			must(t, SendOne(c, 0, 8, 1))
+		}
+	})
+}
+
+func TestSendrecvMirror(t *testing.T) {
+	runWorld(t, 4, func(p *Proc) {
+		c := p.World()
+		n := c.Size()
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() - 1 + n) % n
+		// Everyone shifts a value to the right; no deadlock despite all
+		// ranks calling simultaneously.
+		got, st, err := Sendrecv[int, int](c, right, 5, []int{c.Rank()}, left, 5)
+		must(t, err)
+		if got[0] != left || st.Source != left {
+			t.Errorf("rank %d received %d from %d", c.Rank(), got[0], st.Source)
+		}
+	})
+}
+
+func TestWaitany(t *testing.T) {
+	runWorld(t, 3, func(p *Proc) {
+		c := p.World()
+		switch c.Rank() {
+		case 0:
+			r1, err := Irecv[int](c, 1, 1)
+			must(t, err)
+			r2, err := Irecv[int](c, 2, 2)
+			must(t, err)
+			// Rank 2 sends immediately; rank 1 only after a handshake, so
+			// the first completion must be index 1.
+			idx := Waitany(r1, r2)
+			if idx != 1 {
+				t.Errorf("first completion index = %d, want 1", idx)
+			}
+			v, _, err := Wait[int](r2)
+			must(t, err)
+			if v[0] != 22 {
+				t.Errorf("r2 payload %d", v[0])
+			}
+			must(t, SendOne(c, 1, 9, 0)) // release rank 1
+			v, _, err = Wait[int](r1)
+			must(t, err)
+			if v[0] != 11 {
+				t.Errorf("r1 payload %d", v[0])
+			}
+		case 1:
+			_, _, err := RecvOne[int](c, 0, 9)
+			must(t, err)
+			must(t, SendOne(c, 0, 1, 11))
+		case 2:
+			must(t, SendOne(c, 0, 2, 22))
+		}
+	})
+}
+
+func TestWaitanyEmptyAndFailed(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			if Waitany() != -1 {
+				t.Error("Waitany() on empty list != -1")
+			}
+			req, err := Irecv[int](c, 1, 0)
+			must(t, err)
+			if idx := Waitany(req); idx != 0 {
+				t.Errorf("Waitany with dead source = %d", idx)
+			}
+			if _, _, err := Wait[int](req); !errors.Is(err, ErrProcFailed) {
+				t.Errorf("failed request error: %v", err)
+			}
+		} else {
+			p.Kill()
+		}
+	})
+}

@@ -1,0 +1,239 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Wildcards, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG. User tags must be
+// non-negative; negative tags are reserved for internal collective traffic
+// (AnyTag never matches them).
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// internal tag space for collectives; see internalTag.
+const internalTagBase = 1000
+
+// envelope is one in-flight message.
+type envelope struct {
+	commID  int
+	src     int // sender's rank in its local group
+	tag     int
+	data    any
+	bytes   int
+	arrival float64
+	poison  bool // failure-propagation marker for collectives
+}
+
+// Status mirrors MPI_Status.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+// Send posts a message to rank dest of the communicator (the remote group
+// for an intercommunicator). The runtime buffers eagerly, so Send never
+// blocks; it returns MPI_ERR_PROC_FAILED if the destination is already dead
+// and MPI_ERR_REVOKED on a revoked communicator. User tags must be >= 0.
+func Send[T any](c *Comm, dest, tag int, data []T) error {
+	if tag < 0 {
+		return c.fire(fmt.Errorf("mpi: Send: negative tag %d is reserved: %w", tag, ErrComm))
+	}
+	return c.fire(sendRaw(c, dest, tag, data))
+}
+
+// SendOne sends a single value.
+func SendOne[T any](c *Comm, dest, tag int, v T) error {
+	return Send(c, dest, tag, []T{v})
+}
+
+func sendRaw[T any](c *Comm, dest, tag int, data []T) error {
+	st := c.p.st
+	w := st.w
+	var elemSize int
+	if len(data) > 0 {
+		elemSize = int(reflect.TypeOf(data[0]).Size())
+	}
+	buf := append([]T(nil), data...)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if c.sh.revoked {
+		return ErrRevoked
+	}
+	dw, err := c.peerWorld(dest)
+	if err != nil {
+		return err
+	}
+	if !w.aliveLocked(dw) {
+		return failedErr(dest, dw)
+	}
+	st.clock.Advance(w.machine.SendOverhead)
+	bytes := len(buf) * elemSize
+	dst := w.procs[dw]
+	env := &envelope{
+		commID:  c.sh.id,
+		src:     c.rank,
+		tag:     tag,
+		data:    buf,
+		bytes:   bytes,
+		arrival: st.clock.Now() + w.machine.PtToPt(bytes),
+	}
+	if !matchPosted(dst, env) {
+		dst.mbox = append(dst.mbox, env)
+	}
+	dst.cond.Signal()
+	return nil
+}
+
+// Recv receives a message from rank src (or AnySource) with the given tag
+// (or AnyTag) on the communicator. It blocks until a matching message
+// arrives, and returns MPI_ERR_PROC_FAILED when a named source is dead,
+// MPI_ERR_PENDING for a wildcard receive while the communicator has
+// unacknowledged failures (the ULFM failure_ack contract), and
+// MPI_ERR_REVOKED on a revoked communicator.
+func Recv[T any](c *Comm, src, tag int) ([]T, Status, error) {
+	if tag < 0 && tag != AnyTag {
+		var zero []T
+		return zero, Status{}, c.fire(fmt.Errorf("mpi: Recv: negative tag %d is reserved: %w", tag, ErrComm))
+	}
+	data, stt, err := recvRaw[T](c, src, tag, false)
+	return data, stt, c.fire(err)
+}
+
+// RecvOne receives a single value.
+func RecvOne[T any](c *Comm, src, tag int) (T, Status, error) {
+	var zero T
+	data, stt, err := Recv[T](c, src, tag)
+	if err != nil {
+		return zero, stt, err
+	}
+	if len(data) != 1 {
+		return zero, stt, c.fire(fmt.Errorf("mpi: RecvOne: got %d values: %w", len(data), ErrType))
+	}
+	return data[0], stt, nil
+}
+
+// recvRaw is the matching engine shared by user receives and internal
+// collective receives (internal=true also matches poison envelopes, which
+// propagate collective failure without deadlock).
+func recvRaw[T any](c *Comm, src, tag int, internal bool) ([]T, Status, error) {
+	st := c.p.st
+	w := st.w
+	w.mu.Lock()
+	for {
+		if c.sh.revoked {
+			w.mu.Unlock()
+			return nil, Status{}, ErrRevoked
+		}
+		if i := matchEnvelope(st.mbox, c.sh.id, src, tag, internal); i >= 0 {
+			env := st.mbox[i]
+			st.mbox = append(st.mbox[:i], st.mbox[i+1:]...)
+			st.clock.SyncTo(env.arrival)
+			st.clock.Advance(w.machine.RecvOverhead)
+			w.mu.Unlock()
+			if env.poison {
+				return nil, Status{}, failedErr(-1, -1)
+			}
+			data, ok := env.data.([]T)
+			if !ok {
+				return nil, Status{}, fmt.Errorf("mpi: Recv: message holds %T: %w", env.data, ErrType)
+			}
+			return data, Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}, nil
+		}
+		if src != AnySource {
+			pw, err := c.peerWorld(src)
+			if err != nil {
+				w.mu.Unlock()
+				return nil, Status{}, err
+			}
+			if !w.aliveLocked(pw) {
+				w.mu.Unlock()
+				return nil, Status{}, failedErr(src, pw)
+			}
+		} else if hasUnacked(w, c) {
+			w.mu.Unlock()
+			return nil, Status{}, ErrPending
+		}
+		st.cond.Wait()
+	}
+}
+
+// matchEnvelope finds the first matching message (FIFO order). A wildcard
+// tag only matches user (non-negative) tags; poison envelopes match internal
+// receives on their exact (comm, tag), regardless of src.
+func matchEnvelope(mbox []*envelope, commID, src, tag int, internal bool) int {
+	for i, env := range mbox {
+		if env.commID != commID {
+			continue
+		}
+		if env.poison {
+			if internal && env.tag == tag {
+				return i
+			}
+			continue
+		}
+		if src != AnySource && env.src != src {
+			continue
+		}
+		if tag == AnyTag {
+			if env.tag >= 0 {
+				return i
+			}
+			continue
+		}
+		if env.tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// hasUnacked reports whether the communicator has failed members not yet
+// acknowledged via FailureAck on this handle. Caller holds World.mu.
+func hasUnacked(w *World, c *Comm) bool {
+	acked := make(map[int]bool, len(c.acked))
+	for _, r := range c.acked {
+		acked[r] = true
+	}
+	for _, wr := range c.allMembers() {
+		if !w.aliveLocked(wr) && !acked[wr] {
+			return true
+		}
+	}
+	return false
+}
+
+// poisonCollective delivers a poison envelope for collective instance
+// (comm, tag) to every other member, guaranteeing that peers blocked inside
+// the same collective observe MPI_ERR_PROC_FAILED instead of deadlocking —
+// the behaviour the paper relies on when using MPI_Barrier for failure
+// detection.
+func poisonCollective(c *Comm, tag int) {
+	st := c.p.st
+	w := st.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, wr := range c.allMembers() {
+		if wr == st.wrank || !w.aliveLocked(wr) {
+			continue
+		}
+		dst := w.procs[wr]
+		dst.mbox = append(dst.mbox, &envelope{
+			commID:  c.sh.id,
+			src:     c.rank,
+			tag:     tag,
+			poison:  true,
+			arrival: st.clock.Now() + w.machine.Alpha,
+		})
+		dst.cond.Signal()
+	}
+}
+
+// internalTag builds the reserved tag for collective kind k, instance seq.
+func internalTag(kind, seq int) int {
+	return -(internalTagBase + seq*16 + kind)
+}

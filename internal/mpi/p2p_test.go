@@ -1,0 +1,310 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// runWorld executes entry on n simulated processes and fails the test on a
+// runtime-level error.
+func runWorld(t *testing.T, n int, entry func(p *Proc)) *Report {
+	t.Helper()
+	rep, err := Run(Options{NProcs: n, Entry: entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// must fails the whole test run from inside a rank goroutine.
+func must(t *testing.T, err error) {
+	if err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Options{NProcs: 0, Entry: func(*Proc) {}}); err == nil {
+		t.Error("NProcs=0 accepted")
+	}
+	if _, err := Run(Options{NProcs: 2}); err == nil {
+		t.Error("nil entry accepted")
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	got := make([]float64, 3)
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		switch c.Rank() {
+		case 0:
+			must(t, Send(c, 1, 7, []float64{1.5, 2.5, 3.5}))
+		case 1:
+			data, st, err := Recv[float64](c, 0, 7)
+			must(t, err)
+			copy(got, data)
+			if st.Source != 0 || st.Tag != 7 || st.Bytes != 24 {
+				t.Errorf("status = %+v", st)
+			}
+		}
+	})
+	if got[0] != 1.5 || got[2] != 3.5 {
+		t.Fatalf("received %v", got)
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			buf := []int{42}
+			must(t, Send(c, 1, 0, buf))
+			buf[0] = -1 // mutate after send; receiver must still see 42
+			must(t, c.Barrier())
+		} else {
+			must(t, c.Barrier())
+			v, _, err := RecvOne[int](c, 0, 0)
+			must(t, err)
+			if v != 42 {
+				t.Errorf("receiver saw mutated buffer: %d", v)
+			}
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			must(t, SendOne(c, 1, 5, "five"))
+			must(t, SendOne(c, 1, 3, "three"))
+		} else {
+			// Receive out of send order by tag.
+			v3, _, err := RecvOne[string](c, 0, 3)
+			must(t, err)
+			v5, _, err := RecvOne[string](c, 0, 5)
+			must(t, err)
+			if v3 != "three" || v5 != "five" {
+				t.Errorf("tag matching wrong: %q %q", v3, v5)
+			}
+		}
+	})
+}
+
+func TestFIFOPerSourceAndTag(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				must(t, SendOne(c, 1, 4, i))
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				v, _, err := RecvOne[int](c, 0, 4)
+				must(t, err)
+				if v != i {
+					t.Errorf("message %d arrived out of order: %d", i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	runWorld(t, 4, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			for i := 1; i < 4; i++ {
+				v, st, err := RecvOne[int](c, AnySource, AnyTag)
+				must(t, err)
+				if v != st.Source*100+st.Tag {
+					t.Errorf("payload %d inconsistent with status %+v", v, st)
+				}
+				mu.Lock()
+				seen[st.Source] = true
+				mu.Unlock()
+			}
+		} else {
+			must(t, SendOne(c, 0, c.Rank(), c.Rank()*100+c.Rank()))
+		}
+		// Keep senders alive until the receiver has drained everything: a
+		// process that exits counts as departed, and wildcard receives
+		// would then report pending failures (MPI-erroneous program).
+		must(t, c.Barrier())
+	})
+	if len(seen) != 3 {
+		t.Fatalf("sources seen = %v", seen)
+	}
+}
+
+func TestNegativeUserTagRejected(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			if err := SendOne(c, 1, -5, 0); !errors.Is(err, ErrComm) {
+				t.Errorf("Send with negative tag: %v", err)
+			}
+			if _, _, err := Recv[int](c, 1, -5); !errors.Is(err, ErrComm) {
+				t.Errorf("Recv with negative tag: %v", err)
+			}
+		}
+	})
+}
+
+func TestTypeMismatch(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			must(t, SendOne(c, 1, 0, 3.14))
+		} else {
+			_, _, err := Recv[int](c, 0, 0)
+			if !errors.Is(err, ErrType) {
+				t.Errorf("datatype mismatch not reported: %v", err)
+			}
+		}
+	})
+}
+
+func TestInvalidRank(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			if err := SendOne(c, 99, 0, 1); !errors.Is(err, ErrComm) {
+				t.Errorf("Send to invalid rank: %v", err)
+			}
+			if _, _, err := Recv[int](c, -7, 0); !errors.Is(err, ErrComm) {
+				t.Errorf("Recv from invalid rank: %v", err)
+			}
+		}
+	})
+}
+
+// TestVirtualClockMessageLatency checks that a receive synchronises the
+// receiver's clock to send time plus alpha + bytes*beta.
+func TestVirtualClockMessageLatency(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		m := p.Machine()
+		c := p.World()
+		if c.Rank() == 0 {
+			p.Compute(1.0)
+			must(t, Send(c, 1, 0, make([]float64, 1000)))
+		} else {
+			data, _, err := Recv[float64](c, 0, 0)
+			must(t, err)
+			if len(data) != 1000 {
+				t.Errorf("len = %d", len(data))
+			}
+			want := 1.0 + m.SendOverhead + m.PtToPt(8000) + m.RecvOverhead
+			if diff := p.Now() - want; diff < 0 || diff > 1e-12 {
+				t.Errorf("receiver clock = %.9f, want %.9f", p.Now(), want)
+			}
+		}
+	})
+}
+
+// TestVirtualClockReceiverLater checks the other ordering: if the receiver
+// is already past the arrival time, its clock only pays the receive
+// overhead.
+func TestVirtualClockReceiverLater(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			must(t, SendOne(c, 1, 0, 1))
+		} else {
+			p.Compute(5.0)
+			_, _, err := RecvOne[int](c, 0, 0)
+			must(t, err)
+			want := 5.0 + p.Machine().RecvOverhead
+			if diff := p.Now() - want; diff < 0 || diff > 1e-12 {
+				t.Errorf("receiver clock = %.9f, want %.9f", p.Now(), want)
+			}
+		}
+	})
+}
+
+func TestReportMaxVirtualTime(t *testing.T) {
+	rep := runWorld(t, 3, func(p *Proc) {
+		p.Compute(float64(p.WorldRank()))
+	})
+	if rep.MaxVirtualTime != 2.0 {
+		t.Fatalf("MaxVirtualTime = %g, want 2", rep.MaxVirtualTime)
+	}
+	if len(rep.Failed) != 0 || rep.Spawned != 0 {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+}
+
+func TestComputeCells(t *testing.T) {
+	runWorld(t, 1, func(p *Proc) {
+		p.ComputeCells(1000, 2.0)
+		want := 1000 * p.Machine().CellCost * 2.0
+		if p.Now() != want {
+			t.Errorf("ComputeCells clock = %g, want %g", p.Now(), want)
+		}
+	})
+}
+
+func TestSendRecvOnIntercommAddressesRemoteGroup(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		if pc := p.Parent(); pc != nil {
+			v, _, err := RecvOne[int](pc, 0, 1)
+			must(t, err)
+			must(t, SendOne(pc, 0, 2, v+198))
+			return
+		}
+		c := p.World()
+		color := Undefined
+		if c.Rank() == 0 {
+			color = 0
+		}
+		sub, err := c.Split(color, 0)
+		must(t, err)
+		if sub == nil {
+			return
+		}
+		inter, err := sub.SpawnMultiple(1, []string{""}, 0)
+		must(t, err)
+		// Rank 0 of the remote (child) group.
+		must(t, SendOne(inter, 0, 1, 123))
+		v, _, err := RecvOne[int](inter, 0, 2)
+		must(t, err)
+		if v != 321 {
+			t.Errorf("parent received %d", v)
+		}
+	})
+}
+
+func TestSpawnedChildSeesParent(t *testing.T) {
+	var childWorldSize, childRank int
+	rep, err := Run(Options{NProcs: 1, Entry: func(p *Proc) {
+		if pc := p.Parent(); pc != nil {
+			childWorldSize = p.World().Size()
+			childRank = pc.Rank()
+			v, _, err := RecvOne[int](pc, 0, 1)
+			must(t, err)
+			must(t, SendOne(pc, 0, 2, v+198))
+			return
+		}
+		c := p.World()
+		inter, err := c.SpawnMultiple(1, []string{""}, 0)
+		must(t, err)
+		must(t, SendOne(inter, 0, 1, 123))
+		v, _, err := RecvOne[int](inter, 0, 2)
+		must(t, err)
+		if v != 321 {
+			t.Errorf("reply = %d", v)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spawned != 1 {
+		t.Fatalf("Spawned = %d", rep.Spawned)
+	}
+	if childWorldSize != 1 || childRank != 0 {
+		t.Fatalf("child cohort size %d rank %d", childWorldSize, childRank)
+	}
+}

@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"fmt"
+
+	"ftsg/internal/vtime"
+)
+
+// rvzMode selects how a rendezvous-style collective treats member failure.
+type rvzMode int
+
+const (
+	// failOnDeath aborts the operation with MPI_ERR_PROC_FAILED for every
+	// participant if any member of the communicator is (or becomes) dead.
+	// This is the behaviour of ordinary communicator-management collectives
+	// such as MPI_Comm_split.
+	failOnDeath rvzMode = iota
+	// reportDeath completes among the survivors but returns
+	// MPI_ERR_PROC_FAILED alongside the result, like OMPI_Comm_agree in the
+	// presence of unacknowledged failures.
+	reportDeath
+	// ignoreDeath completes among the survivors and returns success: the
+	// contract of OMPI_Comm_shrink.
+	ignoreDeath
+)
+
+// rvzKey identifies one instance of a rendezvous collective: communicator,
+// operation kind, and the per-kind sequence number (kept in lockstep by each
+// member's handle).
+type rvzKey struct {
+	comm int
+	op   string
+	seq  int
+}
+
+// rendezvous is the shared state of one in-progress collective that needs a
+// single, globally consistent result (split groups, shrunken communicator,
+// agreement value, spawn). Guarded by World.mu.
+type rendezvous struct {
+	key     rvzKey
+	members []int // expected world ranks (both sides for an intercomm)
+	arrived map[int]float64
+	inputs  map[int]any
+	done    bool
+	result  any
+	err     error
+	t       float64
+}
+
+// maxArrival returns the latest arrival time among arrived-and-alive
+// members. Caller holds World.mu.
+func (r *rendezvous) maxArrival(w *World) float64 {
+	ts := make([]float64, 0, len(r.arrived))
+	for wr, t := range r.arrived {
+		if w.aliveLocked(wr) {
+			ts = append(ts, t)
+		}
+	}
+	return vtime.Max(ts...)
+}
+
+// aliveArrived reports whether every currently-alive expected member has
+// arrived, and whether any expected member is dead. Caller holds World.mu.
+func (r *rendezvous) aliveArrived(w *World) (complete, anyDead bool) {
+	complete = true
+	for _, wr := range r.members {
+		if !w.aliveLocked(wr) {
+			anyDead = true
+			continue
+		}
+		if _, ok := r.arrived[wr]; !ok {
+			complete = false
+		}
+	}
+	return complete, anyDead
+}
+
+// buildFunc computes the single shared result of a rendezvous once all alive
+// members have arrived. It runs under World.mu (it must not block) and
+// returns the result plus the modelled cost of the operation in seconds.
+type buildFunc func(w *World, r *rendezvous) (any, float64)
+
+// runRendezvous executes one instance of a rendezvous collective for the
+// calling process: register input, wait for the group, have exactly one
+// participant build the shared result, and synchronise virtual clocks to
+// completion time (max of alive arrivals plus the modelled cost).
+//
+// allowRevoked must be true for the ULFM calls that operate on revoked
+// communicators (shrink, agree).
+func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input any, build buildFunc) (any, error) {
+	st := c.p.st
+	w := st.w
+	key := rvzKey{comm: c.sh.id, op: op, seq: c.nextSeq(op)}
+
+	w.mu.Lock()
+	if c.sh.revoked && !allowRevoked {
+		w.mu.Unlock()
+		return nil, ErrRevoked
+	}
+	r, ok := w.rvzTable[key]
+	if !ok {
+		r = &rendezvous{
+			key:     key,
+			members: append([]int(nil), c.allMembers()...),
+			arrived: make(map[int]float64),
+			inputs:  make(map[int]any),
+		}
+		w.rvzTable[key] = r
+	}
+	if _, dup := r.arrived[st.wrank]; dup {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("mpi: process %d entered %s twice (seq %d)", st.wrank, op, key.seq))
+	}
+	r.arrived[st.wrank] = st.clock.Now()
+	r.inputs[st.wrank] = input
+
+	for !r.done {
+		complete, anyDead := r.aliveArrived(w)
+		switch {
+		case anyDead && mode == failOnDeath:
+			r.err = failedErr(-1, -1)
+			r.t = r.maxArrival(w)
+			r.done = true
+		case complete:
+			result, cost := build(w, r)
+			r.result = result
+			r.t = r.maxArrival(w) + cost
+			if anyDead && mode == reportDeath {
+				r.err = failedErr(-1, -1)
+			}
+			r.done = true
+		default:
+			st.cond.Wait()
+			continue
+		}
+		for _, wr := range r.members {
+			if w.aliveLocked(wr) {
+				w.procs[wr].cond.Broadcast()
+			}
+		}
+	}
+	result, err, t := r.result, r.err, r.t
+	w.mu.Unlock()
+
+	st.clock.SyncTo(t)
+	return result, err
+}

@@ -1,0 +1,245 @@
+// Package mpi is a from-scratch, in-process message-passing runtime with the
+// semantics the paper's fault-tolerant PDE solver needs from Open MPI plus
+// the draft ULFM (User Level Failure Mitigation) extensions: communicators
+// and groups, point-to-point messaging with tags and wildcards, collectives
+// with non-uniform failure reporting, dynamic process management
+// (MPI_Comm_spawn_multiple, intercommunicators, MPI_Intercomm_merge), and
+// the ULFM calls OMPI_Comm_revoke, OMPI_Comm_shrink, OMPI_Comm_agree,
+// OMPI_Comm_failure_ack and OMPI_Comm_failure_get_acked.
+//
+// Each simulated MPI process is a goroutine with a private virtual clock
+// (see internal/vtime). Process failure is fail-stop: the victim aborts via
+// Proc.Kill (the analogue of the paper's kill(getpid(), SIGKILL)); the
+// runtime marks it failed and wakes every blocked peer so pending and future
+// operations observe MPI_ERR_PROC_FAILED, exactly as a ULFM MPI reports a
+// dead partner.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"ftsg/internal/topo"
+	"ftsg/internal/vtime"
+)
+
+// killSignal is the panic payload used by Proc.Kill to emulate SIGKILL.
+type killSignal struct{}
+
+// procState is the runtime's view of one simulated process. All fields
+// except clock are guarded by World.mu; clock is advanced only by the owning
+// goroutine and read by others only at rendezvous points where the owner is
+// blocked.
+type procState struct {
+	w      *World
+	wrank  int // world-unique process id (never reused)
+	host   int // index into the cluster's host list
+	alive  bool
+	mbox   []*envelope
+	posted []postedRecv // nonblocking receives awaiting a match, post order
+	cond   *sync.Cond   // on World.mu
+	clock  vtime.Clock
+}
+
+// World owns all simulated processes of one MPI job, including processes
+// created later by SpawnMultiple. A single coarse mutex guards all shared
+// runtime state; per-process condition variables avoid thundering herds on
+// the message-passing fast path.
+type World struct {
+	mu      sync.Mutex
+	machine *vtime.Machine
+	cluster *topo.Cluster
+	entry   func(*Proc)
+
+	procs      []*procState
+	nextCommID int
+	rvzTable   map[rvzKey]*rendezvous
+	mergeTable map[rvzKey]*mergeEntry
+	failed     []int // world ranks, in failure order
+	spawned    int
+	maxTime    float64
+	wg         sync.WaitGroup
+}
+
+// Options configures a World run.
+type Options struct {
+	// NProcs is the initial number of processes (the size of the initial
+	// MPI_COMM_WORLD).
+	NProcs int
+	// Machine supplies the virtual-time cost model; nil means vtime.Generic.
+	Machine *vtime.Machine
+	// Cluster is the physical layout; nil means the smallest uniform
+	// cluster that fits NProcs at Machine.SlotsPerHost.
+	Cluster *topo.Cluster
+	// Entry is the program run by every process, including re-spawned
+	// ones (which see a non-nil Proc.Parent, like a process started by
+	// MPI_Comm_spawn_multiple).
+	Entry func(*Proc)
+}
+
+// Report summarises a completed run.
+type Report struct {
+	// MaxVirtualTime is the latest virtual clock over all processes,
+	// including failed ones at their time of death.
+	MaxVirtualTime float64
+	// Failed lists world ranks that died, in failure order.
+	Failed []int
+	// Spawned counts processes created by SpawnMultiple.
+	Spawned int
+}
+
+// Run executes Entry on NProcs simulated processes and blocks until every
+// process (including spawned replacements) has returned or died.
+func Run(o Options) (*Report, error) {
+	if o.NProcs <= 0 {
+		return nil, fmt.Errorf("mpi: NProcs must be positive, got %d", o.NProcs)
+	}
+	if o.Entry == nil {
+		return nil, fmt.Errorf("mpi: Entry must not be nil")
+	}
+	m := o.Machine
+	if m == nil {
+		m = vtime.Generic()
+	}
+	cl := o.Cluster
+	if cl == nil {
+		cl = topo.ForRanks(o.NProcs, m.SlotsPerHost)
+	}
+	if cl.Slots() < o.NProcs {
+		return nil, fmt.Errorf("mpi: cluster has %d slots for %d processes", cl.Slots(), o.NProcs)
+	}
+	w := &World{
+		machine:    m,
+		cluster:    cl,
+		entry:      o.Entry,
+		rvzTable:   make(map[rvzKey]*rendezvous),
+		mergeTable: make(map[rvzKey]*mergeEntry),
+	}
+
+	w.mu.Lock()
+	worldRanks := make([]int, o.NProcs)
+	for r := 0; r < o.NProcs; r++ {
+		host, err := cl.HostIndexOfRank(r)
+		if err != nil {
+			w.mu.Unlock()
+			return nil, err
+		}
+		st := &procState{w: w, wrank: r, host: host, alive: true}
+		st.cond = sync.NewCond(&w.mu)
+		w.procs = append(w.procs, st)
+		worldRanks[r] = r
+	}
+	worldComm := w.newCommLocked(worldRanks, nil)
+	for r := 0; r < o.NProcs; r++ {
+		p := &Proc{
+			st:    w.procs[r],
+			world: &Comm{sh: worldComm, rank: r, seqs: make(map[string]int)},
+		}
+		p.world.p = p
+		w.wg.Add(1)
+		go w.runProc(p)
+	}
+	w.mu.Unlock()
+
+	w.wg.Wait()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return &Report{
+		MaxVirtualTime: w.maxTime,
+		Failed:         append([]int(nil), w.failed...),
+		Spawned:        w.spawned,
+	}, nil
+}
+
+// runProc wraps a process's entry, translating Kill panics into fail-stop
+// process death.
+func (w *World) runProc(p *Proc) {
+	defer w.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSignal); ok {
+				w.markFailed(p.st)
+				return
+			}
+			panic(r)
+		}
+		w.finish(p.st)
+	}()
+	w.entry(p)
+}
+
+// finish records a normal process exit. A process that has returned from
+// its entry no longer participates in communication: pending and future
+// operations addressing it observe MPI_ERR_PROC_FAILED (communicating with
+// an exited process is erroneous in MPI; surfacing an error instead of
+// deadlocking mirrors how a real mpirun job dies). Unlike Kill, a normal
+// exit is not recorded in Report.Failed.
+func (w *World) finish(st *procState) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st.alive = false
+	st.mbox = nil
+	if st.clock.Now() > w.maxTime {
+		w.maxTime = st.clock.Now()
+	}
+	for _, q := range w.procs {
+		if q.alive {
+			q.cond.Broadcast()
+		}
+	}
+}
+
+// markFailed records a process death and wakes every blocked process so
+// pending operations can observe the failure.
+func (w *World) markFailed(st *procState) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !st.alive {
+		return
+	}
+	st.alive = false
+	st.mbox = nil
+	w.failed = append(w.failed, st.wrank)
+	if st.clock.Now() > w.maxTime {
+		w.maxTime = st.clock.Now()
+	}
+	for _, q := range w.procs {
+		if q.alive {
+			q.cond.Broadcast()
+		}
+	}
+}
+
+// newCommLocked allocates a communicator's shared state. Caller holds mu.
+// b == nil makes an intracommunicator; otherwise a and b are the two groups
+// of an intercommunicator.
+func (w *World) newCommLocked(a, b []int) *commShared {
+	sh := &commShared{
+		id: w.nextCommID,
+		a:  append([]int(nil), a...),
+		b:  append([]int(nil), b...),
+	}
+	if b == nil {
+		sh.b = nil
+	}
+	w.nextCommID++
+	return sh
+}
+
+// aliveLocked reports whether world rank r is alive. Caller holds mu.
+func (w *World) aliveLocked(r int) bool {
+	return r >= 0 && r < len(w.procs) && w.procs[r].alive
+}
+
+// failedOfLocked returns the failed members of the given world-rank list, in
+// list order. Caller holds mu.
+func (w *World) failedOfLocked(ranks []int) []int {
+	var out []int
+	for _, r := range ranks {
+		if !w.aliveLocked(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

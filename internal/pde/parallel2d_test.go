@@ -1,0 +1,139 @@
+package pde
+
+import (
+	"testing"
+
+	"ftsg/internal/grid"
+	"ftsg/internal/mpi"
+)
+
+// run2DWorld solves with the 2D decomposition and returns the gathered
+// grid.
+func run2DWorld(t *testing.T, px, py int, lv grid.Level, nsteps int) *grid.Grid {
+	t.Helper()
+	p := testProblem()
+	dt := 0.25 / float64(int(1)<<uint(maxInt(lv.I, lv.J)))
+	var result *grid.Grid
+	_, err := mpi.Run(mpi.Options{NProcs: px * py, Entry: func(proc *mpi.Proc) {
+		s, err := NewParallelSolver2D(proc.World(), p, lv, dt, px, py)
+		if err != nil {
+			t.Errorf("NewParallelSolver2D: %v", err)
+			return
+		}
+		if err := s.Run(nsteps); err != nil {
+			t.Errorf("Run: %v", err)
+			return
+		}
+		g, err := s.Gather(0)
+		if err != nil {
+			t.Errorf("Gather: %v", err)
+			return
+		}
+		if proc.World().Rank() == 0 {
+			result = g
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+// TestParallel2DMatchesSerial: the 2D block decomposition must agree
+// bitwise with the serial solver — this exercises the corner-propagating
+// two-phase halo exchange (the cross-derivative term fails without correct
+// diagonal neighbours).
+func TestParallel2DMatchesSerial(t *testing.T) {
+	lv := grid.Level{I: 5, J: 5}
+	p := testProblem()
+	dt := 0.25 / 32.0
+	nsteps := 30
+	serial := Solve(lv, p, dt, nsteps)
+	for _, dims := range [][2]int{{1, 1}, {2, 1}, {1, 2}, {2, 2}, {4, 2}, {2, 4}, {4, 4}, {3, 3}} {
+		par := run2DWorld(t, dims[0], dims[1], lv, nsteps)
+		d, err := grid.L1Diff(serial, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Errorf("px=%d py=%d: 2D decomposition differs from serial by %g", dims[0], dims[1], d)
+		}
+	}
+}
+
+// TestParallel2DAnisotropic: uneven splits on an anisotropic grid.
+func TestParallel2DAnisotropic(t *testing.T) {
+	lv := grid.Level{I: 4, J: 6}
+	p := testProblem()
+	dt := 0.25 / 64.0
+	nsteps := 20
+	serial := Solve(lv, p, dt, nsteps)
+	for _, dims := range [][2]int{{3, 5}, {2, 6}, {5, 3}} {
+		par := run2DWorld(t, dims[0], dims[1], lv, nsteps)
+		if d, _ := grid.L1Diff(serial, par); d != 0 {
+			t.Errorf("px=%d py=%d: differs by %g", dims[0], dims[1], d)
+		}
+	}
+}
+
+func TestParallel2DValidation(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 4, Entry: func(proc *mpi.Proc) {
+		if _, err := NewParallelSolver2D(proc.World(), testProblem(), grid.Level{I: 4, J: 4}, 1e-3, 3, 1); err == nil {
+			t.Error("px*py != size accepted")
+		}
+		if _, err := NewParallelSolver2D(proc.World(), testProblem(), grid.Level{I: 1, J: 1}, 1e-3, 4, 1); err == nil {
+			t.Error("more columns of processes than cells accepted")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallel2DFailureDetection: a dead block neighbour surfaces as an
+// error from Step.
+func TestParallel2DFailureDetection(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 4, Entry: func(proc *mpi.Proc) {
+		c := proc.World()
+		s, err := NewParallelSolver2D(c, testProblem(), grid.Level{I: 4, J: 4}, 1e-3, 2, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 3 {
+			proc.Kill()
+		}
+		for i := 0; i < 50; i++ {
+			if err := s.Step(); err != nil {
+				return // expected at the survivors
+			}
+		}
+		t.Errorf("rank %d finished despite dead neighbour", c.Rank())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallel2DChargeHook: per-step virtual compute equals owned cells.
+func TestParallel2DChargeHook(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 4, Entry: func(proc *mpi.Proc) {
+		s, err := NewParallelSolver2D(proc.World(), testProblem(), grid.Level{I: 4, J: 4}, 1e-3, 2, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var charged int
+		s.Charge = func(cells int) { charged += cells }
+		if err := s.Run(2); err != nil {
+			t.Error(err)
+			return
+		}
+		if charged != 2*8*8 {
+			t.Errorf("charged %d, want %d", charged, 2*8*8)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

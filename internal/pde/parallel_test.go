@@ -1,0 +1,333 @@
+package pde
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"ftsg/internal/grid"
+	"ftsg/internal/mpi"
+)
+
+// runSolverWorld runs the parallel solver on nprocs ranks for nsteps and
+// returns the gathered grid from root.
+func runSolverWorld(t *testing.T, nprocs int, lv grid.Level, nsteps int) *grid.Grid {
+	t.Helper()
+	p := testProblem()
+	dt := 0.25 / float64(int(1)<<uint(maxInt(lv.I, lv.J)))
+	var result *grid.Grid
+	_, err := mpi.Run(mpi.Options{NProcs: nprocs, Entry: func(proc *mpi.Proc) {
+		s, err := NewParallelSolver(proc.World(), p, lv, dt)
+		if err != nil {
+			t.Errorf("NewParallelSolver: %v", err)
+			return
+		}
+		if err := s.Run(nsteps); err != nil {
+			t.Errorf("Run: %v", err)
+			return
+		}
+		g, err := s.Gather(0)
+		if err != nil {
+			t.Errorf("Gather: %v", err)
+			return
+		}
+		if proc.World().Rank() == 0 {
+			result = g
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestParallelMatchesSerial checks bit-identical agreement between the
+// domain-decomposed solver and the serial reference, for several process
+// counts including uneven row splits.
+func TestParallelMatchesSerial(t *testing.T) {
+	lv := grid.Level{I: 4, J: 5}
+	p := testProblem()
+	dt := 0.25 / 32.0
+	nsteps := 40
+	serial := Solve(lv, p, dt, nsteps)
+	for _, np := range []int{1, 2, 3, 7, 8, 32} {
+		par := runSolverWorld(t, np, lv, nsteps)
+		d, err := grid.L1Diff(serial, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Errorf("nprocs=%d: parallel differs from serial by %g", np, d)
+		}
+	}
+}
+
+func TestTooManyProcsRejected(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 5, Entry: func(proc *mpi.Proc) {
+		_, err := NewParallelSolver(proc.World(), testProblem(), grid.Level{I: 4, J: 2}, 1e-3)
+		if err == nil {
+			t.Error("5 procs accepted for 4 rows")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnstableDtRejected(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 1, Entry: func(proc *mpi.Proc) {
+		_, err := NewParallelSolver(proc.World(), testProblem(), grid.Level{I: 6, J: 6}, 0.5)
+		if err == nil {
+			t.Error("unstable dt accepted")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateRestoreRoundTrip(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 4, Entry: func(proc *mpi.Proc) {
+		s, err := NewParallelSolver(proc.World(), testProblem(), grid.Level{I: 4, J: 4}, 1e-3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := s.Run(10); err != nil {
+			t.Error(err)
+			return
+		}
+		saved := s.State()
+		savedStep := s.StepCount
+		if err := s.Run(10); err != nil {
+			t.Error(err)
+			return
+		}
+		after20 := s.State()
+		if err := s.Restore(savedStep, saved); err != nil {
+			t.Error(err)
+			return
+		}
+		if s.StepCount != 10 {
+			t.Errorf("StepCount after restore = %d", s.StepCount)
+		}
+		if err := s.Run(10); err != nil {
+			t.Error(err)
+			return
+		}
+		recomputed := s.State()
+		for i := range after20 {
+			if after20[i] != recomputed[i] {
+				t.Errorf("restore+recompute differs at %d: %g vs %g", i, after20[i], recomputed[i])
+				return
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreValidatesLength(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 1, Entry: func(proc *mpi.Proc) {
+		s, _ := NewParallelSolver(proc.World(), testProblem(), grid.Level{I: 3, J: 3}, 1e-3)
+		if err := s.Restore(0, []float64{1, 2, 3}); err == nil {
+			t.Error("short restore accepted")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetFromGrid checks recovering a solver's state from a full grid (the
+// replication/resampling recovery path) reproduces the same rows as direct
+// solving.
+func TestSetFromGrid(t *testing.T) {
+	lv := grid.Level{I: 4, J: 4}
+	p := testProblem()
+	dt := 1e-3
+	ref := Solve(lv, p, dt, 25)
+	_, err := mpi.Run(mpi.Options{NProcs: 4, Entry: func(proc *mpi.Proc) {
+		s, err := NewParallelSolver(proc.World(), p, lv, dt)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := s.SetFromGrid(ref, 25); err != nil {
+			t.Error(err)
+			return
+		}
+		if s.StepCount != 25 {
+			t.Errorf("StepCount = %d", s.StepCount)
+		}
+		g, err := s.Gather(0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if proc.World().Rank() == 0 {
+			if d, _ := grid.L1Diff(ref, g); d != 0 {
+				t.Errorf("SetFromGrid rows differ by %g", d)
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChargeHook verifies the virtual-compute hook fires with the owned
+// cell count.
+func TestChargeHook(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 2, Entry: func(proc *mpi.Proc) {
+		s, _ := NewParallelSolver(proc.World(), testProblem(), grid.Level{I: 3, J: 4}, 1e-3)
+		var charged int
+		s.Charge = func(cells int) { charged += cells }
+		if err := s.Run(3); err != nil {
+			t.Error(err)
+			return
+		}
+		want := 3 * 8 * 8 // 3 steps x 8 rows x 8 cols per rank
+		if charged != want {
+			t.Errorf("charged %d cells, want %d", charged, want)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHaloExchangeDetectsFailure: a dead group member surfaces as
+// MPI_ERR_PROC_FAILED from Step at its neighbours.
+func TestHaloExchangeDetectsFailure(t *testing.T) {
+	var sawError atomic.Bool
+	_, err := mpi.Run(mpi.Options{NProcs: 4, Entry: func(proc *mpi.Proc) {
+		c := proc.World()
+		s, err := NewParallelSolver(c, testProblem(), grid.Level{I: 4, J: 4}, 1e-3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 2 {
+			proc.Kill()
+		}
+		for i := 0; i < 50; i++ {
+			if err := s.Step(); err != nil {
+				if c.Rank() == 1 || c.Rank() == 3 {
+					sawError.Store(true) // neighbours of the dead rank 2
+				}
+				return
+			}
+		}
+		t.Errorf("rank %d finished all steps despite dead neighbour", c.Rank())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawError.Load() {
+		t.Fatal("no neighbour observed the failure")
+	}
+}
+
+func TestGatherAssemblesWholeGrid(t *testing.T) {
+	g := runSolverWorld(t, 3, grid.Level{I: 3, J: 4}, 0)
+	// Zero steps: the gathered grid equals the initial condition up to the
+	// periodic duplicates, which are copies of x=0 rather than evaluations
+	// at x=1 (sin(2π) is only zero to rounding).
+	if e := g.L1Error(testProblem().U0); e > 1e-15 {
+		t.Fatalf("gathered initial grid error %g", e)
+	}
+	if g.At(0, 3) != g.At(g.Nx-1, 3) {
+		t.Fatal("gathered grid lost periodic duplicate column")
+	}
+}
+
+func TestCombinedConvergenceUnderSharedDt(t *testing.T) {
+	// A level-4 combination's component grids all run the same dt; check
+	// that the worst-conditioned grid stays stable over a long run.
+	p := testProblem()
+	n := 7
+	h := math.Pow(2, -float64(n))
+	dt := StableDt(h, h, p.Ax, p.Ay, 0.9)
+	g := Solve(grid.Level{I: 3, J: 7}, p, dt, 500)
+	for _, v := range g.V {
+		if math.IsNaN(v) || math.Abs(v) > 5 {
+			t.Fatalf("instability on extreme anisotropic grid: %g", v)
+		}
+	}
+}
+
+// TestNonblockingHaloMatchesBlocking: the overlapped exchange is bitwise
+// identical to the blocking one.
+func TestNonblockingHaloMatchesBlocking(t *testing.T) {
+	lv := grid.Level{I: 4, J: 5}
+	p := testProblem()
+	dt := 0.25 / 32.0
+	nsteps := 25
+	run := func(nonblocking bool) *grid.Grid {
+		var out *grid.Grid
+		_, err := mpi.Run(mpi.Options{NProcs: 4, Entry: func(proc *mpi.Proc) {
+			s, err := NewParallelSolver(proc.World(), p, lv, dt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s.Nonblocking = nonblocking
+			if err := s.Run(nsteps); err != nil {
+				t.Error(err)
+				return
+			}
+			g, err := s.Gather(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if proc.World().Rank() == 0 {
+				out = g
+			}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	blocking := run(false)
+	overlapped := run(true)
+	if d, _ := grid.L1Diff(blocking, overlapped); d != 0 {
+		t.Fatalf("nonblocking halo exchange differs by %g", d)
+	}
+}
+
+// TestNonblockingHaloDetectsFailure: a dead neighbour surfaces through the
+// Wait path too.
+func TestNonblockingHaloDetectsFailure(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 4, Entry: func(proc *mpi.Proc) {
+		c := proc.World()
+		s, err := NewParallelSolver(c, testProblem(), grid.Level{I: 4, J: 4}, 1e-3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		s.Nonblocking = true
+		if c.Rank() == 2 {
+			proc.Kill()
+		}
+		for i := 0; i < 50; i++ {
+			if err := s.Step(); err != nil {
+				return
+			}
+		}
+		t.Errorf("rank %d finished despite dead neighbour", c.Rank())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package pde
+
+import (
+	"testing"
+
+	"ftsg/internal/grid"
+	"ftsg/internal/mpi"
+)
+
+func BenchmarkSerialStep(b *testing.B) {
+	p := testProblem()
+	g := grid.New(grid.Level{I: 8, J: 8})
+	g.Fill(p.U0)
+	var scratch []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = Step(g, p, 1e-4, scratch)
+	}
+	cells := (g.Nx - 1) * (g.Ny - 1)
+	b.ReportMetric(float64(cells), "cells/op")
+}
+
+func BenchmarkParallelSolve8(b *testing.B) {
+	p := testProblem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := mpi.Run(mpi.Options{NProcs: 8, Entry: func(proc *mpi.Proc) {
+			s, err := NewParallelSolver(proc.World(), p, grid.Level{I: 5, J: 8}, 1e-4)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := s.Run(16); err != nil {
+				b.Error(err)
+			}
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGather(b *testing.B) {
+	p := testProblem()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := mpi.Run(mpi.Options{NProcs: 8, Entry: func(proc *mpi.Proc) {
+			s, err := NewParallelSolver(proc.World(), p, grid.Level{I: 5, J: 8}, 1e-4)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := s.Gather(0); err != nil {
+				b.Error(err)
+			}
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package recovery is a faithful transcription of the paper's ULFM recovery
+// protocol (Figs. 3-7) against the simulated MPI runtime:
+//
+//   - Fig. 3  communicatorReconstruct: the detect/repair loop, with the
+//     child (re-spawned process) path that merges into the parents and is
+//     re-ordered to the failed process's old rank.
+//   - Fig. 4  mpiErrorHandler: acknowledge failures on the communicator.
+//   - Fig. 5  repairComm: revoke, shrink, spawn replacements on the same
+//     hosts, merge, agree, distribute old ranks, split to restore order.
+//   - Fig. 6  failedProcsList: globally consistent failed-rank list via
+//     group compare/difference/translate.
+//   - Fig. 7  selectRankKey: split keys that restore the pre-failure order.
+//
+// The reconstructed communicator has the same size and rank distribution as
+// before the failure, and replacements run on the hosts of their failed
+// predecessors, preserving load balance.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"ftsg/internal/mpi"
+)
+
+// MergeTag is the tag used to send each child its predecessor's rank
+// (MERGE_TAG in the paper's pseudo-code).
+const MergeTag = 900
+
+// Stats records the virtual-time cost of each protocol component, the
+// quantities behind the paper's Fig. 8 and Table I.
+type Stats struct {
+	// ListTime is the time to produce globally consistent failure
+	// information: the synchronising agree, the detection barrier, the
+	// error-handler acknowledgement, and the group algebra of Fig. 6
+	// (paper Fig. 8a).
+	ListTime float64
+	// ReconstructTime is the total time of repairComm plus the child-side
+	// merge/split (paper Fig. 8b).
+	ReconstructTime float64
+	// Component times within reconstruction (paper Table I).
+	ShrinkTime float64
+	SpawnTime  float64
+	MergeTime  float64
+	AgreeTime  float64
+	SplitTime  float64
+	// Iterations of the Fig. 3 loop (more than 1 only if failures hit
+	// during recovery itself).
+	Iterations int
+	// FailedRanks lists the communicator ranks that were replaced.
+	FailedRanks []int
+}
+
+// ErrorHandler returns the Fig. 4 error handler: on a process-failure
+// error it acknowledges the failure set so subsequent wildcard receives can
+// proceed, and charges the >=10 ms delay the paper found necessary in the
+// beta ULFM.
+func ErrorHandler(p *mpi.Proc) mpi.Errhandler {
+	return func(c *mpi.Comm, err error) {
+		if !errors.Is(err, mpi.ErrProcFailed) && !errors.Is(err, mpi.ErrPending) {
+			return
+		}
+		_ = c.FailureAck()
+		_ = c.FailureGetAcked()
+		p.Compute(p.Machine().ULFM.AckDelay)
+	}
+}
+
+// FailedProcsList is Fig. 6: compare the broken communicator's group with
+// the shrunken group and translate the difference back to ranks in the
+// broken communicator. It returns the failed ranks in group order.
+func FailedProcsList(broken, shrunk *mpi.Comm) []int {
+	oldGroup := broken.Group()
+	shrinkGroup := shrunk.Group()
+	broken.ChargeGroupOp(oldGroup.Size())
+	if oldGroup.Compare(shrinkGroup) == mpi.GroupIdent {
+		return nil
+	}
+	failedGroup := oldGroup.Difference(shrinkGroup)
+	broken.ChargeGroupOp(oldGroup.Size())
+	tempRanks := make([]int, failedGroup.Size())
+	for i := range tempRanks {
+		tempRanks[i] = i
+	}
+	failedRanks := failedGroup.TranslateRanks(tempRanks, oldGroup)
+	broken.ChargeGroupOp(oldGroup.Size())
+	return failedRanks
+}
+
+// SelectRankKey is Fig. 7: the split key that orders the merged
+// communicator back into the pre-failure rank order. Surviving process i of
+// the shrunken communicator receives its old rank; children use the old
+// rank received from rank 0.
+func SelectRankKey(mpiRank, shrinkedGroupSize int, failedRanks []int, totalProcs int) int {
+	failed := make(map[int]bool, len(failedRanks))
+	for _, r := range failedRanks {
+		failed[r] = true
+	}
+	shrinkMergeList := make([]int, 0, totalProcs-len(failedRanks))
+	for i := 0; i < totalProcs; i++ {
+		if !failed[i] {
+			shrinkMergeList = append(shrinkMergeList, i)
+		}
+	}
+	if mpiRank < 0 || mpiRank >= shrinkedGroupSize || mpiRank >= len(shrinkMergeList) {
+		return -1
+	}
+	return shrinkMergeList[mpiRank]
+}
+
+// Placement chooses the hosts on which to re-spawn replacements, given the
+// failed ranks. Every surviving process must compute the same placement
+// (only the root's choice is significant to MPI_Comm_spawn_multiple, but
+// determinism keeps the protocol simple).
+type Placement func(p *mpi.Proc, failedRanks []int) ([]string, error)
+
+// SameHostPlacement is the paper's policy (Fig. 5 lines 5-12): each
+// replacement lands on the host its failed predecessor ran on, preserving
+// load balance exactly.
+func SameHostPlacement(p *mpi.Proc, failedRanks []int) ([]string, error) {
+	return p.Cluster().SpawnHosts(failedRanks)
+}
+
+// SpareNodePlacement implements the paper's stated future work: "in the
+// case of node failure ... all the processes on that node will fail and be
+// restarted on the new node. This will have the same load balancing
+// characteristics as our current approach." Every replacement is placed on
+// the named spare host.
+func SpareNodePlacement(spareHost string) Placement {
+	return func(p *mpi.Proc, failedRanks []int) ([]string, error) {
+		if _, err := p.Cluster().HostIndexByName(spareHost); err != nil {
+			return nil, err
+		}
+		hosts := make([]string, len(failedRanks))
+		for i := range hosts {
+			hosts[i] = spareHost
+		}
+		return hosts, nil
+	}
+}
+
+// RepairComm is Fig. 5: the parent-side repair of a broken communicator
+// with the paper's same-host placement. It returns the repaired
+// communicator (same size and rank order as before the failure) and
+// records component timings.
+func RepairComm(p *mpi.Proc, broken *mpi.Comm, st *Stats) (*mpi.Comm, error) {
+	return RepairCommPlaced(p, broken, st, SameHostPlacement)
+}
+
+// RepairCommPlaced is RepairComm with an explicit replacement-placement
+// policy.
+func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement) (*mpi.Comm, error) {
+	_ = broken.Revoke()
+
+	t0 := p.Now()
+	shrunk, err := broken.Shrink()
+	if err != nil {
+		return nil, fmt.Errorf("recovery: shrink: %w", err)
+	}
+	st.ShrinkTime += p.Now() - t0
+
+	t0 = p.Now()
+	failedRanks := FailedProcsList(broken, shrunk)
+	st.ListTime += p.Now() - t0
+	if len(failedRanks) == 0 {
+		return nil, fmt.Errorf("recovery: repair called with no failed processes")
+	}
+	st.FailedRanks = append([]int(nil), failedRanks...)
+	totalFailed := len(failedRanks)
+
+	hosts, err := place(p, failedRanks)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: placement: %w", err)
+	}
+
+	t0 = p.Now()
+	inter, err := shrunk.SpawnMultiple(totalFailed, hosts, 0)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: spawn: %w", err)
+	}
+	st.SpawnTime += p.Now() - t0
+
+	t0 = p.Now()
+	unordered, err := inter.IntercommMerge(false)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: merge: %w", err)
+	}
+	st.MergeTime += p.Now() - t0
+
+	t0 = p.Now()
+	if _, err := inter.Agree(1); err != nil {
+		return nil, fmt.Errorf("recovery: agree: %w", err)
+	}
+	st.AgreeTime += p.Now() - t0
+
+	// Rank 0 of the merged communicator tells each child its old rank
+	// (children occupy the highest ranks after the high merge).
+	shrinkedGroupSize := shrunk.Size()
+	if unordered.Rank() == 0 {
+		for i, fr := range failedRanks {
+			if err := mpi.SendOne(unordered, shrinkedGroupSize+i, MergeTag, fr); err != nil {
+				return nil, fmt.Errorf("recovery: send old rank: %w", err)
+			}
+		}
+	}
+
+	totalProcs := unordered.Size()
+	key := SelectRankKey(unordered.Rank(), shrinkedGroupSize, failedRanks, totalProcs)
+	t0 = p.Now()
+	repaired, err := unordered.Split(0, key)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: split: %w", err)
+	}
+	st.SplitTime += p.Now() - t0
+	return repaired, nil
+}
+
+// ChildAttach is the child part of Fig. 3 (lines 19-26): synchronise with
+// the parents, merge high, learn the predecessor's rank, and split into
+// order.
+func ChildAttach(p *mpi.Proc, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, error) {
+	parent.SetErrhandler(ErrorHandler(p))
+	t0 := p.Now()
+	_, _ = parent.Agree(1) // synchronise (failure report expected here)
+	st.AgreeTime += p.Now() - t0
+
+	t0 = p.Now()
+	unordered, err := parent.IntercommMerge(true)
+	if err != nil {
+		return nil, -1, fmt.Errorf("recovery: child merge: %w", err)
+	}
+	st.MergeTime += p.Now() - t0
+
+	oldRank, _, err := mpi.RecvOne[int](unordered, 0, MergeTag)
+	if err != nil {
+		return nil, -1, fmt.Errorf("recovery: child receive old rank: %w", err)
+	}
+
+	t0 = p.Now()
+	ordered, err := unordered.Split(0, oldRank)
+	if err != nil {
+		return nil, -1, fmt.Errorf("recovery: child split: %w", err)
+	}
+	st.SplitTime += p.Now() - t0
+	return ordered, oldRank, nil
+}
+
+// Reconstruct is Fig. 3: the full detect/repair loop. Original processes
+// pass their current world communicator and a nil parent; re-spawned
+// processes pass a nil communicator and their Proc.Parent intercommunicator
+// (only on their first call — once attached they are ordinary parents). On
+// return every process holds a full-size communicator with the pre-failure
+// rank order, verified failure-free by a final agree+barrier round.
+//
+// The returned rank is the process's rank in the reconstructed
+// communicator (for children, the failed predecessor's rank).
+func Reconstruct(p *mpi.Proc, myWorld *mpi.Comm, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, error) {
+	return ReconstructPlaced(p, myWorld, parent, st, SameHostPlacement)
+}
+
+// ReconstructPlaced is Reconstruct with an explicit replacement-placement
+// policy (see SameHostPlacement and SpareNodePlacement).
+func ReconstructPlaced(p *mpi.Proc, myWorld *mpi.Comm, parent *mpi.Comm, st *Stats, place Placement) (*mpi.Comm, int, error) {
+	reconstructed := myWorld
+	handler := ErrorHandler(p)
+
+	for iter := 0; ; iter++ {
+		st.Iterations = iter + 1
+		if parent == nil {
+			reconstructed.SetErrhandler(handler)
+
+			// Detection: a synchronising agree (uniform failure report)
+			// followed by a barrier (Fig. 3 lines 12-13). Both contribute
+			// to the failure-information time of Fig. 8a.
+			t0 := p.Now()
+			_, agreeErr := reconstructed.Agree(1)
+			barrierErr := reconstructed.Barrier()
+			st.ListTime += p.Now() - t0
+
+			if agreeErr == nil && barrierErr == nil {
+				return reconstructed, reconstructed.Rank(), nil
+			}
+			t0 = p.Now()
+			repaired, err := RepairCommPlaced(p, reconstructed, st, place)
+			st.ReconstructTime += p.Now() - t0
+			if err != nil {
+				return nil, -1, err
+			}
+			reconstructed = repaired
+			continue
+		}
+
+		// Child path: attach, then behave as a parent to verify.
+		t0 := p.Now()
+		ordered, _, err := ChildAttach(p, parent, st)
+		st.ReconstructTime += p.Now() - t0
+		if err != nil {
+			return nil, -1, err
+		}
+		reconstructed = ordered
+		parent = nil // Fig. 3 line 32: the child becomes a parent.
+	}
+}

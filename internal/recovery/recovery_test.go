@@ -1,0 +1,427 @@
+package recovery
+
+import (
+	"sync"
+	"testing"
+
+	"ftsg/internal/mpi"
+	"ftsg/internal/topo"
+	"ftsg/internal/vtime"
+)
+
+func TestSelectRankKey(t *testing.T) {
+	// The paper's running example (Fig. 2): 7 processes, ranks 3 and 5
+	// fail. Survivor i of the shrunken communicator must key back to its
+	// old rank.
+	failed := []int{3, 5}
+	want := []int{0, 1, 2, 4, 6}
+	for i, w := range want {
+		if got := SelectRankKey(i, 5, failed, 7); got != w {
+			t.Errorf("SelectRankKey(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := SelectRankKey(5, 5, failed, 7); got != -1 {
+		t.Errorf("out-of-range rank gave key %d, want -1", got)
+	}
+	if got := SelectRankKey(-1, 5, failed, 7); got != -1 {
+		t.Errorf("negative rank gave key %d, want -1", got)
+	}
+}
+
+// reconstructWorld runs a world of n processes in which `kill` ranks die at
+// the start, all survivors call Reconstruct, and every process (including
+// replacements) records its final rank. It returns final rank by world rank
+// plus rank-0's stats.
+func reconstructWorld(t *testing.T, n int, kill map[int]bool) (map[int]int, map[int]int, *Stats, *mpi.Report) {
+	t.Helper()
+	var mu sync.Mutex
+	finalRank := map[int]int{}
+	finalSize := map[int]int{}
+	var rootStats *Stats
+
+	rep, err := mpi.Run(mpi.Options{NProcs: n, Machine: vtime.OPL(), Entry: func(p *mpi.Proc) {
+		var st Stats
+		if p.Parent() == nil {
+			c := p.World()
+			if kill[c.Rank()] {
+				p.Kill()
+			}
+			rec, rank, err := Reconstruct(p, c, nil, &st)
+			if err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+				return
+			}
+			mu.Lock()
+			finalRank[p.WorldRank()] = rank
+			finalSize[p.WorldRank()] = rec.Size()
+			if rank == 0 {
+				rootStats = &st
+			}
+			mu.Unlock()
+			if err := rec.Barrier(); err != nil {
+				t.Errorf("rank %d: post-reconstruct barrier: %v", rank, err)
+			}
+			return
+		}
+		rec, rank, err := Reconstruct(p, nil, p.Parent(), &st)
+		if err != nil {
+			t.Errorf("child %d: %v", p.WorldRank(), err)
+			return
+		}
+		mu.Lock()
+		finalRank[p.WorldRank()] = rank
+		finalSize[p.WorldRank()] = rec.Size()
+		mu.Unlock()
+		if err := rec.Barrier(); err != nil {
+			t.Errorf("child at rank %d: post-reconstruct barrier: %v", rank, err)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return finalRank, finalSize, rootStats, rep
+}
+
+func TestReconstructNoFailure(t *testing.T) {
+	finalRank, finalSize, st, rep := reconstructWorld(t, 6, nil)
+	if len(rep.Failed) != 0 || rep.Spawned != 0 {
+		t.Fatalf("unexpected failures/spawns: %+v", rep)
+	}
+	for wr, r := range finalRank {
+		if r != wr {
+			t.Errorf("world %d got rank %d", wr, r)
+		}
+		if finalSize[wr] != 6 {
+			t.Errorf("world %d sees size %d", wr, finalSize[wr])
+		}
+	}
+	if st.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", st.Iterations)
+	}
+	if st.ReconstructTime != 0 {
+		t.Errorf("reconstruct time %g without failure", st.ReconstructTime)
+	}
+}
+
+// TestReconstructPaperExample is Fig. 2 end to end: 7 processes, ranks 3
+// and 5 fail, and the reconstructed communicator restores both size and
+// rank order with replacements on the failed ranks.
+func TestReconstructPaperExample(t *testing.T) {
+	finalRank, finalSize, st, rep := reconstructWorld(t, 7, map[int]bool{3: true, 5: true})
+	if len(rep.Failed) != 2 || rep.Spawned != 2 {
+		t.Fatalf("failed %v, spawned %d", rep.Failed, rep.Spawned)
+	}
+	for _, wr := range []int{0, 1, 2, 4, 6} {
+		if finalRank[wr] != wr {
+			t.Errorf("survivor %d got rank %d", wr, finalRank[wr])
+		}
+	}
+	// Children are world ranks 7, 8 and must take ranks 3, 5.
+	if finalRank[7] != 3 || finalRank[8] != 5 {
+		t.Errorf("replacements got ranks %d, %d; want 3, 5", finalRank[7], finalRank[8])
+	}
+	for wr, s := range finalSize {
+		if s != 7 {
+			t.Errorf("world %d sees size %d, want 7 (no shrinking of global size)", wr, s)
+		}
+	}
+	if st.FailedRanks == nil || len(st.FailedRanks) != 2 || st.FailedRanks[0] != 3 || st.FailedRanks[1] != 5 {
+		t.Errorf("stats failed ranks = %v", st.FailedRanks)
+	}
+	if st.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2 (repair + verify)", st.Iterations)
+	}
+}
+
+func TestReconstructSingleFailure(t *testing.T) {
+	finalRank, _, st, rep := reconstructWorld(t, 5, map[int]bool{2: true})
+	if rep.Spawned != 1 {
+		t.Fatalf("spawned %d", rep.Spawned)
+	}
+	if finalRank[5] != 2 {
+		t.Errorf("replacement got rank %d, want 2", finalRank[5])
+	}
+	if st.SpawnTime <= 0 || st.ShrinkTime <= 0 {
+		t.Errorf("component times not recorded: %+v", st)
+	}
+}
+
+// TestReconstructTimesFollowBetaModel: two failures on 19 ranks must charge
+// the Table I costs (0.01 s spawn + 0.01 s shrink at 19 cores) rather than
+// the single-failure scale.
+func TestReconstructTimesFollowBetaModel(t *testing.T) {
+	_, _, st, _ := reconstructWorld(t, 19, map[int]bool{3: true, 5: true})
+	u := vtime.OPL().ULFM
+	if st.ShrinkTime < u.ShrinkCost(19, 2) {
+		t.Errorf("shrink time %g below model %g", st.ShrinkTime, u.ShrinkCost(19, 2))
+	}
+	if st.SpawnTime < u.SpawnCost(19, 2) {
+		t.Errorf("spawn time %g below model %g", st.SpawnTime, u.SpawnCost(19, 2))
+	}
+	one, _, stOne, _ := reconstructWorld(t, 19, map[int]bool{3: true})
+	_ = one
+	if stOne.SpawnTime >= st.SpawnTime {
+		t.Errorf("single-failure spawn %g not cheaper than double %g", stOne.SpawnTime, st.SpawnTime)
+	}
+}
+
+// TestFailedProcsListViaWorld exercises Fig. 6 against live shrink results.
+func TestFailedProcsListViaWorld(t *testing.T) {
+	var mu sync.Mutex
+	var lists [][]int
+	_, err := mpi.Run(mpi.Options{NProcs: 6, Entry: func(p *mpi.Proc) {
+		c := p.World()
+		if c.Rank() == 1 || c.Rank() == 4 {
+			p.Kill()
+		}
+		_ = c.Barrier() // let failures land
+		shrunk, err := c.Shrink()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got := FailedProcsList(c, shrunk)
+		mu.Lock()
+		lists = append(lists, got)
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lists) != 4 {
+		t.Fatalf("%d survivors reported", len(lists))
+	}
+	for _, l := range lists {
+		if len(l) != 2 || l[0] != 1 || l[1] != 4 {
+			t.Fatalf("failed list = %v, want [1 4] on every survivor", l)
+		}
+	}
+}
+
+// TestErrorHandlerAcks: the Fig. 4 handler acknowledges failures so
+// wildcard receives stop reporting pending.
+func TestErrorHandlerAcks(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 3, Entry: func(p *mpi.Proc) {
+		c := p.World()
+		c.SetErrhandler(ErrorHandler(p))
+		switch c.Rank() {
+		case 0:
+			// Named receive triggers the handler, which acks; afterwards
+			// the acked group must contain the dead process.
+			_, _, _ = mpi.Recv[int](c, 2, 0)
+			acked := c.FailureGetAcked()
+			if acked.Size() != 1 {
+				t.Errorf("acked group %v after handler", acked)
+			}
+			if err := mpi.SendOne(c, 1, 2, 0); err != nil { // release sender
+				t.Error(err)
+			}
+			// Wildcard receive completes with rank 1's message.
+			v, _, err := mpi.RecvOne[int](c, mpi.AnySource, mpi.AnyTag)
+			if err != nil || v != 5 {
+				t.Errorf("wildcard after ack: %v %v", v, err)
+			}
+			if err := mpi.SendOne(c, 1, 3, 0); err != nil { // let it exit
+				t.Error(err)
+			}
+		case 1:
+			// Hold until rank 0 has acked (an exited process counts as
+			// departed and would change the acked set).
+			if _, _, err := mpi.RecvOne[int](c, 0, 2); err != nil {
+				t.Error(err)
+			}
+			if err := mpi.SendOne(c, 0, 1, 5); err != nil {
+				t.Error(err)
+			}
+			if _, _, err := mpi.RecvOne[int](c, 0, 3); err != nil {
+				t.Error(err)
+			}
+		case 2:
+			p.Kill()
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplacementsLandOnFailedHosts checks the same-host placement that
+// preserves load balance (Fig. 5 lines 5-12).
+func TestReplacementsLandOnFailedHosts(t *testing.T) {
+	var mu sync.Mutex
+	hostOfRank := map[int]int{}
+	_, err := mpi.Run(mpi.Options{NProcs: 26, Machine: vtime.OPL(), Entry: func(p *mpi.Proc) {
+		var st Stats
+		if p.Parent() == nil {
+			c := p.World()
+			if c.Rank() == 13 || c.Rank() == 20 {
+				p.Kill()
+			}
+			rec, rank, err := Reconstruct(p, c, nil, &st)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_ = rec
+			mu.Lock()
+			hostOfRank[rank] = p.Host()
+			mu.Unlock()
+			return
+		}
+		_, rank, err := Reconstruct(p, nil, p.Parent(), &st)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		hostOfRank[rank] = p.Host()
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OPL: 12 slots per host; ranks 13 and 20 lived on host 1; their
+	// replacements must be there too.
+	if hostOfRank[13] != 1 || hostOfRank[20] != 1 {
+		t.Fatalf("replacements on hosts %d, %d; want 1, 1", hostOfRank[13], hostOfRank[20])
+	}
+}
+
+// TestSpareNodePlacement: a whole-node failure recovered onto a spare host
+// (the paper's future-work scenario at the protocol level).
+func TestSpareNodePlacement(t *testing.T) {
+	var mu sync.Mutex
+	hostOfRank := map[int]int{}
+	cluster := topo.New(3, 4) // hosts 0,1 used by 8 ranks; host 2 spare
+	place := SpareNodePlacement("node02")
+	_, err := mpi.Run(mpi.Options{NProcs: 8, Machine: vtime.OPL(), Cluster: cluster, Entry: func(p *mpi.Proc) {
+		var st Stats
+		if p.Parent() != nil {
+			_, rank, err := ReconstructPlaced(p, nil, p.Parent(), &st, place)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			hostOfRank[rank] = p.Host()
+			mu.Unlock()
+			return
+		}
+		c := p.World()
+		// Host 1 = ranks 4..7 all die (node failure).
+		if c.Rank() >= 4 {
+			p.Kill()
+		}
+		_, rank, err := ReconstructPlaced(p, c, nil, &st, place)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		hostOfRank[rank] = p.Host()
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if hostOfRank[r] != 0 {
+			t.Errorf("survivor rank %d on host %d, want 0", r, hostOfRank[r])
+		}
+	}
+	for r := 4; r < 8; r++ {
+		if hostOfRank[r] != 2 {
+			t.Errorf("replacement rank %d on host %d, want spare host 2", r, hostOfRank[r])
+		}
+	}
+}
+
+func TestSpareNodePlacementUnknownHost(t *testing.T) {
+	_, err := mpi.Run(mpi.Options{NProcs: 2, Entry: func(p *mpi.Proc) {
+		if p.World().Rank() == 0 {
+			place := SpareNodePlacement("no-such-host")
+			if _, err := place(p, []int{1}); err == nil {
+				t.Error("unknown spare host accepted")
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailureDuringRecovery: a survivor dies AFTER the first repair
+// completes but before verification — the Fig. 3 loop must detect it on the
+// verify round and repair again, converging in three iterations.
+func TestFailureDuringRecovery(t *testing.T) {
+	var mu sync.Mutex
+	finalRank := map[int]int{}
+	var iterations int
+
+	rep, err := mpi.Run(mpi.Options{NProcs: 7, Machine: vtime.OPL(), Entry: func(p *mpi.Proc) {
+		var st Stats
+		record := func(c *mpi.Comm, rank int) {
+			mu.Lock()
+			finalRank[p.WorldRank()] = rank
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				t.Errorf("world %d: post-recovery barrier: %v", p.WorldRank(), err)
+			}
+		}
+		if p.Parent() != nil {
+			rec, rank, err := Reconstruct(p, nil, p.Parent(), &st)
+			if err != nil {
+				t.Errorf("child %d: %v", p.WorldRank(), err)
+				return
+			}
+			record(rec, rank)
+			return
+		}
+		c := p.World()
+		switch c.Rank() {
+		case 2:
+			p.Kill()
+		case 4:
+			// Follow the protocol by hand up to the end of the first
+			// repair, then die before verification.
+			c.SetErrhandler(ErrorHandler(p))
+			_, _ = c.Agree(1)
+			_ = c.Barrier()
+			if _, err := RepairComm(p, c, &st); err != nil {
+				t.Errorf("rank 4 repair: %v", err)
+			}
+			p.Kill()
+		default:
+			rec, rank, err := Reconstruct(p, c, nil, &st)
+			if err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+				return
+			}
+			if rank == 0 {
+				mu.Lock()
+				iterations = st.Iterations
+				mu.Unlock()
+			}
+			record(rec, rank)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spawned != 2 {
+		t.Fatalf("spawned %d replacements, want 2 (rank 2's replacement survives into the second repair)", rep.Spawned)
+	}
+	if iterations != 3 {
+		t.Errorf("iterations = %d, want 3 (detect, repair rank 2, repair rank 4)", iterations)
+	}
+	// Every original rank position must be filled in the final communicator.
+	filled := map[int]bool{}
+	for _, r := range finalRank {
+		filled[r] = true
+	}
+	for r := 0; r < 7; r++ {
+		if !filled[r] {
+			t.Errorf("rank %d unfilled after double recovery (map %v)", r, finalRank)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package topo models the physical layout of the simulated cluster: hosts,
+// MPI slots per host, hostfiles, and the rank-to-host placement arithmetic
+// the paper uses to re-spawn failed processes on the host where they ran
+// before the failure (Fig. 5, lines 5-12), preserving load balance.
+package topo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Host is one cluster node.
+type Host struct {
+	// Name is the hostname as it would appear in an Open MPI hostfile.
+	Name string
+	// Slots is the number of MPI slots (cores) available on the host.
+	Slots int
+}
+
+// Cluster is an ordered list of hosts, mirroring a hostfile. Ranks are laid
+// out host-by-host in hostfile order, Slots ranks per host, exactly as
+// mpirun does with a by-slot mapping.
+type Cluster struct {
+	hosts []Host
+}
+
+// New builds a synthetic cluster of nhosts nodes named node00, node01, ...,
+// each with the given number of slots. It panics on non-positive arguments.
+func New(nhosts, slotsPerHost int) *Cluster {
+	if nhosts <= 0 || slotsPerHost <= 0 {
+		panic(fmt.Sprintf("topo: invalid cluster %d hosts x %d slots", nhosts, slotsPerHost))
+	}
+	c := &Cluster{hosts: make([]Host, nhosts)}
+	for i := range c.hosts {
+		c.hosts[i] = Host{Name: fmt.Sprintf("node%02d", i), Slots: slotsPerHost}
+	}
+	return c
+}
+
+// ForRanks builds the smallest uniform cluster that can hold nranks ranks at
+// slotsPerHost slots per host.
+func ForRanks(nranks, slotsPerHost int) *Cluster {
+	if nranks <= 0 {
+		nranks = 1
+	}
+	nhosts := (nranks + slotsPerHost - 1) / slotsPerHost
+	return New(nhosts, slotsPerHost)
+}
+
+// NumHosts returns the number of hosts in the cluster.
+func (c *Cluster) NumHosts() int { return len(c.hosts) }
+
+// Slots returns the total number of slots across all hosts.
+func (c *Cluster) Slots() int {
+	total := 0
+	for _, h := range c.hosts {
+		total += h.Slots
+	}
+	return total
+}
+
+// Host returns the i-th host (hostfile order).
+func (c *Cluster) Host(i int) Host {
+	return c.hosts[i]
+}
+
+// HostIndexOfRank returns the hostfile line index of the host that runs the
+// given rank. This is the paper's "hostfileLineIndex <- failedRank / SLOTS"
+// (Fig. 5 line 6) generalised to heterogeneous slot counts.
+func (c *Cluster) HostIndexOfRank(rank int) (int, error) {
+	if rank < 0 {
+		return 0, fmt.Errorf("topo: negative rank %d", rank)
+	}
+	r := rank
+	for i, h := range c.hosts {
+		if r < h.Slots {
+			return i, nil
+		}
+		r -= h.Slots
+	}
+	return 0, fmt.Errorf("topo: rank %d beyond cluster capacity %d", rank, c.Slots())
+}
+
+// HostOfRank returns the host that runs the given rank.
+func (c *Cluster) HostOfRank(rank int) (Host, error) {
+	i, err := c.HostIndexOfRank(rank)
+	if err != nil {
+		return Host{}, err
+	}
+	return c.hosts[i], nil
+}
+
+// HostIndexByName finds a host by name, as MPI_Comm_spawn_multiple does when
+// given an MPI_Info "host" key.
+func (c *Cluster) HostIndexByName(name string) (int, error) {
+	for i, h := range c.hosts {
+		if h.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("topo: unknown host %q", name)
+}
+
+// SpawnHosts returns, for each failed rank, the name of the host the rank
+// was running on — the placement list handed to MPI_Comm_spawn_multiple so
+// replacements land on the same physical node (paper Fig. 5 lines 5-12).
+func (c *Cluster) SpawnHosts(failedRanks []int) ([]string, error) {
+	hosts := make([]string, len(failedRanks))
+	for i, r := range failedRanks {
+		h, err := c.HostOfRank(r)
+		if err != nil {
+			return nil, err
+		}
+		hosts[i] = h.Name
+	}
+	return hosts, nil
+}
+
+// RanksOnHost lists the ranks (given a total rank count) placed on host i.
+func (c *Cluster) RanksOnHost(i, nranks int) []int {
+	var ranks []int
+	base := 0
+	for j := 0; j < i; j++ {
+		base += c.hosts[j].Slots
+	}
+	for r := base; r < base+c.hosts[i].Slots && r < nranks; r++ {
+		ranks = append(ranks, r)
+	}
+	return ranks
+}
+
+// Imbalance reports the load imbalance of a rank->host assignment given as a
+// slice mapping each live rank to its host index: (max load)/(mean load).
+// A perfectly balanced assignment returns 1. It returns 0 for no ranks.
+func (c *Cluster) Imbalance(hostOf []int) float64 {
+	if len(hostOf) == 0 {
+		return 0
+	}
+	load := make(map[int]int)
+	used := make(map[int]bool)
+	for _, h := range hostOf {
+		load[h]++
+		used[h] = true
+	}
+	maxLoad := 0
+	for _, n := range load {
+		if n > maxLoad {
+			maxLoad = n
+		}
+	}
+	mean := float64(len(hostOf)) / float64(len(used))
+	return float64(maxLoad) / mean
+}
+
+// WriteHostfile writes the cluster in Open MPI hostfile syntax:
+//
+//	node00 slots=12
+func (c *Cluster) WriteHostfile(w io.Writer) error {
+	for _, h := range c.hosts {
+		if _, err := fmt.Fprintf(w, "%s slots=%d\n", h.Name, h.Slots); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseHostfile reads an Open MPI-style hostfile. Lines have the form
+// "name [slots=N]"; missing slots default to 1; '#' starts a comment.
+func ParseHostfile(r io.Reader) (*Cluster, error) {
+	c := &Cluster{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		h := Host{Name: fields[0], Slots: 1}
+		for _, f := range fields[1:] {
+			key, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("topo: hostfile line %d: malformed field %q", line, f)
+			}
+			switch key {
+			case "slots":
+				n, err := strconv.Atoi(val)
+				if err != nil || n <= 0 {
+					return nil, fmt.Errorf("topo: hostfile line %d: bad slots %q", line, val)
+				}
+				h.Slots = n
+			case "max_slots", "max-slots":
+				// Accepted and ignored, as by mpirun for our purposes.
+			default:
+				return nil, fmt.Errorf("topo: hostfile line %d: unknown field %q", line, key)
+			}
+		}
+		c.hosts = append(c.hosts, h)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(c.hosts) == 0 {
+		return nil, fmt.Errorf("topo: hostfile is empty")
+	}
+	return c, nil
+}
+
+// FirstFit returns, for each of n new processes, the host index chosen by a
+// naive first-fit policy that packs hosts in order subject to their slot
+// counts given the current per-host load. It is the baseline the ablation
+// benchmark compares against respawn-on-same-host placement.
+func (c *Cluster) FirstFit(load map[int]int, n int) []int {
+	out := make([]int, 0, n)
+	// Copy so the caller's map is not mutated.
+	cur := make(map[int]int, len(load))
+	for k, v := range load {
+		cur[k] = v
+	}
+	for len(out) < n {
+		placed := false
+		for i, h := range c.hosts {
+			if cur[i] < h.Slots {
+				cur[i]++
+				out = append(out, i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Oversubscribe the least-loaded host, as mpirun does with
+			// --oversubscribe.
+			idx := leastLoaded(cur, len(c.hosts))
+			cur[idx]++
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+func leastLoaded(load map[int]int, nhosts int) int {
+	type hl struct{ host, load int }
+	all := make([]hl, nhosts)
+	for i := 0; i < nhosts; i++ {
+		all[i] = hl{i, load[i]}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].load != all[b].load {
+			return all[a].load < all[b].load
+		}
+		return all[a].host < all[b].host
+	})
+	return all[0].host
+}

@@ -1,0 +1,238 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCluster(t *testing.T) {
+	c := New(3, 12)
+	if c.NumHosts() != 3 {
+		t.Fatalf("NumHosts = %d, want 3", c.NumHosts())
+	}
+	if c.Slots() != 36 {
+		t.Fatalf("Slots = %d, want 36", c.Slots())
+	}
+	if c.Host(1).Name != "node01" {
+		t.Fatalf("Host(1).Name = %q, want node01", c.Host(1).Name)
+	}
+}
+
+func TestNewClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 12) did not panic")
+		}
+	}()
+	New(0, 12)
+}
+
+func TestForRanks(t *testing.T) {
+	cases := []struct{ ranks, slots, wantHosts int }{
+		{1, 12, 1},
+		{12, 12, 1},
+		{13, 12, 2},
+		{304, 12, 26}, // paper's largest configuration on OPL
+		{0, 12, 1},
+	}
+	for _, tc := range cases {
+		if got := ForRanks(tc.ranks, tc.slots).NumHosts(); got != tc.wantHosts {
+			t.Errorf("ForRanks(%d,%d) hosts = %d, want %d", tc.ranks, tc.slots, got, tc.wantHosts)
+		}
+	}
+}
+
+// TestHostIndexOfRank checks the paper's SLOTS=12 arithmetic from Fig. 5.
+func TestHostIndexOfRank(t *testing.T) {
+	c := New(4, 12)
+	cases := []struct{ rank, want int }{
+		{0, 0}, {11, 0}, {12, 1}, {23, 1}, {24, 2}, {47, 3},
+	}
+	for _, tc := range cases {
+		got, err := c.HostIndexOfRank(tc.rank)
+		if err != nil {
+			t.Fatalf("HostIndexOfRank(%d): %v", tc.rank, err)
+		}
+		if got != tc.want {
+			t.Errorf("HostIndexOfRank(%d) = %d, want %d (rank/SLOTS)", tc.rank, got, tc.want)
+		}
+	}
+	if _, err := c.HostIndexOfRank(48); err == nil {
+		t.Error("rank beyond capacity did not error")
+	}
+	if _, err := c.HostIndexOfRank(-1); err == nil {
+		t.Error("negative rank did not error")
+	}
+}
+
+func TestHostIndexOfRankPropertyMatchesDivision(t *testing.T) {
+	c := New(26, 12)
+	f := func(r uint16) bool {
+		rank := int(r) % c.Slots()
+		got, err := c.HostIndexOfRank(rank)
+		return err == nil && got == rank/12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnHosts(t *testing.T) {
+	c := New(4, 12)
+	hosts, err := c.SpawnHosts([]int{3, 15, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"node00", "node01", "node03"}
+	for i := range want {
+		if hosts[i] != want[i] {
+			t.Errorf("SpawnHosts[%d] = %q, want %q", i, hosts[i], want[i])
+		}
+	}
+}
+
+func TestHostIndexByName(t *testing.T) {
+	c := New(2, 4)
+	if i, err := c.HostIndexByName("node01"); err != nil || i != 1 {
+		t.Fatalf("HostIndexByName(node01) = %d, %v", i, err)
+	}
+	if _, err := c.HostIndexByName("nope"); err == nil {
+		t.Fatal("unknown host did not error")
+	}
+}
+
+func TestRanksOnHost(t *testing.T) {
+	c := New(3, 4)
+	got := c.RanksOnHost(1, 10)
+	want := []int{4, 5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("RanksOnHost(1,10) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RanksOnHost(1,10) = %v, want %v", got, want)
+		}
+	}
+	// Truncation when fewer ranks than capacity.
+	if got := c.RanksOnHost(2, 9); len(got) != 1 || got[0] != 8 {
+		t.Fatalf("RanksOnHost(2,9) = %v, want [8]", got)
+	}
+}
+
+func TestHostfileRoundTrip(t *testing.T) {
+	c := New(3, 12)
+	var buf bytes.Buffer
+	if err := c.WriteHostfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseHostfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumHosts() != 3 || parsed.Slots() != 36 {
+		t.Fatalf("round trip: %d hosts, %d slots", parsed.NumHosts(), parsed.Slots())
+	}
+	for i := 0; i < 3; i++ {
+		if parsed.Host(i) != c.Host(i) {
+			t.Fatalf("host %d changed: %+v vs %+v", i, parsed.Host(i), c.Host(i))
+		}
+	}
+}
+
+func TestParseHostfile(t *testing.T) {
+	in := `
+# comment
+alpha slots=2
+beta            # default one slot
+gamma slots=3 max_slots=4
+`
+	c, err := ParseHostfile(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumHosts() != 3 {
+		t.Fatalf("NumHosts = %d, want 3", c.NumHosts())
+	}
+	if c.Host(1).Slots != 1 {
+		t.Fatalf("beta slots = %d, want 1", c.Host(1).Slots)
+	}
+	if c.Slots() != 6 {
+		t.Fatalf("total slots = %d, want 6", c.Slots())
+	}
+}
+
+func TestParseHostfileErrors(t *testing.T) {
+	for _, in := range []string{
+		"",                   // empty
+		"alpha slots=zero",   // bad number
+		"alpha slots=-1",     // non-positive
+		"alpha bogus",        // malformed field
+		"alpha unknownkey=3", // unknown key
+	} {
+		if _, err := ParseHostfile(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseHostfile(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	c := New(2, 4)
+	if got := c.Imbalance([]int{0, 0, 1, 1}); got != 1 {
+		t.Fatalf("balanced imbalance = %g, want 1", got)
+	}
+	if got := c.Imbalance([]int{0, 0, 0, 1}); got != 1.5 {
+		t.Fatalf("3:1 imbalance = %g, want 1.5", got)
+	}
+	if got := c.Imbalance(nil); got != 0 {
+		t.Fatalf("empty imbalance = %g, want 0", got)
+	}
+}
+
+func TestFirstFit(t *testing.T) {
+	c := New(2, 2)
+	got := c.FirstFit(map[int]int{0: 1}, 3)
+	want := []int{0, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FirstFit = %v, want %v", got, want)
+		}
+	}
+	// Oversubscription picks the least-loaded host.
+	got = c.FirstFit(map[int]int{0: 2, 1: 2}, 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("oversubscribed FirstFit = %v, want [0 1]", got)
+	}
+}
+
+// TestSameHostRespawnPreservesBalance is the placement half of the paper's
+// load-balancing argument: killing ranks and respawning them on the same
+// hosts leaves the load exactly as before, while first-fit may not.
+func TestSameHostRespawnPreservesBalance(t *testing.T) {
+	c := New(4, 3)
+	n := 12
+	hostOf := make([]int, n)
+	for r := 0; r < n; r++ {
+		i, _ := c.HostIndexOfRank(r)
+		hostOf[r] = i
+	}
+	before := c.Imbalance(hostOf)
+
+	failed := []int{1, 7, 10}
+	hosts, err := c.SpawnHosts(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range failed {
+		idx, err := c.HostIndexByName(hosts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hostOf[r] = idx
+	}
+	after := c.Imbalance(hostOf)
+	if before != after || after != 1 {
+		t.Fatalf("same-host respawn changed balance: before %g, after %g", before, after)
+	}
+}

@@ -1,0 +1,108 @@
+// Package trace records a timeline of application and protocol events in
+// virtual time: solve segments, failure detection, the repair components,
+// data recovery and combination. It exists for observability — the
+// recovery example and the ftpde CLI render it — and for tests that assert
+// the protocol went through the expected phases in the expected order.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	// T is the virtual time of the event in seconds.
+	T float64
+	// Rank is the communicator rank that emitted it (-1 = whole job).
+	Rank int
+	// Phase is a stable machine-readable label (e.g. "detect", "shrink",
+	// "spawn", "recover-data", "checkpoint", "combine").
+	Phase string
+	// Detail is free-form human-readable context.
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%10.3fs] rank %3d  %-14s %s", e.T, e.Rank, e.Phase, e.Detail)
+}
+
+// Recorder collects events from many simulated processes. A nil Recorder is
+// valid and drops everything, so call sites need no guards.
+type Recorder struct {
+	mu     sync.Mutex
+	w      io.Writer
+	events []Event
+}
+
+// New returns a Recorder; if w is non-nil every event is also rendered to
+// it immediately (in emission order, which may interleave ranks).
+func New(w io.Writer) *Recorder {
+	return &Recorder{w: w}
+}
+
+// Emit records one event.
+func (r *Recorder) Emit(t float64, rank int, phase, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	e := Event{T: t, Rank: rank, Phase: phase, Detail: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	if r.w != nil {
+		fmt.Fprintln(r.w, e)
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by virtual time
+// (ties by rank, then emission order).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Phases returns the distinct phases in first-occurrence (virtual time)
+// order.
+func (r *Recorder) Phases() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range r.Events() {
+		if !seen[e.Phase] {
+			seen[e.Phase] = true
+			out = append(out, e.Phase)
+		}
+	}
+	return out
+}
+
+// Count returns how many events carry the given phase.
+func (r *Recorder) Count(phase string) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Phase == phase {
+			n++
+		}
+	}
+	return n
+}
+
+// Render writes the sorted timeline.
+func (r *Recorder) Render(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}

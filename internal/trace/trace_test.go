@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(1, 0, "x", "y") // must not panic
+	if r.Events() != nil || r.Count("x") != 0 || r.Phases() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+}
+
+func TestEmitAndSort(t *testing.T) {
+	r := New(nil)
+	r.Emit(2.0, 1, "b", "second")
+	r.Emit(1.0, 0, "a", "first %d", 42)
+	r.Emit(2.0, 0, "c", "tie earlier rank")
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("%d events", len(ev))
+	}
+	if ev[0].Phase != "a" || ev[0].Detail != "first 42" {
+		t.Fatalf("sorted[0] = %+v", ev[0])
+	}
+	if ev[1].Phase != "c" || ev[2].Phase != "b" {
+		t.Fatalf("tie-break wrong: %v %v", ev[1], ev[2])
+	}
+}
+
+func TestPhasesAndCount(t *testing.T) {
+	r := New(nil)
+	r.Emit(1, 0, "detect", "")
+	r.Emit(2, 0, "repair", "")
+	r.Emit(3, 0, "detect", "")
+	ph := r.Phases()
+	if len(ph) != 2 || ph[0] != "detect" || ph[1] != "repair" {
+		t.Fatalf("phases = %v", ph)
+	}
+	if r.Count("detect") != 2 || r.Count("nope") != 0 {
+		t.Fatal("count wrong")
+	}
+}
+
+func TestLiveWriterAndRender(t *testing.T) {
+	var live bytes.Buffer
+	r := New(&live)
+	r.Emit(0.5, 3, "checkpoint", "step %d", 64)
+	if !strings.Contains(live.String(), "checkpoint") || !strings.Contains(live.String(), "step 64") {
+		t.Fatalf("live output: %q", live.String())
+	}
+	var out bytes.Buffer
+	r.Render(&out)
+	if !strings.Contains(out.String(), "rank   3") {
+		t.Fatalf("render output: %q", out.String())
+	}
+}

@@ -1,0 +1,96 @@
+package vtime
+
+// Machine describes a simulated cluster's performance characteristics. The
+// two profiles shipped with the library correspond to the paper's test
+// systems: the 432-core OPL cluster at Fujitsu Laboratories of Europe
+// (InfiniBand QDR, typical disk write latency) and the Raijin system at NCI
+// (InfiniBand FDR, very low disk write latency).
+type Machine struct {
+	// Name identifies the profile in reports.
+	Name string
+
+	// Alpha is the point-to-point message latency in seconds.
+	Alpha float64
+	// Beta is the transfer cost in seconds per byte.
+	Beta float64
+	// SendOverhead and RecvOverhead are the CPU occupancy per message on
+	// the sending and receiving side (the o of LogGP).
+	SendOverhead float64
+	RecvOverhead float64
+
+	// TIOWrite is the time for a single process to write one checkpoint
+	// to disk (the paper's T_I/O). TIORead is the corresponding read time.
+	TIOWrite float64
+	TIORead  float64
+
+	// CellCost is the virtual compute cost, in seconds, of one
+	// Lax-Wendroff cell update. It calibrates solver time against
+	// communication and recovery costs.
+	CellCost float64
+
+	// SlotsPerHost is the number of MPI slots per node (12 on OPL:
+	// dual-socket, six cores per socket).
+	SlotsPerHost int
+
+	// ULFM models the beta fault-tolerant Open MPI component costs.
+	ULFM ULFMModel
+}
+
+// OPL returns the profile of the OPL cluster: 36 dual-socket nodes of 6-core
+// Xeon X5670, InfiniBand QDR, and a typical disk write latency of
+// T_I/O = 3.52 s per checkpoint (Section III-B of the paper).
+func OPL() *Machine {
+	return &Machine{
+		Name:         "OPL",
+		Alpha:        2.0e-6,
+		Beta:         3.3e-10, // ~3 GB/s effective QDR bandwidth
+		SendOverhead: 0.5e-6,
+		RecvOverhead: 0.5e-6,
+		TIOWrite:     3.52,
+		TIORead:      1.10,
+		CellCost:     8.0e-9,
+		SlotsPerHost: 12,
+		ULFM:         betaULFM(),
+	}
+}
+
+// Raijin returns the profile of NCI's Raijin system: Intel Sandy Bridge,
+// InfiniBand FDR, and an ultra-low checkpoint write latency of
+// T_I/O = 0.03 s (two orders of magnitude below a typical cluster).
+func Raijin() *Machine {
+	return &Machine{
+		Name:         "Raijin",
+		Alpha:        1.3e-6,
+		Beta:         1.8e-10, // ~5.5 GB/s effective FDR bandwidth
+		SendOverhead: 0.4e-6,
+		RecvOverhead: 0.4e-6,
+		TIOWrite:     0.03,
+		TIORead:      0.02,
+		CellCost:     6.0e-9,
+		SlotsPerHost: 16,
+		ULFM:         betaULFM(),
+	}
+}
+
+// Generic returns a neutral commodity-cluster profile, useful for tests and
+// examples that do not target one of the paper's systems.
+func Generic() *Machine {
+	return &Machine{
+		Name:         "generic",
+		Alpha:        10e-6,
+		Beta:         1.0e-9,
+		SendOverhead: 1e-6,
+		RecvOverhead: 1e-6,
+		TIOWrite:     1.0,
+		TIORead:      0.5,
+		CellCost:     10e-9,
+		SlotsPerHost: 8,
+		ULFM:         betaULFM(),
+	}
+}
+
+// PtToPt returns the virtual one-way transfer time for a message of the
+// given size in bytes: Alpha + bytes*Beta.
+func (m *Machine) PtToPt(bytes int) float64 {
+	return m.Alpha + float64(bytes)*m.Beta
+}
