@@ -11,6 +11,8 @@ import (
 	"testing"
 
 	"ftsg/internal/core"
+	"ftsg/internal/grid"
+	"ftsg/internal/harness"
 	"ftsg/internal/mpi"
 	"ftsg/internal/recovery"
 	"ftsg/internal/topo"
@@ -34,6 +36,7 @@ func runBench(b *testing.B, cfg core.Config) *core.Result {
 // globally consistent list of failed processes (detection agree + barrier +
 // group algebra), at the paper's 76-core scale with two real failures.
 func BenchmarkFig8FailedList(b *testing.B) {
+	b.ReportAllocs()
 	var list float64
 	for i := 0; i < b.N; i++ {
 		res := runBench(b, core.Config{
@@ -53,6 +56,7 @@ func BenchmarkFig8FailedList(b *testing.B) {
 // reconstruction time at 76 cores, one vs two failures reported as
 // separate metrics.
 func BenchmarkFig8Reconstruct(b *testing.B) {
+	b.ReportAllocs()
 	var one, two float64
 	for i := 0; i < b.N; i++ {
 		for _, f := range []int{1, 2} {
@@ -78,6 +82,7 @@ func BenchmarkFig8Reconstruct(b *testing.B) {
 // BenchmarkTable1Components regenerates Table I at 76 cores, two failures:
 // the per-component times of the beta fault-tolerant Open MPI.
 func BenchmarkTable1Components(b *testing.B) {
+	b.ReportAllocs()
 	var spawn, shrink, agree, merge float64
 	for i := 0; i < b.N; i++ {
 		res := runBench(b, core.Config{
@@ -103,8 +108,10 @@ func BenchmarkTable1Components(b *testing.B) {
 // BenchmarkFig9Recovery regenerates Fig. 9a: data-recovery overhead for the
 // three techniques with two simulated lost grids, on OPL.
 func BenchmarkFig9Recovery(b *testing.B) {
+	b.ReportAllocs()
 	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
 		b.Run(tech.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var overhead float64
 			for i := 0; i < b.N; i++ {
 				res := runBench(b, core.Config{
@@ -125,9 +132,11 @@ func BenchmarkFig9Recovery(b *testing.B) {
 // normalized process-time overhead on OPL vs Raijin (the disk-latency
 // crossover).
 func BenchmarkFig9ProcessTime(b *testing.B) {
+	b.ReportAllocs()
 	pc := core.Config{Technique: core.CheckpointRestart, DiagProcs: 8}.WithDefaults().NumProcs()
 	for _, m := range []*vtime.Machine{vtime.OPL(), vtime.Raijin()} {
 		b.Run(m.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var pt float64
 			for i := 0; i < b.N; i++ {
 				res := runBench(b, core.Config{
@@ -149,8 +158,10 @@ func BenchmarkFig9ProcessTime(b *testing.B) {
 // two lost grids per technique (error-free recovery for CR, approximate for
 // RC and AC).
 func BenchmarkFig10Error(b *testing.B) {
+	b.ReportAllocs()
 	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
 		b.Run(tech.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var errSum float64
 			for i := 0; i < b.N; i++ {
 				res := runBench(b, core.Config{
@@ -170,8 +181,10 @@ func BenchmarkFig10Error(b *testing.B) {
 // BenchmarkFig11Overall regenerates Fig. 11a at the 76-core scale: overall
 // execution time per technique with two real failures.
 func BenchmarkFig11Overall(b *testing.B) {
+	b.ReportAllocs()
 	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
 		b.Run(tech.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var total float64
 			for i := 0; i < b.N; i++ {
 				res := runBench(b, core.Config{
@@ -193,12 +206,14 @@ func BenchmarkFig11Overall(b *testing.B) {
 // (agree + barrier, uniform result) against a bare barrier (non-uniform):
 // the virtual cost of the uniform path at 76 cores.
 func BenchmarkAblationDetection(b *testing.B) {
+	b.ReportAllocs()
 	for _, uniform := range []bool{true, false} {
 		name := "barrier-only"
 		if uniform {
 			name = "agree+barrier"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cost float64
 			for i := 0; i < b.N; i++ {
 				var after float64
@@ -229,6 +244,7 @@ func BenchmarkAblationDetection(b *testing.B) {
 // balanced 72-rank cluster the paper's policy keeps the imbalance at
 // exactly 1.0; the naive policy stacks the replacements.
 func BenchmarkAblationPlacement(b *testing.B) {
+	b.ReportAllocs()
 	cluster := topo.New(6, 12) // 72 ranks: perfectly balanced baseline
 	const n = 72
 	failed := []int{13, 25, 37, 49, 61} // one per host 1..5
@@ -241,6 +257,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 		baseline[r] = h
 	}
 	b.Run("same-host", func(b *testing.B) {
+		b.ReportAllocs()
 		var imbalance float64
 		for i := 0; i < b.N; i++ {
 			hostOf := append([]int(nil), baseline...)
@@ -260,6 +277,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 		b.ReportMetric(imbalance/float64(b.N), "imbalance/op")
 	})
 	b.Run("first-fit-stale", func(b *testing.B) {
+		b.ReportAllocs()
 		var imbalance float64
 		for i := 0; i < b.N; i++ {
 			hostOf := append([]int(nil), baseline...)
@@ -279,6 +297,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 // the whole reconstruction: it runs the paper's Fig. 2 scenario and reports
 // both the split time and the total repair time.
 func BenchmarkAblationRankReorder(b *testing.B) {
+	b.ReportAllocs()
 	var split, total float64
 	for i := 0; i < b.N; i++ {
 		var s, tot float64
@@ -331,12 +350,14 @@ func containsRank(xs []int, v int) bool {
 // assembles the target grid) against the naive ship-everything-to-rank-0
 // baseline, in virtual combine time.
 func BenchmarkAblationCombine(b *testing.B) {
+	b.ReportAllocs()
 	for _, serial := range []bool{false, true} {
 		name := "parallel-gather-scatter"
 		if serial {
 			name = "serial-rank0"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var combineTime float64
 			for i := 0; i < b.N; i++ {
 				res := runBench(b, core.Config{
@@ -358,12 +379,14 @@ func BenchmarkAblationCombine(b *testing.B) {
 // variant exchanges less halo data per process at scale, at the cost of
 // more messages).
 func BenchmarkAblationDecomposition(b *testing.B) {
+	b.ReportAllocs()
 	for _, twoD := range []bool{false, true} {
 		name := "rows-1d"
 		if twoD {
 			name = "blocks-2d"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var total float64
 			for i := 0; i < b.N; i++ {
 				res := runBench(b, core.Config{
@@ -376,6 +399,43 @@ func BenchmarkAblationDecomposition(b *testing.B) {
 				total += res.TotalTime
 			}
 			b.ReportMetric(total/float64(b.N), "total-vsec/op")
+		})
+	}
+}
+
+// BenchmarkAccumulateSampled measures the combination hot kernel at the
+// full-grid target size used by every combine: bilinear resampling of a
+// sub-grid accumulated into the target. The row-separable kernel reuses
+// pooled per-column tables, so steady state allocates nothing.
+func BenchmarkAccumulateSampled(b *testing.B) {
+	b.ReportAllocs()
+	target := grid.New(grid.Level{I: 9, J: 9})
+	src := grid.New(grid.Level{I: 9, J: 5})
+	src.Fill(func(x, y float64) float64 { return x * y })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target.AccumulateSampled(src, 0.5)
+	}
+}
+
+// BenchmarkHarnessParallel measures the experiment scheduler on a quick
+// Fig. 8 sweep, serial vs one worker per CPU. On a multi-core host the
+// parallel case approaches linear speedup; the rows are byte-identical
+// either way.
+func BenchmarkHarnessParallel(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "per-cpu"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := harness.Options{Quick: true, Trials: 1, Steps: benchSteps, Workers: workers}
+				if _, err := harness.Fig8(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -10,7 +10,9 @@
 //	experiments -experiment extensions  # level sweep, node failure, Eq. 2 study
 //
 // -quick shrinks the sweep for a fast smoke run; -trials / -errtrials
-// control averaging (the paper uses 5 and 20).
+// control averaging (the paper uses 5 and 20). -workers bounds how many
+// simulated runs execute concurrently (0 = one per CPU); the output is
+// byte-identical for every worker count.
 package main
 
 import (
@@ -29,16 +31,30 @@ func main() {
 		errTrials  = flag.Int("errtrials", 20, "trials per error configuration")
 		steps      = flag.Int("steps", 256, "solver timesteps per run")
 		quick      = flag.Bool("quick", false, "reduced sweep for a fast smoke run")
+		workers    = flag.Int("workers", 0, "concurrent simulated runs (0 = one per CPU, 1 = serial)")
 		format     = flag.String("format", "table", "table | csv")
 		verbose    = flag.Bool("v", false, "log progress per configuration")
 	)
 	flag.Parse()
 
+	// Only explicitly-passed sizing flags reach Options, so -quick keeps
+	// shrinking the defaults while `-quick -trials 7` honors the 7.
 	opts := harness.Options{
-		Trials:    *trials,
-		ErrTrials: *errTrials,
-		Steps:     *steps,
-		Quick:     *quick,
+		Steps:   *steps,
+		Quick:   *quick,
+		Workers: *workers,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "trials":
+			opts.Trials = *trials
+		case "errtrials":
+			opts.ErrTrials = *errTrials
+		}
+	})
+	if !opts.Quick {
+		opts.Trials = *trials
+		opts.ErrTrials = *errTrials
 	}
 	if *verbose {
 		opts.Log = os.Stderr

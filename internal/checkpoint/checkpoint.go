@@ -15,9 +15,18 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"ftsg/internal/mpi"
 )
+
+// encPool recycles encode buffers across Write calls: checkpoints are
+// written at every detection point by every rank of a CR run, and the
+// simulated ranks of one run (and the parallel experiment harness) write
+// concurrently, so the scratch is pooled rather than kept per store.
+var encPool = sync.Pool{New: func() any { return new(encBuf) }}
+
+type encBuf struct{ b []byte }
 
 const (
 	magic   = 0x46545347 // "FTSG"
@@ -50,17 +59,24 @@ func (s *Store) path(gridID, rank int) string {
 // Write stores one process's owned rows at the given step, charging the
 // machine's per-checkpoint write latency T_I/O to the process's clock.
 func (s *Store) Write(p *mpi.Proc, gridID, rank, step int, data []float64) error {
-	buf := make([]byte, 0, 24+8*len(data))
-	buf = binary.LittleEndian.AppendUint32(buf, magic)
-	buf = binary.LittleEndian.AppendUint32(buf, version)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(step))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(data)))
-	for _, v := range data {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	n := 24 + 8*len(data) + 4
+	eb := encPool.Get().(*encBuf)
+	if cap(eb.b) < n {
+		eb.b = make([]byte, n)
 	}
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf := eb.b[:n]
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], version)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(step))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(len(data)))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[24+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(buf[n-4:], crc32.ChecksumIEEE(buf[:n-4]))
 	tmp := s.path(gridID, rank) + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	err := os.WriteFile(tmp, buf, 0o644)
+	encPool.Put(eb)
+	if err != nil {
 		return fmt.Errorf("checkpoint: write: %w", err)
 	}
 	if err := os.Rename(tmp, s.path(gridID, rank)); err != nil {

@@ -32,6 +32,7 @@ func BenchmarkWriteRead(b *testing.B) {
 }
 
 func BenchmarkNewPlan(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		NewPlan(8192, 0.04, 150, 3.52)
 	}

@@ -127,17 +127,28 @@ func (ly Layout) Classic() Scheme {
 // scheme component must have a solution.
 func Evaluate(s Scheme, solutions map[grid.Level]*grid.Grid, target grid.Level) (*grid.Grid, error) {
 	out := grid.New(target)
+	if err := EvaluateInto(out, s, solutions); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvaluateInto is Evaluate with a caller-provided destination grid
+// (typically pooled, see grid.NewPooled): dst is zeroed and the combination
+// is accumulated into it, allocating nothing.
+func EvaluateInto(dst *grid.Grid, s Scheme, solutions map[grid.Level]*grid.Grid) error {
+	dst.Zero()
 	for _, c := range s {
 		sol, ok := solutions[c.Lv]
 		if !ok {
-			return nil, fmt.Errorf("combine: no solution for sub-grid %v", c.Lv)
+			return fmt.Errorf("combine: no solution for sub-grid %v", c.Lv)
 		}
 		if sol.Lv != c.Lv {
-			return nil, fmt.Errorf("combine: solution level %v does not match component %v", sol.Lv, c.Lv)
+			return fmt.Errorf("combine: solution level %v does not match component %v", sol.Lv, c.Lv)
 		}
-		out.AccumulateSampled(sol, c.Coeff)
+		dst.AccumulateSampled(sol, c.Coeff)
 	}
-	return out, nil
+	return nil
 }
 
 // InterpolationScheme samples f on every component grid and combines,

@@ -286,6 +286,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 
 	gridLost := false
 	var detectOverhead float64
+	var stateBuf []float64 // persistent checkpoint-encode scratch, reused across writes
 	for _, dp := range rs.detectionPoints() {
 		if dp <= cur {
 			continue
@@ -345,7 +346,8 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		} else {
 			detectOverhead += st.ListTime
 			if cfg.Technique == CheckpointRestart && dp < cfg.Steps {
-				if err := rs.store.Write(p, mine.ID, gcomm.Rank(), dp, solver.State()); err != nil {
+				stateBuf = pde.AppendState(solver, stateBuf[:0])
+				if err := rs.store.Write(p, mine.ID, gcomm.Rank(), dp, stateBuf); err != nil {
 					return err
 				}
 				if rank == 0 {
@@ -457,9 +459,11 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 				return err
 			}
 		} else {
-			ic := grid.New(mine.Lv)
+			ic := grid.NewPooled(mine.Lv)
 			ic.Fill(rs.prob.U0)
-			if err := solver.SetFromGrid(ic, 0); err != nil {
+			err := solver.SetFromGrid(ic, 0)
+			ic.Free()
+			if err != nil {
 				return err
 			}
 		}
@@ -484,13 +488,21 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 					return err
 				}
 				if gcomm.Rank() == 0 {
+					send := g
 					if resample {
-						g, err = grid.Restrict(g, lostGrid.Lv)
-						if err != nil {
+						// mpi.Send copies eagerly, so the pooled
+						// restriction can be freed right after.
+						send = grid.NewPooled(lostGrid.Lv)
+						if err := grid.RestrictInto(g, send); err != nil {
+							send.Free()
 							return err
 						}
 					}
-					if err := mpi.Send(world, lostGrid.FirstRank, tagRecoverBase+lg, g.V); err != nil {
+					err := mpi.Send(world, lostGrid.FirstRank, tagRecoverBase+lg, send.V)
+					if resample {
+						send.Free()
+					}
+					if err != nil {
 						return err
 					}
 				}
@@ -508,11 +520,10 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 				if err != nil {
 					return err
 				}
-				g := grid.New(lostGrid.Lv)
-				if len(vals) != len(g.V) {
-					return fmt.Errorf("core: RC transfer: got %d values for %v", len(vals), lostGrid.Lv)
+				g, err := grid.FromValues(lostGrid.Lv, vals)
+				if err != nil {
+					return fmt.Errorf("core: RC transfer: %w", err)
 				}
-				copy(g.V, vals)
 				if err := solver.SetFromGrid(g, atStep); err != nil {
 					return err
 				}
@@ -606,20 +617,23 @@ func (rs *runState) combineParallel(p *mpi.Proc, world, gcomm *mpi.Comm, solver 
 	t0 := p.Now()
 	target := grid.Level{I: rs.cfg.Layout.N, J: rs.cfg.Layout.N}
 	oneShot := rs.cfg.ComputeScale * float64(rs.cfg.Steps) / nominalSteps
-	partial := grid.New(target)
+	partial := grid.NewPooled(target)
 	if contribute {
 		partial.AccumulateSampled(g, coeff)
 		p.ComputeCells(target.Points(), oneShot)
 	}
 	total, err := mpi.Reduce(roots, 0, partial.V, mpi.Sum[float64])
+	partial.Free()
 	if err != nil {
 		return fmt.Errorf("core: combine reduce: %w", err)
 	}
 	if roots.Rank() != 0 {
 		return nil
 	}
-	comb := grid.New(target)
-	copy(comb.V, total)
+	comb, err := grid.FromValues(target, total)
+	if err != nil {
+		return err
+	}
 	rs.recordCombined(p, comb, t0)
 	return nil
 }
@@ -666,19 +680,25 @@ func (rs *runState) combineSerial(p *mpi.Proc, world, gcomm *mpi.Comm, solver pd
 			// scheme avoids their levels.
 			continue
 		}
-		gg := grid.New(sg.Lv)
+		gg := grid.NewPooled(sg.Lv)
 		copy(gg.V, vals)
 		solutions[sg.Lv] = gg
 	}
 
 	target := grid.Level{I: rs.cfg.Layout.N, J: rs.cfg.Layout.N}
-	comb, err := combine.Evaluate(scheme, solutions, target)
+	comb := grid.NewPooled(target)
+	err = combine.EvaluateInto(comb, scheme, solutions)
+	for _, gg := range solutions {
+		gg.Free()
+	}
 	if err != nil {
+		comb.Free()
 		return fmt.Errorf("core: combine: %w", err)
 	}
 	oneShot := rs.cfg.ComputeScale * float64(rs.cfg.Steps) / nominalSteps
 	p.ComputeCells(target.Points()*len(scheme), oneShot)
 	rs.recordCombined(p, comb, t0)
+	comb.Free()
 	return nil
 }
 

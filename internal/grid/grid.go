@@ -50,6 +50,16 @@ func New(lv Level) *Grid {
 	return &Grid{Lv: lv, Nx: nx, Ny: ny, V: make([]float64, nx*ny)}
 }
 
+// FromValues wraps an existing row-major value slice as a grid of the given
+// level without copying; len(v) must equal the level's point count.
+func FromValues(lv Level, v []float64) (*Grid, error) {
+	nx, ny := (1<<lv.I)+1, (1<<lv.J)+1
+	if len(v) != nx*ny {
+		return nil, fmt.Errorf("grid: FromValues: %d values for level %v (%d points)", len(v), lv, nx*ny)
+	}
+	return &Grid{Lv: lv, Nx: nx, Ny: ny, V: v}, nil
+}
+
 // Hx returns the grid spacing in x.
 func (g *Grid) Hx() float64 { return 1.0 / float64(g.Nx-1) }
 
@@ -77,10 +87,12 @@ func (g *Grid) Clone() *Grid {
 
 // Fill evaluates f at every grid point.
 func (g *Grid) Fill(f func(x, y float64) float64) {
+	hx, hy := g.Hx(), g.Hy()
 	for iy := 0; iy < g.Ny; iy++ {
-		y := g.Y(iy)
+		y := float64(iy) * hy
+		row := iy * g.Nx
 		for ix := 0; ix < g.Nx; ix++ {
-			g.V[iy*g.Nx+ix] = f(g.X(ix), y)
+			g.V[row+ix] = f(float64(ix)*hx, y)
 		}
 	}
 }
@@ -104,18 +116,30 @@ func (g *Grid) Zero() {
 // operation is exact at shared points. This is the paper's "resampling" of a
 // lower-diagonal sub-grid from the finer diagonal sub-grid above it.
 func Restrict(fine *Grid, lv Level) (*Grid, error) {
-	if !lv.LE(fine.Lv) {
-		return nil, fmt.Errorf("grid: cannot restrict %v to finer level %v", fine.Lv, lv)
-	}
 	coarse := New(lv)
-	sx := 1 << (fine.Lv.I - lv.I)
-	sy := 1 << (fine.Lv.J - lv.J)
-	for iy := 0; iy < coarse.Ny; iy++ {
-		for ix := 0; ix < coarse.Nx; ix++ {
-			coarse.V[iy*coarse.Nx+ix] = fine.At(ix*sx, iy*sy)
-		}
+	if err := RestrictInto(fine, coarse); err != nil {
+		return nil, err
 	}
 	return coarse, nil
+}
+
+// RestrictInto is Restrict with a caller-provided destination (typically a
+// pooled grid, see NewPooled), avoiding the per-call allocation on the
+// recovery hot path.
+func RestrictInto(fine, coarse *Grid) error {
+	if !coarse.Lv.LE(fine.Lv) {
+		return fmt.Errorf("grid: cannot restrict %v to finer level %v", fine.Lv, coarse.Lv)
+	}
+	sx := 1 << (fine.Lv.I - coarse.Lv.I)
+	sy := 1 << (fine.Lv.J - coarse.Lv.J)
+	for iy := 0; iy < coarse.Ny; iy++ {
+		frow := iy * sy * fine.Nx
+		crow := iy * coarse.Nx
+		for ix := 0; ix < coarse.Nx; ix++ {
+			coarse.V[crow+ix] = fine.V[frow+ix*sx]
+		}
+	}
+	return nil
 }
 
 // SampleBilinear evaluates the grid's bilinear interpolant at (x, y), which
@@ -145,13 +169,51 @@ func (g *Grid) SampleBilinear(x, y float64) float64 {
 // AccumulateSampled adds coeff times src's bilinear interpolant, evaluated
 // at every point of g, into g. It is the elementary operation of the
 // combination formula u_c = sum_i c_i u_i evaluated on a common grid.
+//
+// The kernel is separable: a target column always maps to the same source
+// column interval and x-weight regardless of the row, so the per-column
+// source index and weight are computed once into pooled scratch tables and
+// the inner loop is a pure fused row interpolation — no divisions, bounds
+// clamps or function calls per point, and no allocation per call.
 func (g *Grid) AccumulateSampled(src *Grid, coeff float64) {
+	sc := getSampleScratch(g.Nx)
+	ixs, txs := sc.idx, sc.wt
+	hx := g.Hx()
+	fw := float64(src.Nx - 1)
+	for ix := 0; ix < g.Nx; ix++ {
+		fx := clamp01(float64(ix)*hx) * fw
+		ix0 := int(fx)
+		if ix0 >= src.Nx-1 {
+			ix0 = src.Nx - 2
+		}
+		ixs[ix] = ix0
+		txs[ix] = fx - float64(ix0)
+	}
+	hy := g.Hy()
+	fh := float64(src.Ny - 1)
+	sv := src.V
 	for iy := 0; iy < g.Ny; iy++ {
-		y := g.Y(iy)
-		for ix := 0; ix < g.Nx; ix++ {
-			g.V[iy*g.Nx+ix] += coeff * src.SampleBilinear(g.X(ix), y)
+		fy := clamp01(float64(iy)*hy) * fh
+		iy0 := int(fy)
+		if iy0 >= src.Ny-1 {
+			iy0 = src.Ny - 2
+		}
+		ty := fy - float64(iy0)
+		w0 := (1 - ty) * coeff
+		w1 := ty * coeff
+		row0 := iy0 * src.Nx
+		row1 := row0 + src.Nx
+		dst := g.V[iy*g.Nx : iy*g.Nx+g.Nx]
+		for ix := range dst {
+			ix0, tx := ixs[ix], txs[ix]
+			a0 := sv[row0+ix0]
+			a1 := sv[row0+ix0+1]
+			b0 := sv[row1+ix0]
+			b1 := sv[row1+ix0+1]
+			dst[ix] += w0*(a0+tx*(a1-a0)) + w1*(b0+tx*(b1-b0))
 		}
 	}
+	putSampleScratch(sc)
 }
 
 // L1Error returns the mean absolute difference between the grid and f
@@ -160,10 +222,12 @@ func (g *Grid) AccumulateSampled(src *Grid, coeff float64) {
 // over points).
 func (g *Grid) L1Error(f func(x, y float64) float64) float64 {
 	var sum float64
+	hx, hy := g.Hx(), g.Hy()
 	for iy := 0; iy < g.Ny; iy++ {
-		y := g.Y(iy)
+		y := float64(iy) * hy
+		row := iy * g.Nx
 		for ix := 0; ix < g.Nx; ix++ {
-			sum += math.Abs(g.V[iy*g.Nx+ix] - f(g.X(ix), y))
+			sum += math.Abs(g.V[row+ix] - f(float64(ix)*hx, y))
 		}
 	}
 	return sum / float64(len(g.V))
@@ -172,10 +236,12 @@ func (g *Grid) L1Error(f func(x, y float64) float64) float64 {
 // L2Error returns the root-mean-square difference between the grid and f.
 func (g *Grid) L2Error(f func(x, y float64) float64) float64 {
 	var sum float64
+	hx, hy := g.Hx(), g.Hy()
 	for iy := 0; iy < g.Ny; iy++ {
-		y := g.Y(iy)
+		y := float64(iy) * hy
+		row := iy * g.Nx
 		for ix := 0; ix < g.Nx; ix++ {
-			d := g.V[iy*g.Nx+ix] - f(g.X(ix), y)
+			d := g.V[row+ix] - f(float64(ix)*hx, y)
 			sum += d * d
 		}
 	}
@@ -185,10 +251,12 @@ func (g *Grid) L2Error(f func(x, y float64) float64) float64 {
 // MaxError returns the maximum absolute difference between the grid and f.
 func (g *Grid) MaxError(f func(x, y float64) float64) float64 {
 	var m float64
+	hx, hy := g.Hx(), g.Hy()
 	for iy := 0; iy < g.Ny; iy++ {
-		y := g.Y(iy)
+		y := float64(iy) * hy
+		row := iy * g.Nx
 		for ix := 0; ix < g.Nx; ix++ {
-			if d := math.Abs(g.V[iy*g.Nx+ix] - f(g.X(ix), y)); d > m {
+			if d := math.Abs(g.V[row+ix] - f(float64(ix)*hx, y)); d > m {
 				m = d
 			}
 		}

@@ -1,0 +1,67 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Grid-sized buffers dominate the allocation profile of the combination and
+// recovery hot paths: every combine phase builds a full target grid and a
+// scratch grid per contribution, and every recovery restriction builds a
+// coarse copy. The pools below let those paths reuse backing arrays across
+// calls (and across experiment runs in the parallel harness) instead of
+// re-allocating per operation.
+
+// gridPool recycles Grid headers together with their value slices.
+var gridPool = sync.Pool{New: func() any { return new(Grid) }}
+
+// NewPooled returns a zeroed grid of the given level drawn from the pool.
+// It is equivalent to New, but the grid SHOULD be returned with Free once
+// it is no longer referenced; a forgotten Free only costs the reuse.
+func NewPooled(lv Level) *Grid {
+	if lv.I < 0 || lv.J < 0 || lv.I > 30 || lv.J > 30 {
+		panic(fmt.Sprintf("grid: invalid level %v", lv))
+	}
+	nx, ny := (1<<lv.I)+1, (1<<lv.J)+1
+	n := nx * ny
+	g := gridPool.Get().(*Grid)
+	g.Lv, g.Nx, g.Ny = lv, nx, ny
+	if cap(g.V) < n {
+		g.V = make([]float64, n)
+	} else {
+		g.V = g.V[:n]
+		clear(g.V)
+	}
+	return g
+}
+
+// Free returns a pooled (or heap) grid's storage to the pool. The grid must
+// not be used afterwards.
+func (g *Grid) Free() {
+	if g == nil {
+		return
+	}
+	gridPool.Put(g)
+}
+
+// sampleScratch holds the per-column source index and x-weight tables of
+// AccumulateSampled.
+type sampleScratch struct {
+	idx []int
+	wt  []float64
+}
+
+var samplePool = sync.Pool{New: func() any { return new(sampleScratch) }}
+
+func getSampleScratch(n int) *sampleScratch {
+	sc := samplePool.Get().(*sampleScratch)
+	if cap(sc.idx) < n {
+		sc.idx = make([]int, n)
+		sc.wt = make([]float64, n)
+	}
+	sc.idx = sc.idx[:n]
+	sc.wt = sc.wt[:n]
+	return sc
+}
+
+func putSampleScratch(sc *sampleScratch) { samplePool.Put(sc) }

@@ -30,7 +30,13 @@ type LevelSweepRow struct {
 // at ("more advanced sparse grid combination techniques").
 func LevelSweep(o Options) ([]LevelSweepRow, error) {
 	o = o.WithDefaults()
-	var rows []LevelSweepRow
+	type cell struct {
+		level  int
+		points int
+		res    *core.Result
+	}
+	var cells []*cell
+	s := newSched(o.Workers)
 	for _, l := range []int{4, 5, 6} {
 		cfg := core.Config{
 			Technique: core.AlternateCombination,
@@ -39,23 +45,32 @@ func LevelSweep(o Options) ([]LevelSweepRow, error) {
 			Seed:      131,
 		}
 		cfg.Layout.N, cfg.Layout.L = 9, l
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("levelsweep l=%d: %w", l, err)
-		}
 		points := 0
 		for _, g := range cfg.WithDefaults().Grids() {
 			points += g.Lv.Points()
 		}
+		c := &cell{level: l, points: points}
+		cells = append(cells, c)
+		s.Add(cfg, func(r *core.Result) {
+			c.res = r
+		}, func(err error) error {
+			return fmt.Errorf("levelsweep l=%d: %w", c.level, err)
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	var rows []LevelSweepRow
+	for _, c := range cells {
 		row := LevelSweepRow{
-			Level:     l,
-			Grids:     res.GridCount,
-			Points:    points,
-			L1Error:   res.L1Error,
-			TotalTime: res.TotalTime,
+			Level:     c.level,
+			Grids:     c.res.GridCount,
+			Points:    c.points,
+			L1Error:   c.res.L1Error,
+			TotalTime: c.res.TotalTime,
 		}
 		rows = append(rows, row)
-		o.logf("levelsweep: l=%d grids=%d points=%d err=%.3e", l, row.Grids, row.Points, row.L1Error)
+		o.logf("levelsweep: l=%d grids=%d points=%d err=%.3e", c.level, row.Grids, row.Points, row.L1Error)
 	}
 	return rows, nil
 }
@@ -82,12 +97,17 @@ type NodeFailureRow struct {
 // and its processes are re-spawned on a spare node.
 func NodeFailure(o Options) ([]NodeFailureRow, error) {
 	o = o.WithDefaults()
-	var rows []NodeFailureRow
+	type cell struct {
+		tech       core.Technique
+		base, fail *core.Result
+	}
+	var cells []*cell
+	s := newSched(o.Workers)
 	for _, tech := range []core.Technique{core.CheckpointRestart, core.AlternateCombination} {
-		base, err := core.Run(core.Config{Technique: tech, DiagProcs: 8, Steps: o.Steps, Seed: 151})
-		if err != nil {
-			return nil, err
-		}
+		c := &cell{tech: tech}
+		cells = append(cells, c)
+		s.Add(core.Config{Technique: tech, DiagProcs: 8, Steps: o.Steps, Seed: 151},
+			func(r *core.Result) { c.base = r }, nil)
 		cfg := core.Config{
 			Technique:    tech,
 			DiagProcs:    8,
@@ -97,20 +117,25 @@ func NodeFailure(o Options) ([]NodeFailureRow, error) {
 			SpareNodes:   1,
 			Seed:         151,
 		}
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("nodefailure %v: %w", tech, err)
-		}
+		s.Add(cfg, func(r *core.Result) { c.fail = r }, func(err error) error {
+			return fmt.Errorf("nodefailure %v: %w", c.tech, err)
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	var rows []NodeFailureRow
+	for _, c := range cells {
 		row := NodeFailureRow{
-			Technique:   tech,
-			FailedProcs: len(res.FailedRanks),
-			Reconstruct: res.ReconstructTime,
-			L1Error:     res.L1Error,
-			BaseError:   base.L1Error,
+			Technique:   c.tech,
+			FailedProcs: len(c.fail.FailedRanks),
+			Reconstruct: c.fail.ReconstructTime,
+			L1Error:     c.fail.L1Error,
+			BaseError:   c.base.L1Error,
 		}
 		rows = append(rows, row)
 		o.logf("nodefailure: %v failed=%d reconstruct=%.1fs err=%.3e (base %.3e)",
-			tech, row.FailedProcs, row.Reconstruct, row.L1Error, row.BaseError)
+			c.tech, row.FailedProcs, row.Reconstruct, row.L1Error, row.BaseError)
 	}
 	return rows, nil
 }
@@ -194,7 +219,13 @@ type ACLayersRow struct {
 // absorb typical loss cascades.
 func ACLayers(o Options) ([]ACLayersRow, error) {
 	o = o.WithDefaults()
-	var rows []ACLayersRow
+	type cell struct {
+		layers int
+		base   *core.Result
+		errs   []float64
+	}
+	var cells []*cell
+	s := newSched(o.Workers)
 	for _, layers := range []int{-1, 1, 2} {
 		cfg := core.Config{
 			Technique:   core.AlternateCombination,
@@ -203,28 +234,33 @@ func ACLayers(o Options) ([]ACLayersRow, error) {
 			ExtraLayers: layers,
 			Seed:        211,
 		}
-		base, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("aclayers k=%d baseline: %w", layers, err)
-		}
-		var errSum float64
-		trials := o.ErrTrials
+		c := &cell{layers: layers}
+		cells = append(cells, c)
+		s.Add(cfg, func(r *core.Result) { c.base = r }, func(err error) error {
+			return fmt.Errorf("aclayers k=%d baseline: %w", c.layers, err)
+		})
 		lossCfg := cfg
 		lossCfg.NumFailures = 3
-		if err := averageRuns(lossCfg, trials, func(r *core.Result) {
-			errSum += r.L1Error
-		}); err != nil {
-			return nil, fmt.Errorf("aclayers k=%d: %w", layers, err)
-		}
-		shown := layers
+		s.AddTrials(lossCfg, o.ErrTrials, func(r *core.Result) {
+			c.errs = append(c.errs, r.L1Error)
+		}, func(err error) error {
+			return fmt.Errorf("aclayers k=%d: %w", c.layers, err)
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	var rows []ACLayersRow
+	for _, c := range cells {
+		shown := c.layers
 		if shown < 0 {
 			shown = 0
 		}
 		row := ACLayersRow{
 			ExtraLayers: shown,
-			Procs:       base.Procs,
-			L1Error:     errSum / float64(trials),
-			BaseError:   base.L1Error,
+			Procs:       c.base.Procs,
+			L1Error:     mean(c.errs),
+			BaseError:   c.base.L1Error,
 		}
 		rows = append(rows, row)
 		o.logf("aclayers: k=%d procs=%d err=%.3e (base %.3e)", row.ExtraLayers, row.Procs, row.L1Error, row.BaseError)

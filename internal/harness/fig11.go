@@ -28,10 +28,17 @@ func Fig11(o Options) ([]Fig11Row, error) {
 	if o.Quick {
 		failuresList = []int{0, 2}
 	}
-	var rows []Fig11Row
+	type cell struct {
+		tech     core.Technique
+		failures int
+		dp       int
+		cores    int
+		total    float64
+	}
+	var cells []*cell
+	s := newSched(o.Workers)
 	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
 		for _, failures := range failuresList {
-			var series []Fig11Row
 			for _, dp := range o.DiagProcsList {
 				cfg := core.Config{
 					Technique:    tech,
@@ -41,29 +48,42 @@ func Fig11(o Options) ([]Fig11Row, error) {
 					RealFailures: failures > 0,
 					Seed:         111,
 				}
-				var total float64
-				if err := averageRuns(cfg, o.Trials, func(r *core.Result) {
-					total += r.TotalTime
-				}); err != nil {
-					return nil, fmt.Errorf("fig11 %v f=%d dp=%d: %w", tech, failures, dp, err)
-				}
-				series = append(series, Fig11Row{
-					Technique:  tech,
-					Failures:   failures,
-					Cores:      cfg.WithDefaults().NumProcs(),
-					SweepCores: coresFor(dp),
-					Time:       total / float64(o.Trials),
+				c := &cell{tech: tech, failures: failures, dp: dp, cores: cfg.WithDefaults().NumProcs()}
+				cells = append(cells, c)
+				s.AddTrials(cfg, o.Trials, func(r *core.Result) {
+					c.total += r.TotalTime
+				}, func(err error) error {
+					return fmt.Errorf("fig11 %v f=%d dp=%d: %w", c.tech, c.failures, c.dp, err)
 				})
 			}
-			base := series[0]
-			for i := range series {
-				r := &series[i]
-				r.Efficiency = base.Time * float64(base.Cores) / (r.Time * float64(r.Cores))
-				o.logf("fig11: %v f=%d cores=%d time=%.1fs eff=%.2f",
-					r.Technique, r.Failures, r.Cores, r.Time, r.Efficiency)
-			}
-			rows = append(rows, series...)
 		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	// Each (technique, failures) series occupies len(DiagProcsList)
+	// consecutive cells; efficiency is relative to its first point.
+	var rows []Fig11Row
+	stride := len(o.DiagProcsList)
+	for sBase := 0; sBase < len(cells); sBase += stride {
+		series := make([]Fig11Row, 0, stride)
+		for _, c := range cells[sBase : sBase+stride] {
+			series = append(series, Fig11Row{
+				Technique:  c.tech,
+				Failures:   c.failures,
+				Cores:      c.cores,
+				SweepCores: coresFor(c.dp),
+				Time:       c.total / float64(o.Trials),
+			})
+		}
+		base := series[0]
+		for i := range series {
+			r := &series[i]
+			r.Efficiency = base.Time * float64(base.Cores) / (r.Time * float64(r.Cores))
+			o.logf("fig11: %v f=%d cores=%d time=%.1fs eff=%.2f",
+				r.Technique, r.Failures, r.Cores, r.Time, r.Efficiency)
+		}
+		rows = append(rows, series...)
 	}
 	return rows, nil
 }

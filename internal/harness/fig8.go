@@ -19,12 +19,21 @@ type Fig8Row struct {
 
 // Fig8 reproduces Fig. 8: real process failures injected before the
 // combination, on the OPL profile, sweeping cores with one and two
-// failures.
+// failures. All (cell, trial) runs execute concurrently on the experiment
+// scheduler; rows come back in sweep order.
 func Fig8(o Options) ([]Fig8Row, error) {
 	o = o.WithDefaults()
-	var rows []Fig8Row
+	type cell struct {
+		failures  int
+		dp        int
+		list, rec float64
+	}
+	var cells []*cell
+	s := newSched(o.Workers)
 	for _, failures := range []int{1, 2} {
 		for _, dp := range o.DiagProcsList {
+			c := &cell{failures: failures, dp: dp}
+			cells = append(cells, c)
 			cfg := core.Config{
 				Technique:    core.ResamplingCopying,
 				DiagProcs:    dp,
@@ -33,23 +42,28 @@ func Fig8(o Options) ([]Fig8Row, error) {
 				RealFailures: true,
 				Seed:         41,
 			}
-			var list, rec float64
-			if err := averageRuns(cfg, o.Trials, func(r *core.Result) {
-				list += r.ListTime
-				rec += r.ReconstructTime
-			}); err != nil {
-				return nil, fmt.Errorf("fig8 cores=%d f=%d: %w", coresFor(dp), failures, err)
-			}
-			row := Fig8Row{
-				Cores:       coresFor(dp),
-				Failures:    failures,
-				ListTime:    list / float64(o.Trials),
-				Reconstruct: rec / float64(o.Trials),
-			}
-			rows = append(rows, row)
-			o.logf("fig8: cores=%d failures=%d list=%.3fs reconstruct=%.3fs",
-				row.Cores, row.Failures, row.ListTime, row.Reconstruct)
+			s.AddTrials(cfg, o.Trials, func(r *core.Result) {
+				c.list += r.ListTime
+				c.rec += r.ReconstructTime
+			}, func(err error) error {
+				return fmt.Errorf("fig8 cores=%d f=%d: %w", coresFor(c.dp), c.failures, err)
+			})
 		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for _, c := range cells {
+		row := Fig8Row{
+			Cores:       coresFor(c.dp),
+			Failures:    c.failures,
+			ListTime:    c.list / float64(o.Trials),
+			Reconstruct: c.rec / float64(o.Trials),
+		}
+		rows = append(rows, row)
+		o.logf("fig8: cores=%d failures=%d list=%.3fs reconstruct=%.3fs",
+			row.Cores, row.Failures, row.ListTime, row.Reconstruct)
 	}
 	return rows, nil
 }
@@ -78,8 +92,15 @@ type Table1Row struct {
 // the component times of the repair.
 func Table1(o Options) ([]Table1Row, error) {
 	o = o.WithDefaults()
-	var rows []Table1Row
+	type cell struct {
+		dp                          int
+		spawn, shrink, agree, merge float64
+	}
+	var cells []*cell
+	s := newSched(o.Workers)
 	for _, dp := range o.DiagProcsList {
+		c := &cell{dp: dp}
+		cells = append(cells, c)
 		cfg := core.Config{
 			Technique:    core.ResamplingCopying,
 			DiagProcs:    dp,
@@ -88,22 +109,27 @@ func Table1(o Options) ([]Table1Row, error) {
 			RealFailures: true,
 			Seed:         61,
 		}
-		var spawn, shrink, agree, merge float64
-		if err := averageRuns(cfg, o.Trials, func(r *core.Result) {
-			spawn += r.SpawnTime
-			shrink += r.ShrinkTime
-			agree += r.AgreeTime
-			merge += r.MergeTime
-		}); err != nil {
-			return nil, fmt.Errorf("table1 cores=%d: %w", coresFor(dp), err)
-		}
-		n := float64(o.Trials)
+		s.AddTrials(cfg, o.Trials, func(r *core.Result) {
+			c.spawn += r.SpawnTime
+			c.shrink += r.ShrinkTime
+			c.agree += r.AgreeTime
+			c.merge += r.MergeTime
+		}, func(err error) error {
+			return fmt.Errorf("table1 cores=%d: %w", coresFor(c.dp), err)
+		})
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	n := float64(o.Trials)
+	for _, c := range cells {
 		row := Table1Row{
-			Cores:  coresFor(dp),
-			Spawn:  spawn / n,
-			Shrink: shrink / n,
-			Agree:  agree / n,
-			Merge:  merge / n,
+			Cores:  coresFor(c.dp),
+			Spawn:  c.spawn / n,
+			Shrink: c.shrink / n,
+			Agree:  c.agree / n,
+			Merge:  c.merge / n,
 		}
 		rows = append(rows, row)
 		o.logf("table1: cores=%d spawn=%.2f shrink=%.2f agree=%.2f merge=%.2f",

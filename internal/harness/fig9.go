@@ -42,9 +42,17 @@ func Fig9(o Options) ([]Fig9Row, error) {
 	// the normalization of the paper's process-time formulas.
 	pc := core.Config{Technique: core.CheckpointRestart, DiagProcs: 8}.WithDefaults().NumProcs()
 
-	var rows []Fig9Row
+	type cell struct {
+		v               variant
+		lost            int
+		overhead, ptime float64
+	}
+	var cells []*cell
+	s := newSched(o.Workers)
 	for _, v := range variants {
 		for lost := 1; lost <= maxLost; lost++ {
+			c := &cell{v: v, lost: lost}
+			cells = append(cells, c)
 			cfg := core.Config{
 				Technique:   v.tech,
 				Machine:     machineByName(v.machine),
@@ -53,25 +61,30 @@ func Fig9(o Options) ([]Fig9Row, error) {
 				NumFailures: lost,
 				Seed:        71,
 			}
-			var overhead, ptime float64
-			if err := averageRuns(cfg, o.Trials, func(r *core.Result) {
-				overhead += r.RecoveryOverhead()
-				ptime += r.ProcessTimeOverhead(pc)
-			}); err != nil {
-				return nil, fmt.Errorf("fig9 %s/%v lost=%d: %w", v.machine, v.tech, lost, err)
-			}
-			n := float64(o.Trials)
-			row := Fig9Row{
-				Machine:     v.machine,
-				Technique:   v.tech,
-				LostGrids:   lost,
-				Overhead:    overhead / n,
-				ProcessTime: ptime / n,
-			}
-			rows = append(rows, row)
-			o.logf("fig9: %s %v lost=%d overhead=%.3fs process-time=%.3fs",
-				row.Machine, row.Technique, lost, row.Overhead, row.ProcessTime)
+			s.AddTrials(cfg, o.Trials, func(r *core.Result) {
+				c.overhead += r.RecoveryOverhead()
+				c.ptime += r.ProcessTimeOverhead(pc)
+			}, func(err error) error {
+				return fmt.Errorf("fig9 %s/%v lost=%d: %w", c.v.machine, c.v.tech, c.lost, err)
+			})
 		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	var rows []Fig9Row
+	n := float64(o.Trials)
+	for _, c := range cells {
+		row := Fig9Row{
+			Machine:     c.v.machine,
+			Technique:   c.v.tech,
+			LostGrids:   c.lost,
+			Overhead:    c.overhead / n,
+			ProcessTime: c.ptime / n,
+		}
+		rows = append(rows, row)
+		o.logf("fig9: %s %v lost=%d overhead=%.3fs process-time=%.3fs",
+			row.Machine, row.Technique, c.lost, row.Overhead, row.ProcessTime)
 	}
 	return rows, nil
 }
@@ -103,9 +116,21 @@ func Fig10(o Options) ([]Fig10Row, error) {
 	if o.Quick {
 		maxLost = 3
 	}
-	var rows []Fig10Row
+	type cell struct {
+		tech core.Technique
+		lost int
+		errs []float64
+	}
+	var cells []*cell
+	s := newSched(o.Workers)
 	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
 		for lost := 0; lost <= maxLost; lost++ {
+			trials := o.ErrTrials
+			if lost == 0 {
+				trials = 1 // deterministic baseline
+			}
+			c := &cell{tech: tech, lost: lost}
+			cells = append(cells, c)
 			cfg := core.Config{
 				Technique:   tech,
 				DiagProcs:   8,
@@ -113,20 +138,21 @@ func Fig10(o Options) ([]Fig10Row, error) {
 				NumFailures: lost,
 				Seed:        91,
 			}
-			trials := o.ErrTrials
-			if lost == 0 {
-				trials = 1 // deterministic baseline
-			}
-			var errSum float64
-			if err := averageRuns(cfg, trials, func(r *core.Result) {
-				errSum += r.L1Error
-			}); err != nil {
-				return nil, fmt.Errorf("fig10 %v lost=%d: %w", tech, lost, err)
-			}
-			row := Fig10Row{Technique: tech, LostGrids: lost, L1Error: errSum / float64(trials)}
-			rows = append(rows, row)
-			o.logf("fig10: %v lost=%d l1=%.4e", tech, lost, row.L1Error)
+			s.AddTrials(cfg, trials, func(r *core.Result) {
+				c.errs = append(c.errs, r.L1Error)
+			}, func(err error) error {
+				return fmt.Errorf("fig10 %v lost=%d: %w", c.tech, c.lost, err)
+			})
 		}
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	for _, c := range cells {
+		row := Fig10Row{Technique: c.tech, LostGrids: c.lost, L1Error: mean(c.errs)}
+		rows = append(rows, row)
+		o.logf("fig10: %v lost=%d l1=%.4e", c.tech, c.lost, row.L1Error)
 	}
 	return rows, nil
 }

@@ -19,26 +19,52 @@ import (
 
 // Options tunes experiment size. The zero value gives the paper's full
 // matrix; Quick shrinks it for tests and smoke runs.
+//
+// Precedence: explicitly-set fields always win. Quick supplies smaller
+// defaults (fewer trials, fewer core counts) ONLY for fields left at their
+// zero value — a caller that sets Trials (or ErrTrials, or DiagProcsList)
+// together with Quick gets exactly what it set, with Quick shrinking the
+// rest of the matrix (e.g. Fig. 9/10's max lost grids).
 type Options struct {
-	// Trials per configuration for timing experiments (paper: 5).
+	// Trials per configuration for timing experiments (paper: 5;
+	// Quick default: 2).
 	Trials int
-	// ErrTrials per configuration for error experiments (paper: 20).
+	// ErrTrials per configuration for error experiments (paper: 20;
+	// Quick default: 4).
 	ErrTrials int
 	// Steps per run (default 256; the virtual-time model maps this onto
 	// the paper's nominal 2^13-step problem).
 	Steps int
 	// DiagProcsList selects the core-count sweep; default {2,4,8,16,32}
 	// reproduces the paper's {19,38,76,152,304} cores with the RC grid
-	// set.
+	// set (Quick default: {2,4,8}).
 	DiagProcsList []int
-	// Quick reduces the matrix: fewer core counts, fewer trials.
+	// Quick reduces the matrix: fewer core counts, fewer trials, fewer
+	// lost-grid points — without overriding explicitly-set fields.
 	Quick bool
+	// Workers bounds how many simulated runs the experiment scheduler
+	// executes concurrently (0 = runtime.GOMAXPROCS(0), 1 = fully
+	// serial). Results are deterministic: output is byte-identical for
+	// every worker count.
+	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
 
-// WithDefaults fills zero fields.
+// WithDefaults fills zero fields; see the struct comment for the
+// Quick/explicit precedence.
 func (o Options) WithDefaults() Options {
+	if o.Quick {
+		if o.Trials == 0 {
+			o.Trials = 2
+		}
+		if o.ErrTrials == 0 {
+			o.ErrTrials = 4
+		}
+		if len(o.DiagProcsList) == 0 {
+			o.DiagProcsList = []int{2, 4, 8}
+		}
+	}
 	if o.Trials == 0 {
 		o.Trials = 5
 	}
@@ -50,11 +76,6 @@ func (o Options) WithDefaults() Options {
 	}
 	if len(o.DiagProcsList) == 0 {
 		o.DiagProcsList = []int{2, 4, 8, 16, 32}
-	}
-	if o.Quick {
-		o.Trials = 2
-		o.ErrTrials = 4
-		o.DiagProcsList = []int{2, 4, 8}
 	}
 	return o
 }
@@ -71,21 +92,6 @@ func (o Options) logf(format string, args ...any) {
 func coresFor(diagProcs int) int {
 	cfg := core.Config{Technique: core.ResamplingCopying, DiagProcs: diagProcs}.WithDefaults()
 	return cfg.NumProcs()
-}
-
-// averageRuns executes the config Trials times with distinct seeds and
-// returns per-field averages via the fold function.
-func averageRuns(cfg core.Config, trials int, fold func(*core.Result)) error {
-	for tr := 0; tr < trials; tr++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(tr)*101
-		res, err := core.Run(c)
-		if err != nil {
-			return err
-		}
-		fold(res)
-	}
-	return nil
 }
 
 // machineByName resolves a profile name.

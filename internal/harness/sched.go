@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ftsg/internal/core"
+)
+
+// The experiment matrix — cores × technique × failures × trials — is a set
+// of completely independent simulated runs: each (config, trial) cell has
+// its own seed, its own virtual cluster and its own checkpoint directory.
+// sched fans those cells out over a bounded worker pool and folds the
+// results back STRICTLY in submission order, so every table, figure and CSV
+// is byte-identical to the serial run regardless of the worker count or of
+// the order in which runs happen to finish.
+
+// schedJob is one independent simulated run with its result fold.
+type schedJob struct {
+	cfg core.Config
+	// fold accumulates the run's result; folds are invoked serially in
+	// submission order after all runs complete, so they need no locking
+	// and floating-point accumulation order is fixed.
+	fold func(*core.Result)
+	// wrap decorates the run's error with sweep coordinates.
+	wrap func(error) error
+}
+
+// sched collects jobs and executes them on a bounded worker pool.
+type sched struct {
+	workers int
+	jobs    []schedJob
+}
+
+// newSched returns a scheduler with the given concurrency; workers <= 0
+// selects runtime.GOMAXPROCS(0).
+func newSched(workers int) *sched {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &sched{workers: workers}
+}
+
+// Add enqueues a single run of cfg.
+func (s *sched) Add(cfg core.Config, fold func(*core.Result), wrap func(error) error) {
+	s.jobs = append(s.jobs, schedJob{cfg: cfg, fold: fold, wrap: wrap})
+}
+
+// AddTrials enqueues trials runs of cfg under the harness seed schedule
+// (Seed + 101·trial, matching the serial harness).
+func (s *sched) AddTrials(cfg core.Config, trials int, fold func(*core.Result), wrap func(error) error) {
+	for tr := 0; tr < trials; tr++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(tr)*101
+		s.Add(c, fold, wrap)
+	}
+}
+
+// Run executes every queued job, bounded by the worker count, then folds
+// all results in submission order. On error no fold runs: the first error
+// (by submission order among the jobs that ran) is returned, wrapped by the
+// job's wrap function, and outstanding jobs are cancelled — workers finish
+// their in-flight run and stop. The job queue is cleared either way.
+func (s *sched) Run() error {
+	jobs := s.jobs
+	s.jobs = nil
+	n := len(jobs)
+	if n == 0 {
+		return nil
+	}
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				res, err := core.Run(jobs[i].cfg)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if errs[i] == nil {
+			continue
+		}
+		if j.wrap != nil {
+			return j.wrap(errs[i])
+		}
+		return errs[i]
+	}
+	for i, j := range jobs {
+		j.fold(results[i])
+	}
+	return nil
+}
+
+// averageRuns executes the config Trials times with distinct seeds and
+// returns per-field averages via the fold function, fanning the trials out
+// over the scheduler's workers.
+func averageRuns(o Options, cfg core.Config, trials int, fold func(*core.Result)) error {
+	s := newSched(o.Workers)
+	s.AddTrials(cfg, trials, fold, nil)
+	return s.Run()
+}
+
+// mean averages with pairwise summation: lower rounding error than a naive
+// running sum, and exact when all values are identical and len is a power of
+// two (e.g. a deterministic CR error averaged over trials).
+func mean(xs []float64) float64 {
+	return pairwiseSum(xs) / float64(len(xs))
+}
+
+func pairwiseSum(xs []float64) float64 {
+	switch len(xs) {
+	case 0:
+		return 0
+	case 1:
+		return xs[0]
+	}
+	h := len(xs) / 2
+	return pairwiseSum(xs[:h]) + pairwiseSum(xs[h:])
+}

@@ -242,8 +242,13 @@ func (s *ParallelSolver) Gather(root int) (*grid.Grid, error) {
 // State returns a copy of the owned rows (no halos), for checkpointing and
 // replication-based recovery.
 func (s *ParallelSolver) State() []float64 {
+	return s.AppendState(nil)
+}
+
+// AppendState appends the owned rows to dst (StateAppender interface).
+func (s *ParallelSolver) AppendState(dst []float64) []float64 {
 	nloc := s.r1 - s.r0
-	return append([]float64(nil), s.local[s.nx:(nloc+1)*s.nx]...)
+	return append(dst, s.local[s.nx:(nloc+1)*s.nx]...)
 }
 
 // Restore overwrites the owned rows and step counter from a checkpoint.

@@ -236,12 +236,16 @@ func (s *ParallelSolver2D) Gather(root int) (*grid.Grid, error) {
 // State returns a copy of the owned block (no halos), row-major, for
 // checkpointing and replication-based recovery.
 func (s *ParallelSolver2D) State() []float64 {
+	return s.AppendState(nil)
+}
+
+// AppendState appends the owned block to dst (StateAppender interface).
+func (s *ParallelSolver2D) AppendState(dst []float64) []float64 {
 	nlx, nly := s.cx1-s.cx0, s.cy1-s.cy0
-	out := make([]float64, nlx*nly)
 	for ly := 1; ly <= nly; ly++ {
-		copy(out[(ly-1)*nlx:ly*nlx], s.local[s.at(1, ly):s.at(nlx+1, ly)])
+		dst = append(dst, s.local[s.at(1, ly):s.at(nlx+1, ly)]...)
 	}
-	return out
+	return dst
 }
 
 // Restore overwrites the owned block and step counter from a checkpoint.

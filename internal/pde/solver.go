@@ -32,8 +32,27 @@ type Solver interface {
 	GroupComm() *mpi.Comm
 }
 
+// StateAppender is implemented by solvers that can serialise their owned
+// cells into a caller-provided buffer. AppendState(dst[:0]) with a buffer
+// kept across calls makes periodic checkpointing allocation-free, where
+// State must allocate a fresh copy each time.
+type StateAppender interface {
+	AppendState(dst []float64) []float64
+}
+
+// AppendState appends s's owned cells to dst and returns the extended
+// buffer, using the solver's allocation-free path when available.
+func AppendState(s Solver, dst []float64) []float64 {
+	if a, ok := s.(StateAppender); ok {
+		return a.AppendState(dst)
+	}
+	return append(dst, s.State()...)
+}
+
 // Interface checks.
 var (
-	_ Solver = (*ParallelSolver)(nil)
-	_ Solver = (*ParallelSolver2D)(nil)
+	_ Solver        = (*ParallelSolver)(nil)
+	_ Solver        = (*ParallelSolver2D)(nil)
+	_ StateAppender = (*ParallelSolver)(nil)
+	_ StateAppender = (*ParallelSolver2D)(nil)
 )

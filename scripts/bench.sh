@@ -1,0 +1,40 @@
+#!/bin/sh
+# Runs the tier-1 benchmark suite with allocation reporting and writes
+# BENCH_baseline.json (benchmark name -> ns/op and allocs/op) at the repo
+# root. Regenerate after performance work and commit the result so
+# reviewers can diff hot-path cost:
+#
+#   ./scripts/bench.sh            # full suite (several minutes)
+#   ./scripts/bench.sh ./internal/grid/   # one package
+#
+# Times are machine-dependent; allocs/op is the stable signal.
+set -eu
+
+cd "$(dirname "$0")/.."
+pkgs="${1:-./...}"
+out="BENCH_baseline.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem "$pkgs" | tee "$raw"
+
+awk '
+BEGIN { print "{"; n = 0 }
+/^pkg: / { pkg = $2 }
+/^Benchmark/ {
+    name = $1
+    nsop = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     nsop = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (nsop == "") next
+    if (n++) printf ",\n"
+    printf "  \"%s/%s\": {\"ns_per_op\": %s", pkg, name, nsop
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out"
