@@ -21,7 +21,10 @@ import (
 	"io"
 	"os"
 
+	"ftsg/internal/core"
 	"ftsg/internal/harness"
+	"ftsg/internal/metrics"
+	"ftsg/internal/trace"
 )
 
 func main() {
@@ -34,6 +37,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent simulated runs (0 = one per CPU, 1 = serial)")
 		format     = flag.String("format", "table", "table | csv")
 		verbose    = flag.Bool("v", false, "log progress per configuration")
+		telemetry  = flag.Bool("telemetry", false, "add per-cell telemetry columns (solve/repair time, MPI messages/bytes, checkpoint I/O) to tables and CSVs")
+		showMet    = flag.Bool("metrics", false, "print the aggregate instrumentation summary over every run of the sweep")
+		metOut     = flag.String("metrics-out", "", "write the aggregate instrumentation summary to this file")
+		traceOut   = flag.String("trace-out", "", "write the Chrome trace_event JSON of one representative fault-injected run (2 failures, RC, largest core count of the sweep) to this file")
 	)
 	flag.Parse()
 
@@ -59,10 +66,70 @@ func main() {
 	if *verbose {
 		opts.Log = os.Stderr
 	}
+	opts.Telemetry = *telemetry
+	var reg *metrics.Registry
+	if *showMet || *metOut != "" {
+		reg = metrics.New()
+		opts.Metrics = reg
+	}
 	if err := run(os.Stdout, *experiment, *format, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if *showMet {
+		fmt.Println("aggregate instrumentation summary:")
+		reg.WriteSummary(os.Stdout)
+	}
+	if *metOut != "" {
+		if err := writeFileWith(*metOut, func(w io.Writer) error {
+			reg.WriteSummary(w)
+			return nil
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeRepresentativeTrace(*traceOut, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeRepresentativeTrace runs one fault-injected RC configuration at the
+// sweep's largest core count and exports its recovery timeline as Chrome
+// trace_event JSON — the per-rank view the aggregate tables cannot show.
+func writeRepresentativeTrace(path string, opts harness.Options) error {
+	opts = opts.WithDefaults()
+	dp := opts.DiagProcsList[len(opts.DiagProcsList)-1]
+	rec := trace.New(nil)
+	cfg := core.Config{
+		Technique:    core.ResamplingCopying,
+		DiagProcs:    dp,
+		Steps:        opts.Steps,
+		NumFailures:  2,
+		RealFailures: true,
+		Seed:         41,
+		Trace:        rec,
+	}
+	if _, err := core.Run(cfg); err != nil {
+		return err
+	}
+	return writeFileWith(path, rec.ExportChromeTrace)
+}
+
+// writeFileWith streams fn's output into path.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(w io.Writer, experiment, format string, opts harness.Options) error {

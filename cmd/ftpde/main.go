@@ -4,40 +4,75 @@
 //	ftpde -technique AC -failures 2 -real           # kill 2 ranks, recover
 //	ftpde -technique CR -machine raijin -failures 3 # simulated grid losses
 //	ftpde -diagprocs 32                             # the 304-core layout
+//	ftpde -failures 2 -real -trace-out trace.json   # Perfetto recovery timeline
+//	ftpde -failures 1 -real -metrics                # MPI profiler summary
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"ftsg/internal/core"
+	"ftsg/internal/metrics"
 	"ftsg/internal/trace"
 	"ftsg/internal/vtime"
 )
 
+const techniqueHelp = "recovery technique: CR (checkpoint/restart: periodic disk " +
+	"checkpoints, lost grids recompute from the last one) | RC (resampling and " +
+	"copying: every diagonal grid is duplicated, lost grids copy from their twin " +
+	"or resample from the finer diagonal above) | AC (alternate combination: two " +
+	"extra layers of coarser grids, new combination coefficients over survivors)"
+
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable body of the command: it parses args, runs the
+// solver, and writes all output to the given writers.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ftpde", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		technique = flag.String("technique", "AC", "CR | RC | AC")
-		machine   = flag.String("machine", "opl", "opl | raijin | generic")
-		diagProcs = flag.Int("diagprocs", 8, "processes per diagonal sub-grid (2..32)")
-		steps     = flag.Int("steps", 256, "solver timesteps")
-		n         = flag.Int("n", 8, "full grid exponent (paper: 13)")
-		level     = flag.Int("level", 4, "combination level l >= 4")
-		failures  = flag.Int("failures", 0, "number of failures to inject")
-		failStep  = flag.Int("failstep", 0, "step at which victims die (default steps/2)")
-		real      = flag.Bool("real", false, "kill real processes and reconstruct (default: simulated grid loss)")
-		nodefail  = flag.Bool("nodefail", false, "fail one whole host (requires -real and -spares >= 1)")
-		spares    = flag.Int("spares", 0, "spare hosts appended to the cluster for replacements")
-		seed      = flag.Int64("seed", 1, "failure-selection seed")
-		showTrace = flag.Bool("trace", false, "print the virtual-time event timeline")
+		technique = fs.String("technique", "AC", techniqueHelp)
+		machine   = fs.String("machine", "opl", "opl | raijin | generic")
+		diagProcs = fs.Int("diagprocs", 8, "processes per diagonal sub-grid (2..32)")
+		steps     = fs.Int("steps", 256, "solver timesteps")
+		n         = fs.Int("n", 8, "full grid exponent (paper: 13)")
+		level     = fs.Int("level", 4, "combination level l >= 4")
+		failures  = fs.Int("failures", 0, "number of failures to inject")
+		failStep  = fs.Int("failstep", 0, "step at which victims die (default steps/2)")
+		real      = fs.Bool("real", false, "kill real processes and reconstruct (default: simulated grid loss)")
+		nodefail  = fs.Bool("nodefail", false, "fail one whole host (requires -real and -spares >= 1)")
+		spares    = fs.Int("spares", 0, "spare hosts appended to the cluster for replacements")
+		seed      = fs.Int64("seed", 1, "failure-selection seed")
+		showTrace = fs.Bool("trace", false, "print the virtual-time event timeline")
+		traceOut  = fs.String("trace-out", "", "write the recovery timeline as Chrome trace_event JSON to this file (load in ui.perfetto.dev)")
+		showMet   = fs.Bool("metrics", false, "print the instrumentation summary (MPI messages/bytes, per-op latency, cost attribution)")
+		metOut    = fs.String("metrics-out", "", "write the instrumentation summary to this file")
+		quiet     = fs.Bool("quiet", false, "suppress the run summary (trace/metrics output still honoured)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	tech, err := parseTechnique(*technique)
+	if err != nil {
+		fmt.Fprintln(stderr, "ftpde:", err)
+		return 2
+	}
+	mach, err := parseMachine(*machine)
+	if err != nil {
+		fmt.Fprintln(stderr, "ftpde:", err)
+		return 2
+	}
 
 	cfg := core.Config{
-		Technique:    parseTechnique(*technique),
-		Machine:      parseMachine(*machine),
+		Technique:    tech,
+		Machine:      mach,
 		DiagProcs:    *diagProcs,
 		Steps:        *steps,
 		NumFailures:  *failures,
@@ -49,69 +84,113 @@ func main() {
 	}
 	cfg.Layout.N, cfg.Layout.L = *n, *level
 	var rec *trace.Recorder
-	if *showTrace {
+	if *showTrace || *traceOut != "" {
 		rec = trace.New(nil)
 		cfg.Trace = rec
+	}
+	var reg *metrics.Registry
+	if *showMet || *metOut != "" {
+		reg = metrics.New()
+		cfg.Metrics = reg
 	}
 
 	res, err := core.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ftpde:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ftpde:", err)
+		return 1
 	}
 
-	fmt.Printf("technique            %s on %s\n", res.Technique, res.Machine)
-	fmt.Printf("processes            %d across %d sub-grids (%d re-spawned)\n",
+	if !*quiet {
+		printResult(stdout, res)
+	}
+	if rec != nil && *showTrace {
+		fmt.Fprintln(stdout, "\nevent timeline:")
+		rec.Render(stdout)
+	}
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, rec.ExportChromeTrace); err != nil {
+			fmt.Fprintln(stderr, "ftpde:", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "chrome trace written to %s\n", *traceOut)
+		}
+	}
+	if *showMet {
+		fmt.Fprintln(stdout, "\ninstrumentation summary:")
+		reg.WriteSummary(stdout)
+	}
+	if *metOut != "" {
+		err := writeFileWith(*metOut, func(w io.Writer) error {
+			reg.WriteSummary(w)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "ftpde:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func printResult(w io.Writer, res *core.Result) {
+	fmt.Fprintf(w, "technique            %s on %s\n", res.Technique, res.Machine)
+	fmt.Fprintf(w, "processes            %d across %d sub-grids (%d re-spawned)\n",
 		res.Procs, res.GridCount, res.Spawned)
-	fmt.Printf("steps                %d\n", res.Steps)
-	fmt.Printf("total virtual time   %.2f s\n", res.TotalTime)
+	fmt.Fprintf(w, "steps                %d\n", res.Steps)
+	fmt.Fprintf(w, "total virtual time   %.2f s\n", res.TotalTime)
 	if len(res.FailedRanks) > 0 {
-		fmt.Printf("failed ranks         %v\n", res.FailedRanks)
-		fmt.Printf("failure info time    %.3f s\n", res.ListTime)
-		fmt.Printf("reconstruction time  %.2f s (shrink %.2f, spawn %.2f, merge %.2f, agree %.2f, split %.2f)\n",
+		fmt.Fprintf(w, "failed ranks         %v\n", res.FailedRanks)
+		fmt.Fprintf(w, "failure info time    %.3f s\n", res.ListTime)
+		fmt.Fprintf(w, "reconstruction time  %.2f s (shrink %.2f, spawn %.2f, merge %.2f, agree %.2f, split %.2f)\n",
 			res.ReconstructTime, res.ShrinkTime, res.SpawnTime, res.MergeTime, res.AgreeTime, res.SplitTime)
 	}
 	if len(res.LostGrids) > 0 {
-		fmt.Printf("lost sub-grids       %v\n", res.LostGrids)
-		fmt.Printf("data recovery time   %.3f s\n", res.DataRecoveryTime)
+		fmt.Fprintf(w, "lost sub-grids       %v\n", res.LostGrids)
+		fmt.Fprintf(w, "data recovery time   %.3f s\n", res.DataRecoveryTime)
 	}
 	if res.Technique == core.CheckpointRestart {
-		fmt.Printf("checkpoints          %d written, every %d steps\n",
+		fmt.Fprintf(w, "checkpoints          %d written, every %d steps\n",
 			res.CheckpointWrites, res.CheckpointPlan.IntervalSteps)
 	}
-	fmt.Printf("combined l1 error    %.4e\n", res.L1Error)
-	if rec != nil {
-		fmt.Println("\nevent timeline:")
-		rec.Render(os.Stdout)
-	}
+	fmt.Fprintf(w, "combined l1 error    %.4e\n", res.L1Error)
 }
 
-func parseTechnique(s string) core.Technique {
+// writeFileWith streams fn's output into path.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseTechnique(s string) (core.Technique, error) {
 	switch strings.ToUpper(s) {
 	case "CR":
-		return core.CheckpointRestart
+		return core.CheckpointRestart, nil
 	case "RC":
-		return core.ResamplingCopying
+		return core.ResamplingCopying, nil
 	case "AC":
-		return core.AlternateCombination
+		return core.AlternateCombination, nil
 	default:
-		fmt.Fprintf(os.Stderr, "ftpde: unknown technique %q (want CR, RC or AC)\n", s)
-		os.Exit(2)
-		return 0
+		return 0, fmt.Errorf("unknown technique %q (want CR, RC or AC)", s)
 	}
 }
 
-func parseMachine(s string) *vtime.Machine {
+func parseMachine(s string) (*vtime.Machine, error) {
 	switch strings.ToLower(s) {
 	case "opl":
-		return vtime.OPL()
+		return vtime.OPL(), nil
 	case "raijin":
-		return vtime.Raijin()
+		return vtime.Raijin(), nil
 	case "generic":
-		return vtime.Generic()
+		return vtime.Generic(), nil
 	default:
-		fmt.Fprintf(os.Stderr, "ftpde: unknown machine %q (want opl, raijin or generic)\n", s)
-		os.Exit(2)
-		return nil
+		return nil, fmt.Errorf("unknown machine %q (want opl, raijin or generic)", s)
 	}
 }

@@ -1,6 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"ftsg/internal/core"
@@ -15,9 +20,15 @@ func TestParseTechnique(t *testing.T) {
 		"ac": core.AlternateCombination,
 	}
 	for in, want := range cases {
-		if got := parseTechnique(in); got != want {
+		got, err := parseTechnique(in)
+		if err != nil {
+			t.Errorf("parseTechnique(%q): %v", in, err)
+		} else if got != want {
 			t.Errorf("parseTechnique(%q) = %v, want %v", in, got, want)
 		}
+	}
+	if _, err := parseTechnique("XX"); err == nil {
+		t.Error("parseTechnique(XX) succeeded, want error")
 	}
 }
 
@@ -28,8 +39,105 @@ func TestParseMachine(t *testing.T) {
 		"raijin":  "Raijin",
 		"generic": "generic",
 	} {
-		if got := parseMachine(in); got.Name != want {
+		got, err := parseMachine(in)
+		if err != nil {
+			t.Errorf("parseMachine(%q): %v", in, err)
+		} else if got.Name != want {
 			t.Errorf("parseMachine(%q) = %q, want %q", in, got.Name, want)
+		}
+	}
+	if _, err := parseMachine("cray"); err == nil {
+		t.Error("parseMachine(cray) succeeded, want error")
+	}
+}
+
+// TestChromeTraceCoversRepairPhases is the acceptance test for -trace-out: a
+// fault-injected run must emit valid Chrome trace_event JSON whose spans cover
+// the whole recovery timeline — failure detection, the ULFM repair phases,
+// data recovery and the final combination.
+func TestChromeTraceCoversRepairPhases(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-technique", "RC", "-diagprocs", "2", "-steps", "16",
+		"-failures", "1", "-real", "-seed", "7",
+		"-trace-out", out, "-quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("realMain = %d, stderr: %s", code, stderr.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+
+	spans := map[string]int{}
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "X" || e.Ph == "B" { // complete or still-open span
+			spans[e.Name]++
+			if e.Tid <= 0 {
+				t.Errorf("span %q has non-positive tid %d", e.Name, e.Tid)
+			}
+		}
+	}
+	for _, phase := range []string{
+		"detect", "revoke", "shrink", "spawn", "merge", "split",
+		"recover-data", "combine",
+	} {
+		if spans[phase] == 0 {
+			t.Errorf("trace has no %q span; spans present: %v", phase, spans)
+		}
+	}
+}
+
+// TestQuietAndMetricsOut checks -quiet suppresses the run summary while
+// -metrics-out still writes the instrumentation summary.
+func TestQuietAndMetricsOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.txt")
+	var stdout, stderr bytes.Buffer
+	code := realMain([]string{
+		"-technique", "CR", "-diagprocs", "2", "-steps", "16",
+		"-metrics-out", out, "-quiet",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("realMain = %d, stderr: %s", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-quiet left stdout non-empty: %q", stdout.String())
+	}
+	sum, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mpi.sent.messages", "mpi.sent.bytes"} {
+		if !strings.Contains(string(sum), want) {
+			t.Errorf("metrics summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestBadFlagsExitCode checks flag validation surfaces as exit code 2.
+func TestBadFlagsExitCode(t *testing.T) {
+	for _, args := range [][]string{
+		{"-technique", "XX"},
+		{"-machine", "cray"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := realMain(args, &stdout, &stderr); code != 2 {
+			t.Errorf("realMain(%v) = %d, want 2 (stderr: %s)", args, code, stderr.String())
 		}
 	}
 }

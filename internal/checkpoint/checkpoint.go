@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"ftsg/internal/mpi"
+	"ftsg/internal/vtime"
 )
 
 // encPool recycles encode buffers across Write calls: checkpoints are
@@ -82,7 +83,8 @@ func (s *Store) Write(p *mpi.Proc, gridID, rank, step int, data []float64) error
 	if err := os.Rename(tmp, s.path(gridID, rank)); err != nil {
 		return fmt.Errorf("checkpoint: commit: %w", err)
 	}
-	p.Compute(p.Machine().TIOWrite)
+	p.ComputeAttr(p.Machine().TIOWrite, vtime.CompDiskWrite)
+	p.Metrics().Counter("checkpoint.bytes.written").Add(int64(n))
 	return nil
 }
 
@@ -115,7 +117,8 @@ func (s *Store) Read(p *mpi.Proc, gridID, rank int) (step int, data []float64, e
 	for i := range data {
 		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[24+8*i : 32+8*i]))
 	}
-	p.Compute(p.Machine().TIORead)
+	p.ComputeAttr(p.Machine().TIORead, vtime.CompDiskRead)
+	p.Metrics().Counter("checkpoint.bytes.read").Add(int64(len(raw)))
 	return step, data, nil
 }
 

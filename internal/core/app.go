@@ -11,6 +11,7 @@ import (
 	"ftsg/internal/faultgen"
 	"ftsg/internal/ftcomb"
 	"ftsg/internal/grid"
+	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
 	"ftsg/internal/pde"
 	"ftsg/internal/recovery"
@@ -176,17 +177,34 @@ func Run(cfg Config) (*Result, error) {
 		TIOWrite:       cfg.Machine.TIOWrite,
 	}
 
+	// Instrumentation: an explicit registry (possibly shared across runs
+	// for aggregate summaries) wins; Telemetry attaches a private one so
+	// the Result's traffic/IO fields come out populated.
+	reg := cfg.Metrics
+	if reg == nil && cfg.Telemetry {
+		reg = metrics.New()
+	}
+
 	rep, err := mpi.Run(mpi.Options{
 		NProcs:  nprocs,
 		Machine: cfg.Machine,
 		Cluster: rs.cluster,
 		Entry:   rs.entry,
+		Metrics: reg,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rs.res.TotalTime = rep.MaxVirtualTime
 	rs.res.Spawned = rep.Spawned
+	if reg != nil {
+		// With a shared registry these are cumulative across the runs
+		// recorded so far, not per-run.
+		rs.res.MPIMessages = reg.Counter("mpi.sent.messages").Value()
+		rs.res.MPIBytes = reg.Counter("mpi.sent.bytes").Value()
+		rs.res.CheckpointBytesOut = reg.Counter("checkpoint.bytes.written").Value()
+		rs.res.CheckpointBytesIn = reg.Counter("checkpoint.bytes.read").Value()
+	}
 	return &rs.res, nil
 }
 
@@ -219,7 +237,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 	var rank, cur int
 	var failedList []int
 	replacement := p.Parent() != nil
-	var myStats recovery.Stats
+	myStats := recovery.Stats{Trace: cfg.Trace}
 
 	if replacement {
 		w, r, err := recovery.ReconstructPlaced(p, nil, p.Parent(), &myStats, rs.place)
@@ -291,6 +309,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		if dp <= cur {
 			continue
 		}
+		solveSpan := cfg.Trace.BeginSpan(p.Now(), rank, "solve", "steps %d..%d", cur+1, dp)
 		for s := cur + 1; s <= dp; s++ {
 			if !replacement && rs.plan != nil {
 				rs.plan.Poll(p, rank, s)
@@ -308,9 +327,10 @@ func (rs *runState) rank(p *mpi.Proc) error {
 				}
 			}
 		}
+		solveSpan.End(p.Now())
 		cur = dp
 
-		var st recovery.Stats
+		st := recovery.Stats{Trace: cfg.Trace}
 		newWorld, newRank, err := recovery.ReconstructPlaced(p, world, nil, &st, rs.place)
 		if err != nil {
 			return err
@@ -347,7 +367,10 @@ func (rs *runState) rank(p *mpi.Proc) error {
 			detectOverhead += st.ListTime
 			if cfg.Technique == CheckpointRestart && dp < cfg.Steps {
 				stateBuf = pde.AppendState(solver, stateBuf[:0])
-				if err := rs.store.Write(p, mine.ID, gcomm.Rank(), dp, stateBuf); err != nil {
+				ckSpan := cfg.Trace.BeginSpan(p.Now(), rank, "checkpoint", "write step %d", dp)
+				err := rs.store.Write(p, mine.ID, gcomm.Rank(), dp, stateBuf)
+				ckSpan.End(p.Now())
+				if err != nil {
 					return err
 				}
 				if rank == 0 {
@@ -430,7 +453,9 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 			rs.cfg.Technique, lost, atStep)
 	}
 	t0 := p.Now()
+	sp := rs.cfg.Trace.BeginSpan(t0, world.Rank(), "recover-data", "%v, sub-grids %v", rs.cfg.Technique, lost)
 	defer func() {
+		sp.End(p.Now())
 		rs.mu.Lock()
 		if d := p.Now() - t0; d > rs.res.DataRecoveryTime {
 			rs.res.DataRecoveryTime = d
@@ -584,6 +609,8 @@ func (rs *runState) computeScheme(p *mpi.Proc, lost []int, timeIt bool) (combine
 // the combined solution. Config.SerialCombine selects the naive
 // ship-everything-to-rank-0 variant for the ablation benchmark.
 func (rs *runState) combinePhase(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, lost []int) error {
+	sp := rs.cfg.Trace.BeginSpan(p.Now(), world.Rank(), "combine", "")
+	defer func() { sp.End(p.Now()) }()
 	scheme, err := rs.computeScheme(p, lost, world.Rank() == 0)
 	if err != nil {
 		return err

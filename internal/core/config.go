@@ -12,6 +12,7 @@ import (
 	"ftsg/internal/combine"
 	"ftsg/internal/faultgen"
 	"ftsg/internal/grid"
+	"ftsg/internal/metrics"
 	"ftsg/internal/pde"
 	"ftsg/internal/trace"
 	"ftsg/internal/vtime"
@@ -149,8 +150,19 @@ type Config struct {
 	// baseline of the combine ablation benchmark.
 	SerialCombine bool
 	// Trace, when non-nil, records a virtual-time event timeline of the
-	// run (detection, repair, recovery, checkpoints, combination).
+	// run (detection, repair, recovery, checkpoints, combination), with
+	// spans for every protocol phase exportable as a Chrome/Perfetto trace.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, instruments the run: MPI message/byte
+	// counters, per-op latency histograms, and modelled cost attribution
+	// (see internal/mpi and internal/metrics). Several runs may share one
+	// registry to aggregate. nil disables instrumentation at zero cost.
+	Metrics *metrics.Registry
+	// Telemetry, when true and Metrics is nil, attaches a private per-run
+	// registry so the Result's telemetry fields (MPI messages/bytes,
+	// checkpoint I/O bytes) are populated — the harness uses this to add
+	// deterministic per-cell telemetry columns.
+	Telemetry bool
 	// CheckpointDir overrides the checkpoint directory (default: a fresh
 	// temporary directory, removed after the run).
 	CheckpointDir string

@@ -53,6 +53,14 @@ type Result struct {
 	FailedRanks []int
 	Spawned     int
 
+	// Telemetry (populated only when Config.Metrics or Config.Telemetry is
+	// set; zero otherwise): total MPI traffic of the run and checkpoint
+	// I/O volume.
+	MPIMessages        int64
+	MPIBytes           int64
+	CheckpointBytesOut int64
+	CheckpointBytesIn  int64
+
 	// TIOWrite is the per-checkpoint disk write latency of the machine the
 	// run used (for overhead accounting).
 	TIOWrite float64

@@ -23,14 +23,24 @@ func writeCSV(w io.Writer, header []string, records [][]string) error {
 
 func f(v float64) string { return fmt.Sprintf("%g", v) }
 func d(v int) string     { return fmt.Sprintf("%d", v) }
+func d64(v int64) string { return fmt.Sprintf("%d", v) }
 
-// CSVFig8 writes Fig. 8's rows as CSV.
+// CSVFig8 writes Fig. 8's rows as CSV; telemetry columns appear only when
+// the rows carry telemetry.
 func CSVFig8(w io.Writer, rows []Fig8Row) error {
+	telemetry := hasTelemetryFig8(rows)
 	recs := make([][]string, len(rows))
 	for i, r := range rows {
 		recs[i] = []string{d(r.Cores), d(r.Failures), f(r.ListTime), f(r.Reconstruct)}
+		if telemetry {
+			recs[i] = append(recs[i], d64(r.Messages), d64(r.Bytes))
+		}
 	}
-	return writeCSV(w, []string{"cores", "failures", "list_s", "reconstruct_s"}, recs)
+	header := []string{"cores", "failures", "list_s", "reconstruct_s"}
+	if telemetry {
+		header = append(header, "messages", "bytes")
+	}
+	return writeCSV(w, header, recs)
 }
 
 // CSVTable1 writes Table I's rows as CSV.
@@ -60,11 +70,21 @@ func CSVFig10(w io.Writer, rows []Fig10Row) error {
 	return writeCSV(w, []string{"technique", "lost_grids", "l1_error"}, recs)
 }
 
-// CSVFig11 writes Fig. 11's rows as CSV.
+// CSVFig11 writes Fig. 11's rows as CSV; telemetry columns appear only
+// when the rows carry telemetry.
 func CSVFig11(w io.Writer, rows []Fig11Row) error {
+	telemetry := hasTelemetryFig11(rows)
 	recs := make([][]string, len(rows))
 	for i, r := range rows {
 		recs[i] = []string{r.Technique.String(), d(r.Failures), d(r.Cores), d(r.SweepCores), f(r.Time), f(r.Efficiency)}
+		if telemetry {
+			recs[i] = append(recs[i],
+				f(r.SolveTime), f(r.RepairTime), d64(r.Messages), d64(r.Bytes), d64(r.CkptBytes))
+		}
 	}
-	return writeCSV(w, []string{"technique", "failures", "cores", "sweep_cores", "time_s", "efficiency"}, recs)
+	header := []string{"technique", "failures", "cores", "sweep_cores", "time_s", "efficiency"}
+	if telemetry {
+		header = append(header, "solve_s", "repair_s", "messages", "bytes", "ckpt_bytes")
+	}
+	return writeCSV(w, header, recs)
 }

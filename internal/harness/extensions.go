@@ -36,7 +36,7 @@ func LevelSweep(o Options) ([]LevelSweepRow, error) {
 		res    *core.Result
 	}
 	var cells []*cell
-	s := newSched(o.Workers)
+	s := newSched(o)
 	for _, l := range []int{4, 5, 6} {
 		cfg := core.Config{
 			Technique: core.AlternateCombination,
@@ -102,7 +102,7 @@ func NodeFailure(o Options) ([]NodeFailureRow, error) {
 		base, fail *core.Result
 	}
 	var cells []*cell
-	s := newSched(o.Workers)
+	s := newSched(o)
 	for _, tech := range []core.Technique{core.CheckpointRestart, core.AlternateCombination} {
 		c := &cell{tech: tech}
 		cells = append(cells, c)
@@ -225,7 +225,7 @@ func ACLayers(o Options) ([]ACLayersRow, error) {
 		errs   []float64
 	}
 	var cells []*cell
-	s := newSched(o.Workers)
+	s := newSched(o)
 	for _, layers := range []int{-1, 1, 2} {
 		cfg := core.Config{
 			Technique:   core.AlternateCombination,

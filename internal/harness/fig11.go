@@ -16,6 +16,14 @@ type Fig11Row struct {
 	SweepCores int // the shared x-axis (RC-set core count at this scale)
 	Time       float64
 	Efficiency float64
+	// Telemetry columns (Options.Telemetry; mean per trial, zero when
+	// off): application solve time, repair time, MPI traffic, and total
+	// checkpoint I/O volume.
+	SolveTime  float64
+	RepairTime float64
+	Messages   int64
+	Bytes      int64
+	CkptBytes  int64
 }
 
 // Fig11 reproduces Figs. 11a and 11b: overall parallel performance across
@@ -29,14 +37,16 @@ func Fig11(o Options) ([]Fig11Row, error) {
 		failuresList = []int{0, 2}
 	}
 	type cell struct {
-		tech     core.Technique
-		failures int
-		dp       int
-		cores    int
-		total    float64
+		tech             core.Technique
+		failures         int
+		dp               int
+		cores            int
+		total            float64
+		solve, repair    float64
+		msgs, bytes, cio int64
 	}
 	var cells []*cell
-	s := newSched(o.Workers)
+	s := newSched(o)
 	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
 		for _, failures := range failuresList {
 			for _, dp := range o.DiagProcsList {
@@ -47,11 +57,17 @@ func Fig11(o Options) ([]Fig11Row, error) {
 					NumFailures:  failures,
 					RealFailures: failures > 0,
 					Seed:         111,
+					Telemetry:    o.Telemetry,
 				}
 				c := &cell{tech: tech, failures: failures, dp: dp, cores: cfg.WithDefaults().NumProcs()}
 				cells = append(cells, c)
 				s.AddTrials(cfg, o.Trials, func(r *core.Result) {
 					c.total += r.TotalTime
+					c.solve += r.AppTime()
+					c.repair += r.ListTime + r.ReconstructTime
+					c.msgs += r.MPIMessages
+					c.bytes += r.MPIBytes
+					c.cio += r.CheckpointBytesOut + r.CheckpointBytesIn
 				}, func(err error) error {
 					return fmt.Errorf("fig11 %v f=%d dp=%d: %w", c.tech, c.failures, c.dp, err)
 				})
@@ -68,12 +84,18 @@ func Fig11(o Options) ([]Fig11Row, error) {
 	for sBase := 0; sBase < len(cells); sBase += stride {
 		series := make([]Fig11Row, 0, stride)
 		for _, c := range cells[sBase : sBase+stride] {
+			n := float64(o.Trials)
 			series = append(series, Fig11Row{
 				Technique:  c.tech,
 				Failures:   c.failures,
 				Cores:      c.cores,
 				SweepCores: coresFor(c.dp),
-				Time:       c.total / float64(o.Trials),
+				Time:       c.total / n,
+				SolveTime:  c.solve / n,
+				RepairTime: c.repair / n,
+				Messages:   c.msgs / int64(o.Trials),
+				Bytes:      c.bytes / int64(o.Trials),
+				CkptBytes:  c.cio / int64(o.Trials),
 			})
 		}
 		base := series[0]
@@ -88,13 +110,37 @@ func Fig11(o Options) ([]Fig11Row, error) {
 	return rows, nil
 }
 
-// RenderFig11 prints both panels.
+// RenderFig11 prints both panels, with telemetry columns only when the
+// rows carry telemetry (default output stays byte-identical to the
+// pre-instrumentation harness).
 func RenderFig11(w io.Writer, rows []Fig11Row) {
 	fmt.Fprintln(w, "Fig. 11a — overall execution time (s)")
 	fmt.Fprintln(w, "Fig. 11b — overall parallel efficiency (relative to each series' smallest run)")
+	if hasTelemetryFig11(rows) {
+		fmt.Fprintf(w, "%4s  %9s  %7s  %12s  %12s  %10s  %10s  %12s  %14s  %12s\n",
+			"tech", "failures", "cores", "time (11a)", "eff (11b)",
+			"solve", "repair", "messages", "bytes", "ckpt bytes")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%4s  %9d  %7d  %12.1f  %12.2f  %10.1f  %10.2f  %12d  %14d  %12d\n",
+				r.Technique, r.Failures, r.Cores, r.Time, r.Efficiency,
+				r.SolveTime, r.RepairTime, r.Messages, r.Bytes, r.CkptBytes)
+		}
+		return
+	}
 	fmt.Fprintf(w, "%4s  %9s  %7s  %12s  %12s\n", "tech", "failures", "cores", "time (11a)", "eff (11b)")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%4s  %9d  %7d  %12.1f  %12.2f\n",
 			r.Technique, r.Failures, r.Cores, r.Time, r.Efficiency)
 	}
+}
+
+// hasTelemetryFig11 reports whether the rows carry telemetry (every run
+// moves at least one message, so 0 means telemetry was off).
+func hasTelemetryFig11(rows []Fig11Row) bool {
+	for _, r := range rows {
+		if r.Messages > 0 {
+			return true
+		}
+	}
+	return false
 }

@@ -15,6 +15,9 @@ type Fig8Row struct {
 	Failures    int
 	ListTime    float64 // Fig. 8a series
 	Reconstruct float64 // Fig. 8b series
+	// Telemetry columns (Options.Telemetry; mean per trial, zero when off).
+	Messages int64
+	Bytes    int64
 }
 
 // Fig8 reproduces Fig. 8: real process failures injected before the
@@ -24,12 +27,13 @@ type Fig8Row struct {
 func Fig8(o Options) ([]Fig8Row, error) {
 	o = o.WithDefaults()
 	type cell struct {
-		failures  int
-		dp        int
-		list, rec float64
+		failures    int
+		dp          int
+		list, rec   float64
+		msgs, bytes int64
 	}
 	var cells []*cell
-	s := newSched(o.Workers)
+	s := newSched(o)
 	for _, failures := range []int{1, 2} {
 		for _, dp := range o.DiagProcsList {
 			c := &cell{failures: failures, dp: dp}
@@ -41,10 +45,13 @@ func Fig8(o Options) ([]Fig8Row, error) {
 				NumFailures:  failures,
 				RealFailures: true,
 				Seed:         41,
+				Telemetry:    o.Telemetry,
 			}
 			s.AddTrials(cfg, o.Trials, func(r *core.Result) {
 				c.list += r.ListTime
 				c.rec += r.ReconstructTime
+				c.msgs += r.MPIMessages
+				c.bytes += r.MPIBytes
 			}, func(err error) error {
 				return fmt.Errorf("fig8 cores=%d f=%d: %w", coresFor(c.dp), c.failures, err)
 			})
@@ -60,6 +67,8 @@ func Fig8(o Options) ([]Fig8Row, error) {
 			Failures:    c.failures,
 			ListTime:    c.list / float64(o.Trials),
 			Reconstruct: c.rec / float64(o.Trials),
+			Messages:    c.msgs / int64(o.Trials),
+			Bytes:       c.bytes / int64(o.Trials),
 		}
 		rows = append(rows, row)
 		o.logf("fig8: cores=%d failures=%d list=%.3fs reconstruct=%.3fs",
@@ -68,14 +77,36 @@ func Fig8(o Options) ([]Fig8Row, error) {
 	return rows, nil
 }
 
-// RenderFig8 prints the two panels as aligned text tables.
+// RenderFig8 prints the two panels as aligned text tables. Telemetry
+// columns appear only when the rows carry telemetry, so the default output
+// matches the pre-instrumentation harness byte for byte.
 func RenderFig8(w io.Writer, rows []Fig8Row) {
 	fmt.Fprintln(w, "Fig. 8a — time for creating a list of failed processes (s)")
 	fmt.Fprintln(w, "Fig. 8b — time for reconstructing the faulty communicator (s)")
+	if hasTelemetryFig8(rows) {
+		fmt.Fprintf(w, "%8s  %9s  %12s  %14s  %12s  %14s\n",
+			"cores", "failures", "list (8a)", "reconstruct (8b)", "messages", "bytes")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%8d  %9d  %12.3f  %14.2f  %12d  %14d\n",
+				r.Cores, r.Failures, r.ListTime, r.Reconstruct, r.Messages, r.Bytes)
+		}
+		return
+	}
 	fmt.Fprintf(w, "%8s  %9s  %12s  %14s\n", "cores", "failures", "list (8a)", "reconstruct (8b)")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%8d  %9d  %12.3f  %14.2f\n", r.Cores, r.Failures, r.ListTime, r.Reconstruct)
 	}
+}
+
+// hasTelemetryFig8 reports whether the rows were collected with telemetry
+// on (every real run moves at least one message, so 0 means off).
+func hasTelemetryFig8(rows []Fig8Row) bool {
+	for _, r := range rows {
+		if r.Messages > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Table1Row is one row of the paper's Table I: component times of the beta
@@ -97,7 +128,7 @@ func Table1(o Options) ([]Table1Row, error) {
 		spawn, shrink, agree, merge float64
 	}
 	var cells []*cell
-	s := newSched(o.Workers)
+	s := newSched(o)
 	for _, dp := range o.DiagProcsList {
 		c := &cell{dp: dp}
 		cells = append(cells, c)

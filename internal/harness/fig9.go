@@ -48,7 +48,7 @@ func Fig9(o Options) ([]Fig9Row, error) {
 		overhead, ptime float64
 	}
 	var cells []*cell
-	s := newSched(o.Workers)
+	s := newSched(o)
 	for _, v := range variants {
 		for lost := 1; lost <= maxLost; lost++ {
 			c := &cell{v: v, lost: lost}
@@ -122,7 +122,7 @@ func Fig10(o Options) ([]Fig10Row, error) {
 		errs []float64
 	}
 	var cells []*cell
-	s := newSched(o.Workers)
+	s := newSched(o)
 	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
 		for lost := 0; lost <= maxLost; lost++ {
 			trials := o.ErrTrials

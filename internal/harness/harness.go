@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"ftsg/internal/core"
+	"ftsg/internal/metrics"
 	"ftsg/internal/vtime"
 )
 
@@ -47,6 +48,18 @@ type Options struct {
 	// serial). Results are deterministic: output is byte-identical for
 	// every worker count.
 	Workers int
+	// Telemetry attaches a per-run metrics registry to every experiment
+	// run and adds telemetry columns (solve/repair time, MPI messages and
+	// bytes, checkpoint I/O) to the affected tables and CSVs. Off by
+	// default; with it off, output is byte-identical to the
+	// pre-instrumentation harness.
+	Telemetry bool
+	// Metrics, when non-nil, aggregates instrumentation across every run
+	// of the sweep: each run records into a private registry which is
+	// merged into this one in submission order after the runs complete,
+	// so the aggregate is deterministic for every worker count. Tables
+	// and CSVs are unaffected unless Telemetry is also set.
+	Metrics *metrics.Registry
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"ftsg/internal/core"
+	"ftsg/internal/metrics"
 )
 
 // The experiment matrix — cores × technique × failures × trials — is a set
@@ -30,16 +31,21 @@ type schedJob struct {
 // sched collects jobs and executes them on a bounded worker pool.
 type sched struct {
 	workers int
+	agg     *metrics.Registry
 	jobs    []schedJob
 }
 
-// newSched returns a scheduler with the given concurrency; workers <= 0
-// selects runtime.GOMAXPROCS(0).
-func newSched(workers int) *sched {
+// newSched returns a scheduler for the Options: o.Workers bounds
+// concurrency (<= 0 selects runtime.GOMAXPROCS(0)); o.Metrics, when
+// non-nil, aggregates instrumentation from every run (each run records into
+// a private registry, merged in submission order after the sweep, so the
+// aggregate is deterministic for every worker count).
+func newSched(o Options) *sched {
+	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &sched{workers: workers}
+	return &sched{workers: workers, agg: o.Metrics}
 }
 
 // Add enqueues a single run of cfg.
@@ -75,6 +81,10 @@ func (s *sched) Run() error {
 	}
 	results := make([]*core.Result, n)
 	errs := make([]error, n)
+	var regs []*metrics.Registry
+	if s.agg != nil {
+		regs = make([]*metrics.Registry, n)
+	}
 	var next atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
@@ -87,17 +97,37 @@ func (s *sched) Run() error {
 				if i >= n || failed.Load() {
 					return
 				}
-				res, err := core.Run(jobs[i].cfg)
+				cfg := jobs[i].cfg
+				if regs != nil && cfg.Metrics == nil {
+					// Private per-run registry: the run's Result telemetry
+					// stays per-run, and the fixed-order merge below keeps
+					// the aggregate deterministic under concurrency.
+					regs[i] = metrics.New()
+					cfg.Metrics = regs[i]
+				}
+				res, err := core.Run(cfg)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
+				}
+				if regs != nil && regs[i] != nil && !cfg.Telemetry {
+					// The registry was injected for the aggregate summary
+					// only; clear the per-run telemetry fields so tables and
+					// CSVs stay identical to an uninstrumented sweep.
+					res.MPIMessages, res.MPIBytes = 0, 0
+					res.CheckpointBytesOut, res.CheckpointBytesIn = 0, 0
 				}
 				results[i] = res
 			}
 		}()
 	}
 	wg.Wait()
+	for _, reg := range regs {
+		if reg != nil {
+			s.agg.Merge(reg)
+		}
+	}
 	for i, j := range jobs {
 		if errs[i] == nil {
 			continue
@@ -117,7 +147,7 @@ func (s *sched) Run() error {
 // returns per-field averages via the fold function, fanning the trials out
 // over the scheduler's workers.
 func averageRuns(o Options, cfg core.Config, trials int, fold func(*core.Result)) error {
-	s := newSched(o.Workers)
+	s := newSched(o)
 	s.AddTrials(cfg, trials, fold, nil)
 	return s.Run()
 }

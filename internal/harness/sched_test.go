@@ -1,12 +1,15 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"ftsg/internal/core"
+	"ftsg/internal/metrics"
 )
 
 // The scheduler's contract: for the same Options (up to Workers) every
@@ -85,7 +88,7 @@ func TestSchedErrorCancelsSweep(t *testing.T) {
 	bad := good
 	bad.FailStep = 99 // outside [0, Steps]: core.Run fails validation
 
-	s := newSched(4)
+	s := newSched(Options{Workers: 4})
 	var folds atomic.Int64
 	fold := func(*core.Result) { folds.Add(1) }
 	s.Add(good, fold, nil)
@@ -115,7 +118,7 @@ func TestSchedErrorCancelsSweep(t *testing.T) {
 // TestSchedSeedsMatchSerialSchedule pins the seed schedule: trial tr of a
 // config runs with Seed + 101*tr, the schedule the serial harness used.
 func TestSchedSeedsMatchSerialSchedule(t *testing.T) {
-	s := newSched(1)
+	s := newSched(Options{Workers: 1})
 	base := core.Config{Technique: core.CheckpointRestart, DiagProcs: 2, Steps: 8, Seed: 7}
 	s.AddTrials(base, 3, func(*core.Result) {}, nil)
 	want := []int64{7, 108, 209}
@@ -139,5 +142,42 @@ func TestMeanExactForIdenticalValues(t *testing.T) {
 		if got := mean(xs); got != x {
 			t.Errorf("mean of %d identical values drifted: %.17g != %.17g", n, got, x)
 		}
+	}
+}
+
+// TestAggregateMetricsDeterministic: with an aggregate registry attached,
+// (a) the summary is byte-identical across worker counts (per-run registries
+// merge in submission order), and (b) tables stay identical to an
+// uninstrumented sweep unless Telemetry is also set.
+func TestAggregateMetricsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick experiment matrix")
+	}
+	sweep := func(workers int) (summary, table string) {
+		reg := metrics.New()
+		o := Options{Quick: true, Trials: 1, ErrTrials: 1, Steps: 16,
+			Workers: workers, Metrics: reg}
+		rows, err := Fig8(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tbl, sum bytes.Buffer
+		RenderFig8(&tbl, rows)
+		reg.WriteSummary(&sum)
+		return sum.String(), tbl.String()
+	}
+	s1, t1 := sweep(1)
+	s8, t8 := sweep(8)
+	if s1 != s8 {
+		t.Errorf("aggregate summary differs across worker counts:\n%s\nvs\n%s", s1, s8)
+	}
+	if t1 != t8 {
+		t.Errorf("table differs across worker counts:\n%s\nvs\n%s", t1, t8)
+	}
+	if !strings.Contains(s1, "mpi.sent.messages") {
+		t.Errorf("aggregate summary missing mpi counters:\n%s", s1)
+	}
+	if strings.Contains(t1, "messages") {
+		t.Errorf("metrics-only sweep leaked telemetry columns into the table:\n%s", t1)
 	}
 }

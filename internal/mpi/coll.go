@@ -50,18 +50,20 @@ func (c *Comm) Barrier() error {
 	if c.IsInter() {
 		return c.fire(fmt.Errorf("mpi: Barrier on intercommunicator: %w", ErrComm))
 	}
+	t0 := opStart(c)
 	tag := internalTag(kindBarrier, c.nextSeq("barrier"))
 	n, me := c.Size(), c.rank
 	for k := 1; k < n; k <<= 1 {
 		if err := sendRaw(c, (me+k)%n, tag, []byte{1}); err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return c.fire(err)
 		}
 		if _, _, err := recvRaw[byte](c, (me-k+n)%n, tag, true); err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return c.fire(err)
 		}
 	}
+	opEnd(c, "barrier", t0)
 	return nil
 }
 
@@ -72,12 +74,14 @@ func Bcast[T any](c *Comm, root int, data []T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Bcast on intercommunicator: %w", ErrComm))
 	}
+	t0 := opStart(c)
 	tag := internalTag(kindBcast, c.nextSeq("bcast"))
 	buf, err := bcastTree(c, root, tag, data)
 	if err != nil {
-		poisonCollective(c, tag)
+		abortCollective(c, tag)
 		return nil, c.fire(err)
 	}
+	opEnd(c, "bcast", t0)
 	return buf, nil
 }
 
@@ -119,12 +123,14 @@ func Reduce[T any](c *Comm, root int, data []T, op func(T, T) T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Reduce on intercommunicator: %w", ErrComm))
 	}
+	t0 := opStart(c)
 	tag := internalTag(kindReduce, c.nextSeq("reduce"))
 	buf, err := reduceTree(c, root, tag, data, op)
 	if err != nil {
-		poisonCollective(c, tag)
+		abortCollective(c, tag)
 		return nil, c.fire(err)
 	}
+	opEnd(c, "reduce", t0)
 	return buf, nil
 }
 
@@ -162,20 +168,22 @@ func reduceTree[T any](c *Comm, root, tag int, data []T, op func(T, T) T) ([]T, 
 
 // Allreduce combines all buffers with op and delivers the result to every
 // member (reduce to rank 0, then broadcast, sharing one internal tag so
-// failure poisoning covers both phases).
+// failure-abort propagation covers both phases).
 func Allreduce[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Allreduce on intercommunicator: %w", ErrComm))
 	}
+	t0 := opStart(c)
 	tag := internalTag(kindAllreduce, c.nextSeq("allreduce"))
 	buf, err := reduceTree(c, 0, tag, data, op)
 	if err == nil {
 		buf, err = bcastTree(c, 0, tag, buf)
 	}
 	if err != nil {
-		poisonCollective(c, tag)
+		abortCollective(c, tag)
 		return nil, c.fire(err)
 	}
+	opEnd(c, "allreduce", t0)
 	return buf, nil
 }
 
@@ -185,13 +193,15 @@ func Gather[T any](c *Comm, root int, data []T) ([][]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Gather on intercommunicator: %w", ErrComm))
 	}
+	t0 := opStart(c)
 	tag := internalTag(kindGather, c.nextSeq("gather"))
 	n := c.Size()
 	if c.rank != root {
 		if err := sendRaw(c, root, tag, data); err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return nil, c.fire(err)
 		}
+		opEnd(c, "gather", t0)
 		return nil, nil
 	}
 	out := make([][]T, n)
@@ -202,11 +212,12 @@ func Gather[T any](c *Comm, root int, data []T) ([][]T, error) {
 		}
 		got, _, err := recvRaw[T](c, r, tag, true)
 		if err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return nil, c.fire(err)
 		}
 		out[r] = got
 	}
+	opEnd(c, "gather", t0)
 	return out, nil
 }
 
@@ -216,6 +227,7 @@ func Scatter[T any](c *Comm, root int, parts [][]T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Scatter on intercommunicator: %w", ErrComm))
 	}
+	t0 := opStart(c)
 	tag := internalTag(kindScatter, c.nextSeq("scatter"))
 	n := c.Size()
 	if c.rank == root {
@@ -227,17 +239,19 @@ func Scatter[T any](c *Comm, root int, parts [][]T) ([]T, error) {
 				continue
 			}
 			if err := sendRaw(c, r, tag, parts[r]); err != nil {
-				poisonCollective(c, tag)
+				abortCollective(c, tag)
 				return nil, c.fire(err)
 			}
 		}
+		opEnd(c, "scatter", t0)
 		return append([]T(nil), parts[root]...), nil
 	}
 	got, _, err := recvRaw[T](c, root, tag, true)
 	if err != nil {
-		poisonCollective(c, tag)
+		abortCollective(c, tag)
 		return nil, c.fire(err)
 	}
+	opEnd(c, "scatter", t0)
 	return got, nil
 }
 
@@ -248,6 +262,7 @@ func Allgather[T any](c *Comm, data []T) ([][]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Allgather on intercommunicator: %w", ErrComm))
 	}
+	t0 := opStart(c)
 	tag := internalTag(kindAllgather, c.nextSeq("allgather"))
 	n := c.Size()
 	m := len(data)
@@ -282,12 +297,13 @@ func Allgather[T any](c *Comm, data []T) ([][]T, error) {
 		flat, err = bcastTree(c, 0, tag, flat)
 	}
 	if err != nil {
-		poisonCollective(c, tag)
+		abortCollective(c, tag)
 		return nil, c.fire(err)
 	}
 	if len(flat) != n*m {
 		return nil, c.fire(fmt.Errorf("mpi: Allgather: bad flattened length %d: %w", len(flat), ErrType))
 	}
+	opEnd(c, "allgather", t0)
 	out := make([][]T, n)
 	for r := 0; r < n; r++ {
 		out[r] = flat[r*m : (r+1)*m : (r+1)*m]

@@ -5,7 +5,7 @@ import "fmt"
 // Additional collectives beyond the minimal set the recovery protocol
 // needs: Alltoall, Scan, Exscan and ReduceScatterBlock. They follow the
 // same construction as coll.go — real message-passing algorithms over the
-// p2p layer, with failure poisoning so a dead member cannot deadlock the
+// p2p layer, with failure-abort propagation so a dead member cannot deadlock the
 // operation.
 
 const (
@@ -37,7 +37,7 @@ func Alltoall[T any](c *Comm, parts [][]T) ([][]T, error) {
 			continue
 		}
 		if err := sendRaw(c, r, tag, parts[r]); err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return nil, c.fire(err)
 		}
 	}
@@ -47,7 +47,7 @@ func Alltoall[T any](c *Comm, parts [][]T) ([][]T, error) {
 		}
 		got, _, err := recvRaw[T](c, r, tag, true)
 		if err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return nil, c.fire(err)
 		}
 		out[r] = got
@@ -66,7 +66,7 @@ func Scan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 	if c.rank > 0 {
 		prev, _, err := recvRaw[T](c, c.rank-1, tag, true)
 		if err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return nil, c.fire(err)
 		}
 		if len(prev) != len(acc) {
@@ -78,7 +78,7 @@ func Scan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 	}
 	if c.rank < c.Size()-1 {
 		if err := sendRaw(c, c.rank+1, tag, acc); err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return nil, c.fire(err)
 		}
 	}
@@ -96,7 +96,7 @@ func Exscan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 	if c.rank > 0 {
 		prev, _, err := recvRaw[T](c, c.rank-1, tag, true)
 		if err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return nil, c.fire(err)
 		}
 		acc = prev
@@ -112,7 +112,7 @@ func Exscan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 			}
 		}
 		if err := sendRaw(c, c.rank+1, tag, next); err != nil {
-			poisonCollective(c, tag)
+			abortCollective(c, tag)
 			return nil, c.fire(err)
 		}
 	}
@@ -136,13 +136,13 @@ func ReduceScatterBlock[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) 
 	block := len(data) / n
 	reduced, err := reduceTree(c, 0, tag, data, op)
 	if err != nil {
-		poisonCollective(c, tag)
+		abortCollective(c, tag)
 		return nil, c.fire(err)
 	}
 	if c.rank == 0 {
 		for r := 1; r < n; r++ {
 			if err := sendRaw(c, r, tag, reduced[r*block:(r+1)*block]); err != nil {
-				poisonCollective(c, tag)
+				abortCollective(c, tag)
 				return nil, c.fire(err)
 			}
 		}
@@ -150,7 +150,7 @@ func ReduceScatterBlock[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) 
 	}
 	got, _, err := recvRaw[T](c, 0, tag, true)
 	if err != nil {
-		poisonCollective(c, tag)
+		abortCollective(c, tag)
 		return nil, c.fire(err)
 	}
 	return got, nil

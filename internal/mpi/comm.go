@@ -1,6 +1,9 @@
 package mpi
 
 import (
+	"errors"
+
+	"ftsg/internal/metrics"
 	"ftsg/internal/topo"
 	"ftsg/internal/vtime"
 )
@@ -14,6 +17,22 @@ type commShared struct {
 	id      int
 	a, b    []int
 	revoked bool
+	// aborts records, per collective instance tag, which members bailed out
+	// of that collective and at what virtual time (world rank -> abort
+	// time). Guarded by World.mu. A member blocked on a peer inside the
+	// same instance errors out once the peer's abort is recorded, which
+	// propagates collective failure deterministically: the outcome depends
+	// only on the peer's program order (message sent before abort recorded
+	// before death), never on wall-clock delivery races.
+	aborts map[int]map[int]float64
+	// quiesced records which members (world ranks) have observed the
+	// communicator's revocation and stopped participating in it. Guarded
+	// by World.mu. A receiver blocked on a peer resolves to
+	// MPI_ERR_REVOKED only once that peer has provably quiesced (or
+	// died), never merely because the revoked flag became visible at some
+	// wall-clock moment — revocation, like collective aborts, propagates
+	// along program order so simulated virtual times stay deterministic.
+	quiesced map[int]bool
 	// repairFor records, for a spawn intercommunicator, how many failed
 	// processes the spawn replaced. The beta ULFM keeps such
 	// communicators on the expensive multi-failure agreement path
@@ -36,6 +55,12 @@ type Comm struct {
 	// acked is the snapshot of failed world ranks acknowledged by
 	// OMPI_Comm_failure_ack on this handle.
 	acked []int
+	// sawRevoked is set once this process has observed the revocation
+	// (called Revoke itself, or had an operation return MPI_ERR_REVOKED).
+	// From then on the handle fails fast; before then, operations proceed
+	// and only resolve to MPI_ERR_REVOKED through peer quiesce records.
+	// Touched only by the owning goroutine, so unguarded like seqs.
+	sawRevoked bool
 }
 
 // Errhandler mirrors MPI_Comm_create_errhandler/MPI_Comm_set_errhandler:
@@ -53,12 +78,40 @@ func ErrorsAreFatal(c *Comm, err error) {
 }
 
 // fire routes an error through the handle's error handler, then returns it.
-// It must be called without World.mu held.
+// It must be called without World.mu held. Returning MPI_ERR_REVOKED is the
+// program-order point where this process observes the revocation, so fire
+// also records the quiesce.
 func (c *Comm) fire(err error) error {
-	if err != nil && c.errh != nil {
-		c.errh(c, err)
+	if err != nil {
+		if !c.sawRevoked && errors.Is(err, ErrRevoked) {
+			c.markRevoked()
+		}
+		if c.errh != nil {
+			c.errh(c, err)
+		}
 	}
 	return err
+}
+
+// markRevoked records that this process has observed the communicator's
+// revocation: the handle fails fast from now on, and the quiesce record lets
+// peers blocked on this process resolve to MPI_ERR_REVOKED deterministically.
+// Must be called without World.mu held.
+func (c *Comm) markRevoked() {
+	c.sawRevoked = true
+	st := c.p.st
+	w := st.w
+	w.mu.Lock()
+	if c.sh.quiesced == nil {
+		c.sh.quiesced = make(map[int]bool)
+	}
+	c.sh.quiesced[st.wrank] = true
+	for _, wr := range c.allMembers() {
+		if wr != st.wrank && w.aliveLocked(wr) {
+			w.procs[wr].cond.Broadcast()
+		}
+	}
+	w.mu.Unlock()
 }
 
 // Rank returns the calling process's rank in the (local group of the)
@@ -198,12 +251,31 @@ func (p *Proc) Cluster() *topo.Cluster { return p.st.w.cluster }
 func (p *Proc) Now() float64 { return p.st.clock.Now() }
 
 // Compute charges dt seconds of local computation to the virtual clock.
-func (p *Proc) Compute(dt float64) { p.st.clock.Advance(dt) }
+func (p *Proc) Compute(dt float64) {
+	p.st.clock.AdvanceAttr(dt, vtime.CompCompute)
+}
+
+// ComputeAttr charges dt seconds of local work attributed to an explicit
+// cost component — the checkpoint layer uses it to separate disk I/O from
+// compute in the attribution breakdown.
+func (p *Proc) ComputeAttr(dt float64, component string) {
+	p.st.clock.AdvanceAttr(dt, component)
+}
 
 // ComputeCells charges the virtual cost of n stencil cell updates, scaled by
 // the given factor (1 charges the machine's calibrated per-cell cost).
 func (p *Proc) ComputeCells(n int, scale float64) {
-	p.st.clock.Advance(float64(n) * p.st.w.machine.CellCost * scale)
+	p.st.clock.AdvanceAttr(float64(n)*p.st.w.machine.CellCost*scale, vtime.CompCompute)
+}
+
+// Metrics returns the registry instrumenting this world, or nil when
+// instrumentation is disabled. Application layers use it to add their own
+// counters next to the runtime's.
+func (p *Proc) Metrics() *metrics.Registry {
+	if p.st.w.wm == nil {
+		return nil
+	}
+	return p.st.w.wm.reg
 }
 
 // Kill aborts the process fail-stop, emulating kill(getpid(), SIGKILL). It

@@ -3,6 +3,8 @@ package mpi
 import (
 	"errors"
 	"fmt"
+
+	"ftsg/internal/vtime"
 )
 
 // This file implements nonblocking point-to-point communication:
@@ -59,14 +61,14 @@ func Irecv[T any](c *Comm, src, tag int) (*Request, error) {
 	w := st.w
 	req := &Request{c: c, src: src, tag: tag, recv: true}
 
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if c.sh.revoked {
+	if c.sawRevoked {
 		req.done = true
 		req.err = ErrRevoked
 		return req, nil
 	}
-	if i := matchEnvelope(st.mbox, c.sh.id, src, tag, false); i >= 0 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if i := matchEnvelope(st.mbox, c.sh.id, src, tag); i >= 0 {
 		req.complete(st.mbox[i])
 		st.mbox = append(st.mbox[:i], st.mbox[i+1:]...)
 		return req, nil
@@ -92,18 +94,18 @@ func Wait[T any](r *Request) ([]T, Status, error) {
 
 	w.mu.Lock()
 	for !r.done {
-		if c.sh.revoked {
-			r.done = true
-			r.err = ErrRevoked
-			w.removePosted(st, r)
-			break
-		}
 		if r.recv {
 			if r.src != AnySource {
 				pw, err := c.peerWorld(r.src)
 				if err != nil {
 					r.done = true
 					r.err = err
+					w.removePosted(st, r)
+					break
+				}
+				if c.sh.revoked && c.sh.quiesced[pw] {
+					r.done = true
+					r.err = ErrRevoked
 					w.removePosted(st, r)
 					break
 				}
@@ -119,15 +121,24 @@ func Wait[T any](r *Request) ([]T, Status, error) {
 				w.removePosted(st, r)
 				break
 			}
+			if c.sh.revoked && revokedDeadlockLocked(w, c, st.wrank) {
+				r.done = true
+				r.err = ErrRevoked
+				w.removePosted(st, r)
+				break
+			}
 		}
+		st.waitSh, st.waitReq = c.sh, r
 		st.cond.Wait()
+		st.waitSh, st.waitReq = nil, nil
 	}
 	env := r.env
 	err := r.err
 	stt := r.status
 	if env != nil {
 		st.clock.SyncTo(env.arrival)
-		st.clock.Advance(w.machine.RecvOverhead)
+		st.clock.AdvanceAttr(w.machine.RecvOverhead, vtime.CompORecv)
+		w.wm.countRecv(st.wrank, env.bytes)
 	}
 	w.mu.Unlock()
 
@@ -184,9 +195,6 @@ func (w *World) removePosted(st *procState, r *Request) {
 // matchPosted tries to deliver an arriving envelope to the earliest posted
 // receive that matches it. Caller holds World.mu. Returns true if consumed.
 func matchPosted(st *procState, env *envelope) bool {
-	if env.poison {
-		return false // collectives never use the posted queue
-	}
 	for i, p := range st.posted {
 		r := p.req
 		if r.c.sh.id != env.commID {
@@ -215,13 +223,12 @@ func matchPosted(st *procState, env *envelope) bool {
 func (c *Comm) Probe(src, tag int) (Status, error) {
 	st := c.p.st
 	w := st.w
+	if c.sawRevoked {
+		return Status{}, c.fire(ErrRevoked)
+	}
 	w.mu.Lock()
 	for {
-		if c.sh.revoked {
-			w.mu.Unlock()
-			return Status{}, c.fire(ErrRevoked)
-		}
-		if i := matchEnvelope(st.mbox, c.sh.id, src, tag, false); i >= 0 {
+		if i := matchEnvelope(st.mbox, c.sh.id, src, tag); i >= 0 {
 			env := st.mbox[i]
 			stt := Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}
 			st.clock.SyncTo(env.arrival)
@@ -234,6 +241,10 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 				w.mu.Unlock()
 				return Status{}, c.fire(err)
 			}
+			if c.sh.revoked && c.sh.quiesced[pw] {
+				w.mu.Unlock()
+				return Status{}, c.fire(ErrRevoked)
+			}
 			if !w.aliveLocked(pw) {
 				w.mu.Unlock()
 				return Status{}, c.fire(failedErr(src, pw))
@@ -242,7 +253,13 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 			w.mu.Unlock()
 			return Status{}, c.fire(ErrPending)
 		}
+		if c.sh.revoked && revokedDeadlockLocked(w, c, st.wrank) {
+			w.mu.Unlock()
+			return Status{}, c.fire(ErrRevoked)
+		}
+		st.waitSh, st.waitSrc, st.waitTag = c.sh, src, tag
 		st.cond.Wait()
+		st.waitSh = nil
 	}
 }
 
@@ -251,12 +268,12 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
 	st := c.p.st
 	w := st.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if c.sh.revoked {
+	if c.sawRevoked {
 		return false, Status{}, ErrRevoked
 	}
-	if i := matchEnvelope(st.mbox, c.sh.id, src, tag, false); i >= 0 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if i := matchEnvelope(st.mbox, c.sh.id, src, tag); i >= 0 {
 		env := st.mbox[i]
 		return true, Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}, nil
 	}
@@ -293,24 +310,25 @@ func Waitany(reqs ...*Request) int {
 			}
 			// A request whose failure condition already holds completes
 			// with its error; re-check the same conditions Wait uses.
-			if r.recv {
-				if r.c.sh.revoked {
+			if r.recv && r.src != AnySource {
+				pw, err := r.c.peerWorld(r.src)
+				if err != nil {
+					r.done = true
+					r.err = err
+					w.removePosted(r.c.p.st, r)
+					return i
+				}
+				if r.c.sh.revoked && r.c.sh.quiesced[pw] {
 					r.done = true
 					r.err = ErrRevoked
 					w.removePosted(r.c.p.st, r)
 					return i
 				}
-				if r.src != AnySource {
-					if pw, err := r.c.peerWorld(r.src); err != nil || !w.aliveLocked(pw) {
-						r.done = true
-						if err != nil {
-							r.err = err
-						} else {
-							r.err = failedErr(r.src, -1)
-						}
-						w.removePosted(r.c.p.st, r)
-						return i
-					}
+				if !w.aliveLocked(pw) {
+					r.done = true
+					r.err = failedErr(r.src, -1)
+					w.removePosted(r.c.p.st, r)
+					return i
 				}
 			}
 		}

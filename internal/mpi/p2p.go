@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"reflect"
+
+	"ftsg/internal/vtime"
 )
 
 // Wildcards, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG. User tags must be
@@ -24,7 +26,6 @@ type envelope struct {
 	data    any
 	bytes   int
 	arrival float64
-	poison  bool // failure-propagation marker for collectives
 }
 
 // Status mirrors MPI_Status.
@@ -59,20 +60,39 @@ func sendRaw[T any](c *Comm, dest, tag int, data []T) error {
 	}
 	buf := append([]T(nil), data...)
 
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if c.sh.revoked {
+	// A send fails on revocation only once the sender itself has observed
+	// it (program order): sends are eager and never block, so consulting
+	// the shared revoked flag here would make the outcome depend on the
+	// wall-clock moment another rank's Revoke became visible.
+	if c.sawRevoked {
 		return ErrRevoked
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	dw, err := c.peerWorld(dest)
 	if err != nil {
 		return err
 	}
-	if !w.aliveLocked(dw) {
-		return failedErr(dest, dw)
-	}
-	st.clock.Advance(w.machine.SendOverhead)
+	st.clock.AdvanceAttr(w.machine.SendOverhead, vtime.CompOSend)
 	bytes := len(buf) * elemSize
+	if wm := w.wm; wm != nil {
+		wm.countSend(st.wrank, bytes)
+		alpha, beta := w.machine.PtToPtParts(bytes)
+		wm.ObserveCost(vtime.CompAlpha, alpha)
+		wm.ObserveCost(vtime.CompBeta, beta)
+		wm.observeOp("send", w.machine.SendOverhead)
+	}
+	// An eager buffered send completes locally even when the destination is
+	// already dead or has exited: whether the sender's goroutine runs before
+	// or after the victim's sets the (wall-clock) death flag must not change
+	// the outcome, so death is never reported at the send call — the message
+	// is lost on the wire, and the failure surfaces at subsequent receives
+	// and collectives, whose checks follow the peer's program order. This is
+	// the ULFM contract too: local completion of a buffered send guarantees
+	// nothing about delivery.
+	if !w.aliveLocked(dw) {
+		return nil
+	}
 	dst := w.procs[dw]
 	env := &envelope{
 		commID:  c.sh.id,
@@ -118,26 +138,36 @@ func RecvOne[T any](c *Comm, src, tag int) (T, Status, error) {
 }
 
 // recvRaw is the matching engine shared by user receives and internal
-// collective receives (internal=true also matches poison envelopes, which
-// propagate collective failure without deadlock).
+// collective receives (internal=true additionally honours collective abort
+// records, which propagate collective failure without deadlock).
+//
+// The priority order — matching message, then the source's recorded abort,
+// then the source's death, then the source's quiesce after revocation —
+// mirrors the source's own program order (a rank sends before it aborts or
+// quiesces, and either precedes its death), so the receiver's outcome is a
+// function of the source's virtual-time history alone, independent of
+// wall-clock scheduling.
 func recvRaw[T any](c *Comm, src, tag int, internal bool) ([]T, Status, error) {
 	st := c.p.st
 	w := st.w
+	t0 := st.clock.Now()
+	if c.sawRevoked {
+		return nil, Status{}, ErrRevoked
+	}
 	w.mu.Lock()
 	for {
-		if c.sh.revoked {
-			w.mu.Unlock()
-			return nil, Status{}, ErrRevoked
-		}
-		if i := matchEnvelope(st.mbox, c.sh.id, src, tag, internal); i >= 0 {
+		if i := matchEnvelope(st.mbox, c.sh.id, src, tag); i >= 0 {
 			env := st.mbox[i]
 			st.mbox = append(st.mbox[:i], st.mbox[i+1:]...)
 			st.clock.SyncTo(env.arrival)
-			st.clock.Advance(w.machine.RecvOverhead)
-			w.mu.Unlock()
-			if env.poison {
-				return nil, Status{}, failedErr(-1, -1)
+			st.clock.AdvanceAttr(w.machine.RecvOverhead, vtime.CompORecv)
+			if wm := w.wm; wm != nil {
+				wm.countRecv(st.wrank, env.bytes)
+				if !internal {
+					wm.observeOp("recv", st.clock.Now()-t0)
+				}
 			}
+			w.mu.Unlock()
 			data, ok := env.data.([]T)
 			if !ok {
 				return nil, Status{}, fmt.Errorf("mpi: Recv: message holds %T: %w", env.data, ErrType)
@@ -150,6 +180,21 @@ func recvRaw[T any](c *Comm, src, tag int, internal bool) ([]T, Status, error) {
 				w.mu.Unlock()
 				return nil, Status{}, err
 			}
+			if internal {
+				if at, ok := c.sh.abortTime(tag, pw); ok {
+					// The peer bailed out of this collective instance and
+					// will never send; model the failure notification as one
+					// wire latency from its abort point.
+					st.clock.SyncTo(at + w.machine.Alpha)
+					st.clock.AdvanceAttr(w.machine.RecvOverhead, vtime.CompORecv)
+					w.mu.Unlock()
+					return nil, Status{}, failedErr(-1, -1)
+				}
+			}
+			if c.sh.revoked && c.sh.quiesced[pw] {
+				w.mu.Unlock()
+				return nil, Status{}, ErrRevoked
+			}
 			if !w.aliveLocked(pw) {
 				w.mu.Unlock()
 				return nil, Status{}, failedErr(src, pw)
@@ -158,22 +203,49 @@ func recvRaw[T any](c *Comm, src, tag int, internal bool) ([]T, Status, error) {
 			w.mu.Unlock()
 			return nil, Status{}, ErrPending
 		}
+		if c.sh.revoked && revokedDeadlockLocked(w, c, st.wrank) {
+			w.mu.Unlock()
+			return nil, Status{}, ErrRevoked
+		}
+		st.waitSh, st.waitSrc, st.waitTag = c.sh, src, tag
 		st.cond.Wait()
+		st.waitSh = nil
 	}
 }
 
-// matchEnvelope finds the first matching message (FIFO order). A wildcard
-// tag only matches user (non-negative) tags; poison envelopes match internal
-// receives on their exact (comm, tag), regardless of src.
-func matchEnvelope(mbox []*envelope, commID, src, tag int, internal bool) int {
-	for i, env := range mbox {
-		if env.commID != commID {
+// revokedDeadlockLocked reports whether, on a revoked communicator, every
+// other live non-quiesced member is blocked receiving on the same
+// communicator with no pending resolution (no matchable message already
+// delivered). At that point no member can ever send again, so the whole
+// group must resolve to MPI_ERR_REVOKED — the asynchronous interruption
+// MPI_Comm_revoke guarantees. Whether the group reaches this state is a
+// function of each member's deterministic operation sequence, so the
+// fallback preserves run-to-run determinism. Caller holds World.mu.
+func revokedDeadlockLocked(w *World, c *Comm, self int) bool {
+	for _, wr := range c.allMembers() {
+		if wr == self || !w.aliveLocked(wr) || c.sh.quiesced[wr] {
 			continue
 		}
-		if env.poison {
-			if internal && env.tag == tag {
-				return i
+		q := w.procs[wr]
+		if q.waitSh != c.sh {
+			return false
+		}
+		if q.waitReq != nil {
+			if q.waitReq.done {
+				return false // a send already completed it; it will run on
 			}
+		} else if matchEnvelope(q.mbox, c.sh.id, q.waitSrc, q.waitTag) >= 0 {
+			return false // a matchable message is waiting; it will consume it
+		}
+	}
+	return true
+}
+
+// matchEnvelope finds the first matching message (FIFO order). A wildcard
+// tag only matches user (non-negative) tags.
+func matchEnvelope(mbox []*envelope, commID, src, tag int) int {
+	for i, env := range mbox {
+		if env.commID != commID {
 			continue
 		}
 		if src != AnySource && env.src != src {
@@ -207,30 +279,43 @@ func hasUnacked(w *World, c *Comm) bool {
 	return false
 }
 
-// poisonCollective delivers a poison envelope for collective instance
-// (comm, tag) to every other member, guaranteeing that peers blocked inside
-// the same collective observe MPI_ERR_PROC_FAILED instead of deadlocking —
-// the behaviour the paper relies on when using MPI_Barrier for failure
-// detection.
-func poisonCollective(c *Comm, tag int) {
+// abortCollective records that the caller bailed out of collective instance
+// (comm, tag) and wakes every other member, guaranteeing that peers blocked
+// inside the same collective observe MPI_ERR_PROC_FAILED instead of
+// deadlocking — the behaviour the paper relies on when using MPI_Barrier for
+// failure detection. The abort is a per-instance record rather than an
+// injected message so that a receiver consults only the fate of the specific
+// peer it awaits; mailbox arrival order (wall-clock dependent) never decides
+// the outcome.
+func abortCollective(c *Comm, tag int) {
 	st := c.p.st
 	w := st.w
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if c.sh.aborts == nil {
+		c.sh.aborts = make(map[int]map[int]float64)
+	}
+	m := c.sh.aborts[tag]
+	if m == nil {
+		m = make(map[int]float64)
+		c.sh.aborts[tag] = m
+	}
+	if _, ok := m[st.wrank]; !ok {
+		m[st.wrank] = st.clock.Now()
+	}
 	for _, wr := range c.allMembers() {
 		if wr == st.wrank || !w.aliveLocked(wr) {
 			continue
 		}
-		dst := w.procs[wr]
-		dst.mbox = append(dst.mbox, &envelope{
-			commID:  c.sh.id,
-			src:     c.rank,
-			tag:     tag,
-			poison:  true,
-			arrival: st.clock.Now() + w.machine.Alpha,
-		})
-		dst.cond.Signal()
+		w.procs[wr].cond.Signal()
 	}
+}
+
+// abortTime returns the virtual time at which world rank wr aborted
+// collective instance tag, if it did. Caller holds World.mu.
+func (sh *commShared) abortTime(tag, wr int) (float64, bool) {
+	at, ok := sh.aborts[tag][wr]
+	return at, ok
 }
 
 // internalTag builds the reserved tag for collective kind k, instance seq.

@@ -45,6 +45,7 @@ type rendezvous struct {
 	result  any
 	err     error
 	t       float64
+	cost    float64 // modelled cost of the operation, for attribution
 }
 
 // maxArrival returns the latest arrival time among arrived-and-alive
@@ -90,13 +91,16 @@ type buildFunc func(w *World, r *rendezvous) (any, float64)
 func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input any, build buildFunc) (any, error) {
 	st := c.p.st
 	w := st.w
+	t0 := st.clock.Now()
 	key := rvzKey{comm: c.sh.id, op: op, seq: c.nextSeq(op)}
 
-	w.mu.Lock()
-	if c.sh.revoked && !allowRevoked {
-		w.mu.Unlock()
+	// Like point-to-point operations, a rendezvous collective fails on
+	// revocation only once the caller itself has observed it; the
+	// shrink/agree family sets allowRevoked and proceeds regardless.
+	if c.sawRevoked && !allowRevoked {
 		return nil, ErrRevoked
 	}
+	w.mu.Lock()
 	r, ok := w.rvzTable[key]
 	if !ok {
 		r = &rendezvous{
@@ -124,6 +128,7 @@ func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input an
 		case complete:
 			result, cost := build(w, r)
 			r.result = result
+			r.cost = cost
 			r.t = r.maxArrival(w) + cost
 			if anyDead && mode == reportDeath {
 				r.err = failedErr(-1, -1)
@@ -139,9 +144,18 @@ func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input an
 			}
 		}
 	}
-	result, err, t := r.result, r.err, r.t
+	result, err, t, cost := r.result, r.err, r.t, r.cost
 	w.mu.Unlock()
 
 	st.clock.SyncTo(t)
+	// Attribute the op's modelled cost once per participating member and
+	// record its completion latency on this member's clock. cost > 0 also
+	// covers Agree's reportDeath contract (the op completed among
+	// survivors, err notwithstanding); the failOnDeath abort path carries
+	// zero cost and is not a completion.
+	if wm := w.wm; wm != nil && (err == nil || cost > 0) {
+		wm.ObserveCost(componentForRendezvousOp(op), cost)
+		wm.observeOp(op, st.clock.Now()-t0)
+	}
 	return result, err
 }

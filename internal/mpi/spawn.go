@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"sync"
+
+	"ftsg/internal/vtime"
 )
 
 // This file implements MPI dynamic process management: SpawnMultiple
@@ -83,11 +85,15 @@ func (w *World) spawnLocked(parentGroup []int, n int, hosts []string, start floa
 		st := &procState{w: w, wrank: len(w.procs), host: placements[i], alive: true}
 		st.cond = sync.NewCond(&w.mu)
 		st.clock.Set(start)
+		if w.wm != nil {
+			st.clock.SetObserver(w.wm)
+		}
 		w.procs = append(w.procs, st)
 		childRanks[i] = st.wrank
 		children[i] = st
 	}
 	w.spawned += n
+	w.wm.countSpawned(n)
 	childWorld := w.newCommLocked(childRanks, nil)
 	inter := w.newCommLocked(parentGroup, childRanks)
 	inter.repairFor = n
@@ -132,6 +138,7 @@ func (c *Comm) IntercommMerge(high bool) (*Comm, error) {
 	}
 	st := c.p.st
 	w := st.w
+	t0 := st.clock.Now()
 	key := rvzKey{comm: c.sh.id, op: "merge", seq: c.nextSeq("merge")}
 
 	w.mu.Lock()
@@ -160,12 +167,13 @@ func (c *Comm) IntercommMerge(high bool) (*Comm, error) {
 	h := high
 	e.highOfSide[c.side] = &h
 	sh := e.sh
-	st.clock.Advance(w.machine.ULFM.MergeCost(len(c.sh.a) + len(c.sh.b)))
+	st.clock.AdvanceAttr(w.machine.ULFM.MergeCost(len(c.sh.a)+len(c.sh.b)), vtime.CompMerge)
 	w.mu.Unlock()
 
 	if err != nil {
 		return nil, c.fire(err)
 	}
+	opEnd(c, "merge", t0)
 	rank := Group(sh.a).Rank(st.wrank)
 	return &Comm{sh: sh, p: c.p, rank: rank, seqs: make(map[string]int)}, nil
 }

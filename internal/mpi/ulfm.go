@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"ftsg/internal/vtime"
+)
 
 // This file implements the ULFM (User Level Failure Mitigation) extensions
 // the paper's recovery protocol uses: OMPI_Comm_revoke, OMPI_Comm_shrink,
@@ -15,9 +19,15 @@ import "fmt"
 func (c *Comm) Revoke() error {
 	st := c.p.st
 	w := st.w
+	c.sawRevoked = true
 	w.mu.Lock()
 	c.sh.revoked = true
-	st.clock.Advance(w.machine.ULFM.RevokeCost)
+	if c.sh.quiesced == nil {
+		c.sh.quiesced = make(map[int]bool)
+	}
+	c.sh.quiesced[st.wrank] = true
+	st.clock.AdvanceAttr(w.machine.ULFM.RevokeCost, vtime.CompRevoke)
+	w.wm.countRevoke()
 	for _, wr := range c.allMembers() {
 		if w.aliveLocked(wr) {
 			w.procs[wr].cond.Broadcast()
@@ -94,7 +104,7 @@ func (c *Comm) FailureAck() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	c.acked = append([]int(nil), w.failedOfLocked(c.allMembers())...)
-	st.clock.Advance(w.machine.ULFM.GroupOpCost * float64(len(c.allMembers())))
+	st.clock.AdvanceAttr(w.machine.ULFM.GroupOpCost*float64(len(c.allMembers())), vtime.CompAck)
 	return nil
 }
 
@@ -108,5 +118,5 @@ func (c *Comm) FailureGetAcked() Group {
 // elements, used by the recovery layer when it builds the failed-process
 // list (paper Fig. 6).
 func (c *Comm) ChargeGroupOp(n int) {
-	c.p.st.clock.Advance(c.p.st.w.machine.ULFM.GroupOpCost * float64(n))
+	c.p.st.clock.AdvanceAttr(c.p.st.w.machine.ULFM.GroupOpCost*float64(n), vtime.CompGroupOp)
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ftsg/internal/metrics"
 	"ftsg/internal/topo"
 	"ftsg/internal/vtime"
 )
@@ -39,6 +40,17 @@ type procState struct {
 	posted []postedRecv // nonblocking receives awaiting a match, post order
 	cond   *sync.Cond   // on World.mu
 	clock  vtime.Clock
+	// waitSh/waitSrc/waitTag/waitReq describe the receive this process is
+	// blocked in (waitSh nil while runnable). They feed the
+	// revoked-communicator deadlock detector: when every live,
+	// non-quiesced member of a revoked communicator is blocked on it with
+	// no pending resolution, none of them can ever send again, so the
+	// whole group resolves to MPI_ERR_REVOKED. waitReq is set instead of
+	// waitSrc/waitTag when blocked in Wait on a posted receive.
+	waitSh  *commShared
+	waitSrc int
+	waitTag int
+	waitReq *Request
 }
 
 // World owns all simulated processes of one MPI job, including processes
@@ -51,6 +63,7 @@ type World struct {
 	cluster *topo.Cluster
 	entry   func(*Proc)
 
+	wm         *worldMetrics // nil when instrumentation is disabled
 	procs      []*procState
 	nextCommID int
 	rvzTable   map[rvzKey]*rendezvous
@@ -75,6 +88,12 @@ type Options struct {
 	// ones (which see a non-nil Proc.Parent, like a process started by
 	// MPI_Comm_spawn_multiple).
 	Entry func(*Proc)
+	// Metrics, when non-nil, attaches instrumentation: message/byte
+	// counters, per-rank totals, per-op virtual-latency histograms and
+	// cost attribution per model component (see internal/mpi/metrics.go
+	// for the instrument names). nil disables instrumentation at zero
+	// cost to the hot paths.
+	Metrics *metrics.Registry
 }
 
 // Report summarises a completed run.
@@ -112,6 +131,7 @@ func Run(o Options) (*Report, error) {
 		machine:    m,
 		cluster:    cl,
 		entry:      o.Entry,
+		wm:         newWorldMetrics(o.Metrics),
 		rvzTable:   make(map[rvzKey]*rendezvous),
 		mergeTable: make(map[rvzKey]*mergeEntry),
 	}
@@ -126,6 +146,9 @@ func Run(o Options) (*Report, error) {
 		}
 		st := &procState{w: w, wrank: r, host: host, alive: true}
 		st.cond = sync.NewCond(&w.mu)
+		if w.wm != nil {
+			st.clock.SetObserver(w.wm)
+		}
 		w.procs = append(w.procs, st)
 		worldRanks[r] = r
 	}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"ftsg/internal/mpi"
+	"ftsg/internal/trace"
 )
 
 // MergeTag is the tag used to send each child its predecessor's rank
@@ -49,6 +50,17 @@ type Stats struct {
 	Iterations int
 	// FailedRanks lists the communicator ranks that were replaced.
 	FailedRanks []int
+	// Trace, when non-nil, receives one span per protocol phase (detect,
+	// revoke, shrink, spawn, merge, agree, split) on the caller's timeline,
+	// so exporters can render the recovery as a structured timeline. A nil
+	// recorder drops everything.
+	Trace *trace.Recorder
+}
+
+// span opens a protocol-phase span on the stats' recorder; the returned
+// handle is nil-safe.
+func (st *Stats) span(t float64, rank int, phase, format string, args ...any) *trace.SpanHandle {
+	return st.Trace.BeginSpan(t, rank, phase, format, args...)
 }
 
 // ErrorHandler returns the Fig. 4 error handler: on a process-failure
@@ -150,10 +162,15 @@ func RepairComm(p *mpi.Proc, broken *mpi.Comm, st *Stats) (*mpi.Comm, error) {
 // RepairCommPlaced is RepairComm with an explicit replacement-placement
 // policy.
 func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement) (*mpi.Comm, error) {
+	me := broken.Rank()
+	sp := st.span(p.Now(), me, "revoke", "")
 	_ = broken.Revoke()
+	sp.End(p.Now())
 
 	t0 := p.Now()
+	sp = st.span(t0, me, "shrink", "")
 	shrunk, err := broken.Shrink()
+	sp.End(p.Now())
 	if err != nil {
 		return nil, fmt.Errorf("recovery: shrink: %w", err)
 	}
@@ -174,21 +191,28 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 	}
 
 	t0 = p.Now()
+	sp = st.span(t0, me, "spawn", "%d replacements on %v", totalFailed, hosts)
 	inter, err := shrunk.SpawnMultiple(totalFailed, hosts, 0)
+	sp.End(p.Now())
 	if err != nil {
 		return nil, fmt.Errorf("recovery: spawn: %w", err)
 	}
 	st.SpawnTime += p.Now() - t0
 
 	t0 = p.Now()
+	sp = st.span(t0, me, "merge", "")
 	unordered, err := inter.IntercommMerge(false)
+	sp.End(p.Now())
 	if err != nil {
 		return nil, fmt.Errorf("recovery: merge: %w", err)
 	}
 	st.MergeTime += p.Now() - t0
 
 	t0 = p.Now()
-	if _, err := inter.Agree(1); err != nil {
+	sp = st.span(t0, me, "agree", "")
+	_, err = inter.Agree(1)
+	sp.End(p.Now())
+	if err != nil {
 		return nil, fmt.Errorf("recovery: agree: %w", err)
 	}
 	st.AgreeTime += p.Now() - t0
@@ -207,7 +231,9 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 	totalProcs := unordered.Size()
 	key := SelectRankKey(unordered.Rank(), shrinkedGroupSize, failedRanks, totalProcs)
 	t0 = p.Now()
+	sp = st.span(t0, me, "split", "restore rank order, key %d", key)
 	repaired, err := unordered.Split(0, key)
+	sp.End(p.Now())
 	if err != nil {
 		return nil, fmt.Errorf("recovery: split: %w", err)
 	}
@@ -219,13 +245,22 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 // the parents, merge high, learn the predecessor's rank, and split into
 // order.
 func ChildAttach(p *mpi.Proc, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, error) {
+	// Child spans go on the world-unique id's track: the replacement has no
+	// communicator rank until the final split, and the fresh track makes the
+	// re-spawned process visible next to the survivors in the exported
+	// timeline.
+	me := p.WorldRank()
 	parent.SetErrhandler(ErrorHandler(p))
 	t0 := p.Now()
+	sp := st.span(t0, me, "agree", "child synchronise")
 	_, _ = parent.Agree(1) // synchronise (failure report expected here)
+	sp.End(p.Now())
 	st.AgreeTime += p.Now() - t0
 
 	t0 = p.Now()
+	sp = st.span(t0, me, "merge", "child merge high")
 	unordered, err := parent.IntercommMerge(true)
+	sp.End(p.Now())
 	if err != nil {
 		return nil, -1, fmt.Errorf("recovery: child merge: %w", err)
 	}
@@ -237,7 +272,9 @@ func ChildAttach(p *mpi.Proc, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, erro
 	}
 
 	t0 = p.Now()
+	sp = st.span(t0, me, "split", "assume old rank %d", oldRank)
 	ordered, err := unordered.Split(0, oldRank)
+	sp.End(p.Now())
 	if err != nil {
 		return nil, -1, fmt.Errorf("recovery: child split: %w", err)
 	}
@@ -273,8 +310,10 @@ func ReconstructPlaced(p *mpi.Proc, myWorld *mpi.Comm, parent *mpi.Comm, st *Sta
 			// followed by a barrier (Fig. 3 lines 12-13). Both contribute
 			// to the failure-information time of Fig. 8a.
 			t0 := p.Now()
+			sp := st.span(t0, reconstructed.Rank(), "detect", "agree + barrier round")
 			_, agreeErr := reconstructed.Agree(1)
 			barrierErr := reconstructed.Barrier()
+			sp.End(p.Now())
 			st.ListTime += p.Now() - t0
 
 			if agreeErr == nil && barrierErr == nil {

@@ -1,0 +1,115 @@
+package trace
+
+import "fmt"
+
+// Span is a timed interval on one rank's timeline: a solve segment, a
+// checkpoint write, or one component of the repair protocol. Spans nest —
+// Depth is the number of spans already open on the same rank when this one
+// began — so exporters can render a flame-graph-style track per rank.
+type Span struct {
+	Rank   int
+	Phase  string
+	Detail string
+	Start  float64
+	End    float64 // valid only when Closed
+	Depth  int
+	Closed bool
+}
+
+func (s Span) String() string {
+	if !s.Closed {
+		return fmt.Sprintf("[%10.3fs ...       ] rank %3d  %-14s %s (unclosed)", s.Start, s.Rank, s.Phase, s.Detail)
+	}
+	return fmt.Sprintf("[%10.3fs %9.3fs] rank %3d  %-14s %s", s.Start, s.End, s.Rank, s.Phase, s.Detail)
+}
+
+// SpanHandle ends a span begun with BeginSpan. A nil handle is valid and
+// inert, mirroring the nil-Recorder contract.
+type SpanHandle struct {
+	r   *Recorder
+	idx int
+}
+
+// BeginSpan opens a span at virtual time t on the given rank's timeline and
+// returns the handle that closes it. A nil Recorder returns a nil handle.
+func (r *Recorder) BeginSpan(t float64, rank int, phase, format string, args ...any) *SpanHandle {
+	if r == nil {
+		return nil
+	}
+	s := Span{Rank: rank, Phase: phase, Detail: fmt.Sprintf(format, args...), Start: t}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.open == nil {
+		r.open = make(map[int][]int)
+	}
+	s.Depth = len(r.open[rank])
+	idx := len(r.spans)
+	r.spans = append(r.spans, s)
+	r.open[rank] = append(r.open[rank], idx)
+	return &SpanHandle{r: r, idx: idx}
+}
+
+// End closes the span at virtual time t. Ending an already-closed span is a
+// no-op, and a nil handle is inert.
+func (h *SpanHandle) End(t float64) {
+	if h == nil {
+		return
+	}
+	r := h.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &r.spans[h.idx]
+	if s.Closed {
+		return
+	}
+	s.Closed = true
+	s.End = t
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	stack := r.open[s.Rank]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == h.idx {
+			r.open[s.Rank] = append(stack[:i], stack[i+1:]...)
+			break
+		}
+	}
+}
+
+// Spans returns a copy of all spans (closed and open) sorted by start time,
+// ties broken by rank, then creation order (which places a parent before the
+// children it encloses) — a deterministic rendering order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
+	sortSpans(out)
+	return out
+}
+
+// OpenSpans returns the spans that were never closed, in the same order as
+// Spans. A non-empty result after a run usually indicates a begin/end pairing
+// bug (or a rank that died inside the spanned phase).
+func (r *Recorder) OpenSpans() []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if !s.Closed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SpanCount returns how many spans carry the given phase.
+func (r *Recorder) SpanCount(phase string) int {
+	n := 0
+	for _, s := range r.Spans() {
+		if s.Phase == phase {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderSpansSafe(t *testing.T) {
+	var r *Recorder
+	h := r.BeginSpan(1, 0, "solve", "step %d", 1)
+	if h != nil {
+		t.Fatal("nil recorder returned a handle")
+	}
+	h.End(2) // nil handle must be inert
+	if r.Spans() != nil || r.OpenSpans() != nil || r.SpanCount("solve") != 0 {
+		t.Fatal("nil recorder returned span data")
+	}
+	var buf bytes.Buffer
+	if err := r.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("nil export: %q", buf.String())
+	}
+}
+
+func TestSpanPairingAndNesting(t *testing.T) {
+	r := New(nil)
+	outer := r.BeginSpan(1, 0, "repair", "")
+	inner := r.BeginSpan(1.5, 0, "shrink", "")
+	other := r.BeginSpan(1.2, 1, "repair", "") // different rank: own stack
+	inner.End(2)
+	outer.End(3)
+	other.End(2.5)
+
+	ss := r.Spans()
+	if len(ss) != 3 {
+		t.Fatalf("%d spans", len(ss))
+	}
+	// Sorted by start: repair@0 (1.0), repair@1 (1.2), shrink@0 (1.5).
+	if ss[0].Phase != "repair" || ss[0].Rank != 0 || ss[0].Depth != 0 {
+		t.Fatalf("spans[0] = %+v", ss[0])
+	}
+	if ss[1].Rank != 1 || ss[1].Depth != 0 {
+		t.Fatalf("spans[1] = %+v", ss[1])
+	}
+	if ss[2].Phase != "shrink" || ss[2].Depth != 1 {
+		t.Fatalf("nested span depth: %+v", ss[2])
+	}
+	for _, s := range ss {
+		if !s.Closed {
+			t.Fatalf("span not closed: %+v", s)
+		}
+	}
+	if got := r.OpenSpans(); len(got) != 0 {
+		t.Fatalf("open spans: %v", got)
+	}
+	inner.End(99) // double End is a no-op
+	if got := r.Spans()[2].End; got != 2 {
+		t.Fatalf("double End moved end time to %g", got)
+	}
+}
+
+func TestUnclosedSpanDetection(t *testing.T) {
+	r := New(nil)
+	r.BeginSpan(1, 2, "solve", "dies mid-phase")
+	done := r.BeginSpan(2, 3, "solve", "")
+	done.End(3)
+	open := r.OpenSpans()
+	if len(open) != 1 || open[0].Rank != 2 || open[0].Closed {
+		t.Fatalf("open spans = %+v", open)
+	}
+	if !strings.Contains(open[0].String(), "unclosed") {
+		t.Fatalf("String() of open span: %q", open[0].String())
+	}
+}
+
+func TestSpanEndBeforeStartClamped(t *testing.T) {
+	r := New(nil)
+	h := r.BeginSpan(5, 0, "x", "")
+	h.End(4)
+	if s := r.Spans()[0]; s.End != s.Start {
+		t.Fatalf("End < Start not clamped: %+v", s)
+	}
+}
+
+// TestConcurrentMultiRankEmission hammers events and spans from many
+// rank-goroutines at once; run with -race in CI.
+func TestConcurrentMultiRankEmission(t *testing.T) {
+	r := New(nil)
+	const ranks, per = 8, 200
+	var wg sync.WaitGroup
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tm := float64(i)
+				r.Emit(tm, rank, "step", "i=%d", i)
+				h := r.BeginSpan(tm, rank, "solve", "")
+				h.End(tm + 0.5)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != ranks*per {
+		t.Fatalf("%d events, want %d", got, ranks*per)
+	}
+	if got := r.SpanCount("solve"); got != ranks*per {
+		t.Fatalf("%d spans, want %d", got, ranks*per)
+	}
+	if got := len(r.OpenSpans()); got != 0 {
+		t.Fatalf("%d unclosed spans", got)
+	}
+}
+
+// TestDeterministicSortedRendering: identical emissions in different orders
+// must render and export identically.
+func TestDeterministicSortedRendering(t *testing.T) {
+	build := func(order []int) *Recorder {
+		r := New(nil)
+		type item struct {
+			t    float64
+			rank int
+		}
+		items := []item{{3, 1}, {1, 0}, {2, 2}, {1, 1}}
+		for _, i := range order {
+			it := items[i]
+			r.Emit(it.t, it.rank, "p", "detail")
+			h := r.BeginSpan(it.t, it.rank, "s", "")
+			h.End(it.t + 1)
+		}
+		return r
+	}
+	a, b := build([]int{0, 1, 2, 3}), build([]int{3, 2, 1, 0})
+	var ra, rb, ea, eb bytes.Buffer
+	a.Render(&ra)
+	b.Render(&rb)
+	if ra.String() != rb.String() {
+		t.Fatalf("render differs:\n%s\nvs\n%s", ra.String(), rb.String())
+	}
+	if err := a.ExportChromeTrace(&ea); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ExportChromeTrace(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if ea.String() != eb.String() {
+		t.Fatalf("export differs:\n%s\nvs\n%s", ea.String(), eb.String())
+	}
+}
+
+// TestExportChromeTraceFormat parses the export and checks the trace_event
+// structure: metadata, complete spans with microsecond timestamps, instants,
+// and begin events for unclosed spans.
+func TestExportChromeTraceFormat(t *testing.T) {
+	r := New(nil)
+	r.Emit(0.25, -1, "failure", "rank 3 died")
+	h := r.BeginSpan(1.0, 3, "repair", "2 failures")
+	h.End(1.5)
+	r.BeginSpan(2.0, 0, "solve", "") // left open
+
+	var buf bytes.Buffer
+	if err := r.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	byPh := map[string][]map[string]any{}
+	for _, ev := range parsed.TraceEvents {
+		ph := ev["ph"].(string)
+		byPh[ph] = append(byPh[ph], ev)
+	}
+	// Metadata: process name + one thread per track (-1, 0, 3).
+	if got := len(byPh["M"]); got != 4 {
+		t.Fatalf("%d metadata events, want 4", got)
+	}
+	names := map[string]bool{}
+	for _, ev := range byPh["M"] {
+		if args, ok := ev["args"].(map[string]any); ok {
+			names[fmt.Sprint(args["name"])] = true
+		}
+	}
+	for _, want := range []string{"job", "rank 0", "rank 3"} {
+		if !names[want] {
+			t.Fatalf("missing track %q in %v", want, names)
+		}
+	}
+	// The closed repair span: X with ts=1e6 us, dur=0.5e6 us, tid=5.
+	if got := len(byPh["X"]); got != 1 {
+		t.Fatalf("%d complete events, want 1", got)
+	}
+	x := byPh["X"][0]
+	if x["name"] != "repair" || x["ts"].(float64) != 1e6 || x["dur"].(float64) != 5e5 || x["tid"].(float64) != 5 {
+		t.Fatalf("X event = %v", x)
+	}
+	if args := x["args"].(map[string]any); args["detail"] != "2 failures" {
+		t.Fatalf("X args = %v", args)
+	}
+	// The unclosed solve span: B on rank 0's track.
+	if got := len(byPh["B"]); got != 1 || byPh["B"][0]["name"] != "solve" || byPh["B"][0]["tid"].(float64) != 2 {
+		t.Fatalf("B events = %v", byPh["B"])
+	}
+	// The instant on the job track.
+	if got := len(byPh["i"]); got != 1 || byPh["i"][0]["tid"].(float64) != 1 || byPh["i"][0]["s"] != "t" {
+		t.Fatalf("i events = %v", byPh["i"])
+	}
+}

@@ -29,12 +29,26 @@ func (e Event) String() string {
 	return fmt.Sprintf("[%10.3fs] rank %3d  %-14s %s", e.T, e.Rank, e.Phase, e.Detail)
 }
 
-// Recorder collects events from many simulated processes. A nil Recorder is
-// valid and drops everything, so call sites need no guards.
+// Recorder collects events and spans from many simulated processes. A nil
+// Recorder is valid and drops everything, so call sites need no guards.
 type Recorder struct {
 	mu     sync.Mutex
 	w      io.Writer
 	events []Event
+	spans  []Span
+	open   map[int][]int // rank -> stack of open span indices
+}
+
+// sortSpans orders spans by start time, ties by rank, preserving creation
+// order within a tie (stable), so a parent precedes the children it opened
+// at the same instant.
+func sortSpans(ss []Span) {
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].Start != ss[j].Start {
+			return ss[i].Start < ss[j].Start
+		}
+		return ss[i].Rank < ss[j].Rank
+	})
 }
 
 // New returns a Recorder; if w is non-nil every event is also rendered to

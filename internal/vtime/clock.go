@@ -18,6 +18,7 @@ import "fmt"
 // blocked.
 type Clock struct {
 	now float64
+	obs CostObserver
 }
 
 // Now returns the current virtual time in seconds.

@@ -54,6 +54,73 @@ func TestClockSyncToPropertyMonotone(t *testing.T) {
 	}
 }
 
+// sinkObserver records attributed costs per component for tests.
+type sinkObserver struct {
+	sums map[string]float64
+}
+
+func (s *sinkObserver) ObserveCost(component string, seconds float64) {
+	if s.sums == nil {
+		s.sums = make(map[string]float64)
+	}
+	s.sums[component] += seconds
+}
+
+func TestClockObserverAttribution(t *testing.T) {
+	var c Clock
+	obs := &sinkObserver{}
+	c.SetObserver(obs)
+	c.AdvanceAttr(1.5, CompCompute)
+	c.AdvanceAttr(0.5, CompCompute)
+	c.AdvanceAttr(0.25, CompDiskWrite)
+	c.Observe(CompAlpha, 2e-6) // attributed but not advanced
+	if got := c.Now(); got != 2.25 {
+		t.Fatalf("clock = %g, want 2.25", got)
+	}
+	if got := obs.sums[CompCompute]; got != 2.0 {
+		t.Fatalf("compute attribution = %g, want 2", got)
+	}
+	if got := obs.sums[CompDiskWrite]; got != 0.25 {
+		t.Fatalf("disk attribution = %g, want 0.25", got)
+	}
+	if got := obs.sums[CompAlpha]; got != 2e-6 {
+		t.Fatalf("alpha attribution = %g, want 2e-6", got)
+	}
+	c.Observe(CompBeta, 0) // zero costs are dropped
+	if _, ok := obs.sums[CompBeta]; ok {
+		t.Fatal("zero-cost observation was recorded")
+	}
+	c.SetObserver(nil)
+	c.AdvanceAttr(1, CompCompute) // must not panic with observer detached
+	if got := c.Now(); got != 3.25 {
+		t.Fatalf("clock after detach = %g, want 3.25", got)
+	}
+	if got := obs.sums[CompCompute]; got != 2.0 {
+		t.Fatalf("detached observer still collected: %g", got)
+	}
+}
+
+func TestClockAdvanceAttrNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceAttr(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.AdvanceAttr(-1, CompCompute)
+}
+
+func TestPtToPtParts(t *testing.T) {
+	m := &Machine{Alpha: 1e-6, Beta: 1e-9}
+	alpha, beta := m.PtToPtParts(1000)
+	if alpha != 1e-6 || math.Abs(beta-1e-6) > 1e-18 {
+		t.Fatalf("PtToPtParts(1000) = %g, %g", alpha, beta)
+	}
+	if got := alpha + beta; math.Abs(got-m.PtToPt(1000)) > 1e-18 {
+		t.Fatalf("parts sum %g != PtToPt %g", got, m.PtToPt(1000))
+	}
+}
+
 func TestMax(t *testing.T) {
 	if got := Max(); got != 0 {
 		t.Fatalf("Max() = %g, want 0", got)

@@ -1,18 +1,20 @@
 #!/bin/sh
-# Runs the tier-1 benchmark suite with allocation reporting and writes
-# BENCH_baseline.json (benchmark name -> ns/op and allocs/op) at the repo
-# root. Regenerate after performance work and commit the result so
-# reviewers can diff hot-path cost:
+# Runs the tier-1 benchmark suite with allocation reporting and writes a
+# benchmark snapshot (benchmark name -> ns/op and allocs/op) at the repo
+# root, then prints per-benchmark deltas against BENCH_baseline.json so
+# reviewers can see hot-path cost at a glance:
 #
-#   ./scripts/bench.sh            # full suite (several minutes)
+#   ./scripts/bench.sh                    # full suite -> BENCH_pr2.json
 #   ./scripts/bench.sh ./internal/grid/   # one package
+#   BENCH_OUT=BENCH_baseline.json ./scripts/bench.sh   # refresh the baseline
 #
 # Times are machine-dependent; allocs/op is the stable signal.
 set -eu
 
 cd "$(dirname "$0")/.."
 pkgs="${1:-./...}"
-out="BENCH_baseline.json"
+out="${BENCH_OUT:-BENCH_pr2.json}"
+baseline="BENCH_baseline.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -38,3 +40,34 @@ END { print "\n}" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+# Compare against the committed baseline (our own line-per-entry JSON, so
+# awk can parse it directly). ns/op deltas are indicative only; a changed
+# allocs/op on a hot kernel is the red flag.
+if [ "$out" != "$baseline" ] && [ -f "$baseline" ]; then
+    echo
+    echo "delta vs $baseline (ns/op; allocs/op):"
+    awk '
+    function parse(line) {
+        split(line, kv, "\": ")
+        name = kv[1]; sub(/^ *"/, "", name)
+        ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+        al = "-"
+        if (line ~ /allocs_per_op/) {
+            al = line; sub(/.*"allocs_per_op": /, "", al); sub(/[,}].*/, "", al)
+        }
+    }
+    FNR == NR && /ns_per_op/ { parse($0); bns[name] = ns; bal[name] = al; next }
+    /ns_per_op/ {
+        parse($0)
+        if (name in bns) {
+            pct = (ns - bns[name]) / bns[name] * 100
+            mark = (bal[name] != al) ? "  ALLOCS CHANGED" : ""
+            printf "  %-70s %10.1f -> %10.1f  (%+6.1f%%)  allocs %s -> %s%s\n",
+                name, bns[name], ns, pct, bal[name], al, mark
+        } else {
+            printf "  %-70s %10s -> %10.1f  (new)      allocs - -> %s\n", name, "-", ns, al
+        }
+    }
+    ' "$baseline" "$out"
+fi
