@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ftsg/internal/core"
 	"ftsg/internal/harness"
@@ -41,8 +43,41 @@ func main() {
 		showMet    = flag.Bool("metrics", false, "print the aggregate instrumentation summary over every run of the sweep")
 		metOut     = flag.String("metrics-out", "", "write the aggregate instrumentation summary to this file")
 		traceOut   = flag.String("trace-out", "", "write the Chrome trace_event JSON of one representative fault-injected run (2 failures, RC, largest core count of the sweep) to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the sweep to this file")
+		blockProf  = flag.String("blockprofile", "", "write a blocking profile of the sweep to this file")
 	)
 	flag.Parse()
+
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1000) // one sample per microsecond blocked
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mutexProf != "" {
+		path := *mutexProf
+		defer writeProfile("mutex", path)
+	}
+	if *blockProf != "" {
+		path := *blockProf
+		defer writeProfile("block", path)
+	}
 
 	// Only explicitly-passed sizing flags reach Options, so -quick keeps
 	// shrinking the defaults while `-quick -trials 7` honors the 7.
@@ -117,6 +152,17 @@ func writeRepresentativeTrace(path string, opts harness.Options) error {
 		return err
 	}
 	return writeFileWith(path, rec.ExportChromeTrace)
+}
+
+// writeProfile dumps a named runtime profile (mutex, block, heap, ...)
+// collected over the whole sweep.
+func writeProfile(name, path string) {
+	err := writeFileWith(path, func(w io.Writer) error {
+		return pprof.Lookup(name).WriteTo(w, 0)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
 }
 
 // writeFileWith streams fn's output into path.

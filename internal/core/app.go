@@ -549,7 +549,9 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 				if err != nil {
 					return fmt.Errorf("core: RC transfer: %w", err)
 				}
-				if err := solver.SetFromGrid(g, atStep); err != nil {
+				err = solver.SetFromGrid(g, atStep)
+				mpi.ReleaseBuf(vals) // transport-owned (Recv at the group root, Bcast below it)
+				if err != nil {
 					return err
 				}
 			}
@@ -649,7 +651,7 @@ func (rs *runState) combineParallel(p *mpi.Proc, world, gcomm *mpi.Comm, solver 
 		partial.AccumulateSampled(g, coeff)
 		p.ComputeCells(target.Points(), oneShot)
 	}
-	total, err := mpi.Reduce(roots, 0, partial.V, mpi.Sum[float64])
+	total, err := mpi.ReduceSum(roots, 0, partial.V)
 	partial.Free()
 	if err != nil {
 		return fmt.Errorf("core: combine reduce: %w", err)
@@ -662,6 +664,7 @@ func (rs *runState) combineParallel(p *mpi.Proc, world, gcomm *mpi.Comm, solver 
 		return err
 	}
 	rs.recordCombined(p, comb, t0)
+	mpi.ReleaseBuf(total) // Reduce's root result is a pooled transport buffer
 	return nil
 }
 
@@ -672,9 +675,12 @@ func (rs *runState) combineSerial(p *mpi.Proc, world, gcomm *mpi.Comm, solver pd
 		return fmt.Errorf("core: combine gather: %w", err)
 	}
 	if gcomm.Rank() == 0 && mine.ID != 0 {
-		if err := mpi.Send(world, 0, tagCombineBase+mine.ID, g.V); err != nil {
+		// The gathered grid is dead after this send: transfer the buffer to
+		// the transport instead of having it copied.
+		if err := mpi.SendOwned(world, 0, tagCombineBase+mine.ID, g.V); err != nil {
 			return fmt.Errorf("core: combine send: %w", err)
 		}
+		g = nil
 	}
 	if world.Rank() != 0 {
 		return nil
@@ -688,6 +694,7 @@ func (rs *runState) combineSerial(p *mpi.Proc, world, gcomm *mpi.Comm, solver pd
 	solutions := make(map[grid.Level]*grid.Grid)
 	for _, sg := range rs.grids {
 		var vals []float64
+		owned := false // vals came from the transport and must be released
 		if sg.ID == 0 {
 			vals = g.V
 		} else {
@@ -696,20 +703,22 @@ func (rs *runState) combineSerial(p *mpi.Proc, world, gcomm *mpi.Comm, solver pd
 			if err != nil {
 				return fmt.Errorf("core: combine recv grid %d: %w", sg.ID, err)
 			}
+			owned = true
 		}
-		if sg.Role == RoleDuplicate {
-			// Duplicates exist purely as a backup of the diagonal grids;
-			// the combination uses the (possibly recovered) primaries.
-			continue
+		skip := sg.Role == RoleDuplicate ||
+			// Duplicates exist purely as a backup of the diagonal grids; the
+			// combination uses the (possibly recovered) primaries. Under AC
+			// the lost grids hold no usable data; the recovered scheme avoids
+			// their levels.
+			(rs.cfg.Technique == AlternateCombination && lostSet[sg.ID])
+		if !skip {
+			gg := grid.NewPooled(sg.Lv)
+			copy(gg.V, vals)
+			solutions[sg.Lv] = gg
 		}
-		if rs.cfg.Technique == AlternateCombination && lostSet[sg.ID] {
-			// Under AC the lost grids hold no usable data; the recovered
-			// scheme avoids their levels.
-			continue
+		if owned {
+			mpi.ReleaseBuf(vals)
 		}
-		gg := grid.NewPooled(sg.Lv)
-		copy(gg.V, vals)
-		solutions[sg.Lv] = gg
 	}
 
 	target := grid.Level{I: rs.cfg.Layout.N, J: rs.cfg.Layout.N}

@@ -87,42 +87,52 @@ func (s *sched) Run() error {
 	}
 	var next atomic.Int64
 	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				cfg := jobs[i].cfg
-				if regs != nil && cfg.Metrics == nil {
-					// Private per-run registry: the run's Result telemetry
-					// stays per-run, and the fixed-order merge below keeps
-					// the aggregate deterministic under concurrency.
-					regs[i] = metrics.New()
-					cfg.Metrics = regs[i]
-				}
-				res, err := core.Run(cfg)
-				if err != nil {
-					errs[i] = err
-					failed.Store(true)
-					return
-				}
-				if regs != nil && regs[i] != nil && !cfg.Telemetry {
-					// The registry was injected for the aggregate summary
-					// only; clear the per-run telemetry fields so tables and
-					// CSVs stay identical to an uninstrumented sweep.
-					res.MPIMessages, res.MPIBytes = 0, 0
-					res.CheckpointBytesOut, res.CheckpointBytesIn = 0, 0
-				}
-				results[i] = res
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() {
+				return
 			}
-		}()
+			cfg := jobs[i].cfg
+			if regs != nil && cfg.Metrics == nil {
+				// Private per-run registry: the run's Result telemetry
+				// stays per-run, and the fixed-order merge below keeps
+				// the aggregate deterministic under concurrency.
+				regs[i] = metrics.New()
+				cfg.Metrics = regs[i]
+			}
+			res, err := core.Run(cfg)
+			if err != nil {
+				errs[i] = err
+				failed.Store(true)
+				return
+			}
+			if regs != nil && regs[i] != nil && !cfg.Telemetry {
+				// The registry was injected for the aggregate summary
+				// only; clear the per-run telemetry fields so tables and
+				// CSVs stay identical to an uninstrumented sweep.
+				res.MPIMessages, res.MPIBytes = 0, 0
+				res.CheckpointBytesOut, res.CheckpointBytesIn = 0, 0
+			}
+			results[i] = res
+		}
 	}
-	wg.Wait()
+	if workers == 1 {
+		// A single worker needs no pool: run the queue on the calling
+		// goroutine, skipping the spawn/join handoff entirely. Same code
+		// path, same submission-order results.
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
 	for _, reg := range regs {
 		if reg != nil {
 			s.agg.Merge(reg)

@@ -41,6 +41,11 @@ func MinOp[T Number](a, b T) T {
 // BAnd is the MPI_BAND reduction operator on ints.
 func BAnd(a, b int) int { return a & b }
 
+// barrierToken is the 1-byte payload of every barrier dissemination
+// message. It is shared and immutable, and sendOwned never pools buffers
+// this small, so barrier rounds move no payload bytes and allocate nothing.
+var barrierToken = []byte{1}
+
 // Barrier blocks until all members of the intracommunicator have entered it
 // (dissemination algorithm over point-to-point messages). If any member has
 // failed, the barrier terminates at every rank — possibly non-uniformly,
@@ -54,7 +59,7 @@ func (c *Comm) Barrier() error {
 	tag := internalTag(kindBarrier, c.nextSeq("barrier"))
 	n, me := c.Size(), c.rank
 	for k := 1; k < n; k <<= 1 {
-		if err := sendRaw(c, (me+k)%n, tag, []byte{1}); err != nil {
+		if err := sendOwned(c, (me+k)%n, tag, barrierToken); err != nil {
 			abortCollective(c, tag)
 			return c.fire(err)
 		}
@@ -134,10 +139,20 @@ func Reduce[T any](c *Comm, root int, data []T, op func(T, T) T) ([]T, error) {
 	return buf, nil
 }
 
+// reduceTree is the binomial reduction shared by Reduce, Allreduce and
+// ReduceScatterBlock. Contributions move through the tree by ownership
+// transfer: each received buffer is folded into a pooled accumulator and
+// recycled, and the accumulator itself is handed uncopied to the parent —
+// one pooled buffer per subtree instead of a copy per edge. The
+// accumulator is materialised lazily (a leaf copies data only at its send;
+// an interior node's first fold combines data and the received buffer
+// directly), and the fold order op(accumulated, received) is exactly that
+// of the previous copy-always tree, so floating-point results are
+// bit-identical.
 func reduceTree[T any](c *Comm, root, tag int, data []T, op func(T, T) T) ([]T, error) {
 	n := c.Size()
 	vr := (c.rank - root + n) % n
-	buf := append([]T(nil), data...)
+	var acc []T
 	for mask := 1; mask < n; mask <<= 1 {
 		if vr&mask == 0 {
 			srcVr := vr + mask
@@ -146,22 +161,106 @@ func reduceTree[T any](c *Comm, root, tag int, data []T, op func(T, T) T) ([]T, 
 				if err != nil {
 					return nil, err
 				}
-				if len(got) != len(buf) {
-					return nil, fmt.Errorf("mpi: Reduce: length mismatch %d vs %d: %w", len(got), len(buf), ErrType)
+				if len(got) != len(data) {
+					return nil, fmt.Errorf("mpi: Reduce: length mismatch %d vs %d: %w", len(got), len(data), ErrType)
 				}
-				for i := range buf {
-					buf[i] = op(buf[i], got[i])
+				if acc == nil {
+					acc = getBuf[T](len(data))
+					for i := range acc {
+						acc[i] = op(data[i], got[i])
+					}
+				} else {
+					for i := range acc {
+						acc[i] = op(acc[i], got[i])
+					}
 				}
+				putBuf(got)
 			}
 		} else {
-			if err := sendRaw(c, (vr-mask+root)%n, tag, buf); err != nil {
+			if acc == nil {
+				acc = getBuf[T](len(data))
+				copy(acc, data)
+			}
+			if err := sendOwned(c, (vr-mask+root)%n, tag, acc); err != nil {
 				return nil, err
 			}
 			return nil, nil // non-root contributors are done
 		}
 	}
 	if c.rank == root {
-		return buf, nil
+		if acc == nil {
+			acc = getBuf[T](len(data))
+			copy(acc, data)
+		}
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// ReduceSum is Reduce specialised to the Sum operator: same binomial tree,
+// same fold order — bit-identical results — but the elementwise addition is
+// fused into the fold loop instead of an indirect call per element, which
+// matters when the reduced buffer is a full combination target grid.
+func ReduceSum[T Number](c *Comm, root int, data []T) ([]T, error) {
+	if c.IsInter() {
+		return nil, c.fire(fmt.Errorf("mpi: Reduce on intercommunicator: %w", ErrComm))
+	}
+	t0 := opStart(c)
+	tag := internalTag(kindReduce, c.nextSeq("reduce"))
+	buf, err := reduceTreeSum(c, root, tag, data)
+	if err != nil {
+		abortCollective(c, tag)
+		return nil, c.fire(err)
+	}
+	opEnd(c, "reduce", t0)
+	return buf, nil
+}
+
+// reduceTreeSum mirrors reduceTree with op = Sum fused in (see ReduceSum).
+func reduceTreeSum[T Number](c *Comm, root, tag int, data []T) ([]T, error) {
+	n := c.Size()
+	vr := (c.rank - root + n) % n
+	var acc []T
+	for mask := 1; mask < n; mask <<= 1 {
+		if vr&mask == 0 {
+			srcVr := vr + mask
+			if srcVr < n {
+				got, _, err := recvRaw[T](c, (srcVr+root)%n, tag, true)
+				if err != nil {
+					return nil, err
+				}
+				if len(got) != len(data) {
+					return nil, fmt.Errorf("mpi: Reduce: length mismatch %d vs %d: %w", len(got), len(data), ErrType)
+				}
+				if acc == nil {
+					acc = getBuf[T](len(data))
+					for i := range acc {
+						acc[i] = data[i] + got[i]
+					}
+				} else {
+					for i := range acc {
+						acc[i] += got[i]
+					}
+				}
+				putBuf(got)
+			}
+		} else {
+			if acc == nil {
+				acc = getBuf[T](len(data))
+				copy(acc, data)
+			}
+			if err := sendOwned(c, (vr-mask+root)%n, tag, acc); err != nil {
+				return nil, err
+			}
+			return nil, nil // non-root contributors are done
+		}
+	}
+	if c.rank == root {
+		if acc == nil {
+			acc = getBuf[T](len(data))
+			copy(acc, data)
+		}
+		return acc, nil
 	}
 	return nil, nil
 }
@@ -288,6 +387,9 @@ func Allgather[T any](c *Comm, data []T) ([][]T, error) {
 			flat = flat[:0]
 			for _, p := range pieces {
 				flat = append(flat, p...)
+			}
+			for r := 1; r < n; r++ {
+				putBuf(pieces[r]) // transport-owned; pieces[0] is the caller's
 			}
 		}
 	} else {

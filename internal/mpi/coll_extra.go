@@ -102,7 +102,8 @@ func Exscan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 		acc = prev
 	}
 	if c.rank < c.Size()-1 {
-		next := append([]T(nil), data...)
+		next := getBuf[T](len(data))
+		copy(next, data)
 		if acc != nil {
 			if len(acc) != len(next) {
 				return nil, c.fire(fmt.Errorf("mpi: Exscan: length mismatch: %w", ErrType))
@@ -111,7 +112,7 @@ func Exscan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 				next[i] = op(acc[i], next[i])
 			}
 		}
-		if err := sendRaw(c, c.rank+1, tag, next); err != nil {
+		if err := sendOwned(c, c.rank+1, tag, next); err != nil {
 			abortCollective(c, tag)
 			return nil, c.fire(err)
 		}
@@ -146,7 +147,9 @@ func ReduceScatterBlock[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) 
 				return nil, c.fire(err)
 			}
 		}
-		return append([]T(nil), reduced[:block]...), nil
+		out := append([]T(nil), reduced[:block]...)
+		putBuf(reduced) // the pooled accumulator from reduceTree
+		return out, nil
 	}
 	got, _, err := recvRaw[T](c, 0, tag, true)
 	if err != nil {

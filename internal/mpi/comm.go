@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"ftsg/internal/metrics"
 	"ftsg/internal/topo"
@@ -11,15 +12,25 @@ import (
 // commShared is the state of a communicator shared by all of its members.
 // a is the local group of side 0 (and the only group of an intracommunicator);
 // b, when non-nil, is the group of side 1 of an intercommunicator. Groups
-// hold world ranks; a member's rank in the communicator is its index in its
-// side's group. The revoked flag is guarded by World.mu.
+// hold world ranks and are immutable once published; a member's rank in the
+// communicator is its index in its side's group.
 type commShared struct {
-	id      int
-	a, b    []int
-	revoked bool
+	id   int
+	a, b []int
+	// revoked is the communicator-wide revocation flag. It is a lock-free
+	// gate for the hot path: while false, receives skip the quiesce map
+	// entirely. It only ever transitions false -> true, under World.state.
+	revoked atomic.Bool
+	// hasAborts gates the aborts map the same way: senders/receivers
+	// consult the map (under a state read lock) only once some member has
+	// recorded a collective abort. The flag is stored under World.state
+	// after the record is written, and the recorder then wakes the members,
+	// so a receiver that must observe an abort is always re-driven past
+	// this gate.
+	hasAborts atomic.Bool
 	// aborts records, per collective instance tag, which members bailed out
 	// of that collective and at what virtual time (world rank -> abort
-	// time). Guarded by World.mu. A member blocked on a peer inside the
+	// time). Guarded by World.state. A member blocked on a peer inside the
 	// same instance errors out once the peer's abort is recorded, which
 	// propagates collective failure deterministically: the outcome depends
 	// only on the peer's program order (message sent before abort recorded
@@ -27,7 +38,7 @@ type commShared struct {
 	aborts map[int]map[int]float64
 	// quiesced records which members (world ranks) have observed the
 	// communicator's revocation and stopped participating in it. Guarded
-	// by World.mu. A receiver blocked on a peer resolves to
+	// by World.state. A receiver blocked on a peer resolves to
 	// MPI_ERR_REVOKED only once that peer has provably quiesced (or
 	// died), never merely because the revoked flag became visible at some
 	// wall-clock moment — revocation, like collective aborts, propagates
@@ -78,9 +89,9 @@ func ErrorsAreFatal(c *Comm, err error) {
 }
 
 // fire routes an error through the handle's error handler, then returns it.
-// It must be called without World.mu held. Returning MPI_ERR_REVOKED is the
-// program-order point where this process observes the revocation, so fire
-// also records the quiesce.
+// It must be called without any transport lock held. Returning
+// MPI_ERR_REVOKED is the program-order point where this process observes
+// the revocation, so fire also records the quiesce.
 func (c *Comm) fire(err error) error {
 	if err != nil {
 		if !c.sawRevoked && errors.Is(err, ErrRevoked) {
@@ -96,22 +107,18 @@ func (c *Comm) fire(err error) error {
 // markRevoked records that this process has observed the communicator's
 // revocation: the handle fails fast from now on, and the quiesce record lets
 // peers blocked on this process resolve to MPI_ERR_REVOKED deterministically.
-// Must be called without World.mu held.
+// Must be called without any transport lock held.
 func (c *Comm) markRevoked() {
 	c.sawRevoked = true
 	st := c.p.st
 	w := st.w
-	w.mu.Lock()
+	w.state.Lock()
 	if c.sh.quiesced == nil {
 		c.sh.quiesced = make(map[int]bool)
 	}
 	c.sh.quiesced[st.wrank] = true
-	for _, wr := range c.allMembers() {
-		if wr != st.wrank && w.aliveLocked(wr) {
-			w.procs[wr].cond.Broadcast()
-		}
-	}
-	w.mu.Unlock()
+	w.wakeRanks(c.allMembers())
+	w.state.Unlock()
 }
 
 // Rank returns the calling process's rank in the (local group of the)
@@ -175,12 +182,7 @@ func (c *Comm) peerWorld(rank int) (int, error) {
 }
 
 // Revoked reports whether the communicator has been revoked.
-func (c *Comm) Revoked() bool {
-	w := c.p.st.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return c.sh.revoked
-}
+func (c *Comm) Revoked() bool { return c.sh.revoked.Load() }
 
 // WorldRankOf returns the world rank behind a local-group rank.
 func (c *Comm) WorldRankOf(rank int) int {
@@ -194,11 +196,9 @@ func (c *Comm) WorldRankOf(rank int) int {
 // FailedRanks returns the local-group ranks of currently failed members.
 func (c *Comm) FailedRanks() []int {
 	w := c.p.st.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	var out []int
 	for i, wr := range c.localGroup() {
-		if !w.aliveLocked(wr) {
+		if !w.alive(wr) {
 			out = append(out, i)
 		}
 	}
@@ -209,8 +209,13 @@ func (c *Comm) FailedRanks() []int {
 // handle. Members of a communicator call collectives of one kind in the same
 // order, so handles stay in lockstep per kind (this tolerates the paper's
 // merge/agree cross-ordering between the parent and child sides of the
-// spawn intercommunicator).
+// spawn intercommunicator). The map is lazy: handles that never enter a
+// collective (the common world handle in pure point-to-point runs included)
+// allocate nothing.
 func (c *Comm) nextSeq(op string) int {
+	if c.seqs == nil {
+		c.seqs = make(map[string]int)
+	}
 	s := c.seqs[op]
 	c.seqs[op] = s + 1
 	return s
@@ -287,8 +292,5 @@ func (p *Proc) Kill() {
 
 // Alive reports whether the world rank is currently alive.
 func (p *Proc) Alive(worldRank int) bool {
-	w := p.st.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.aliveLocked(worldRank)
+	return p.st.w.alive(worldRank)
 }

@@ -37,7 +37,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	}
 	sh := res.(*splitResult).comms[color]
 	rank := Group(sh.a).Rank(c.p.st.wrank)
-	return &Comm{sh: sh, p: c.p, rank: rank, seqs: make(map[string]int)}, nil
+	return &Comm{sh: sh, p: c.p, rank: rank}, nil
 }
 
 func buildSplit(w *World, r *rendezvous) (any, float64) {
@@ -80,7 +80,7 @@ func (c *Comm) Dup() (*Comm, error) {
 	if err != nil {
 		return nil, c.fire(err)
 	}
-	return &Comm{sh: res.(*commShared), p: c.p, side: c.side, rank: c.rank, seqs: make(map[string]int)}, nil
+	return &Comm{sh: res.(*commShared), p: c.p, side: c.side, rank: c.rank}, nil
 }
 
 // CommCreate builds a new intracommunicator over the given subgroup of this
@@ -110,12 +110,12 @@ func (c *Comm) CommCreate(group Group) (*Comm, error) {
 	if rank < 0 {
 		return nil, nil
 	}
-	return &Comm{sh: sh, p: c.p, rank: rank, seqs: make(map[string]int)}, nil
+	return &Comm{sh: sh, p: c.p, rank: rank}, nil
 }
 
 // logCost models the latency of a communicator-management collective as a
-// logarithmic number of message rounds. Caller holds World.mu (reads only
-// immutable machine fields).
+// logarithmic number of message rounds (reads only immutable machine
+// fields).
 func logCost(w *World, n int) float64 {
 	rounds := 0
 	for p := 1; p < n; p <<= 1 {

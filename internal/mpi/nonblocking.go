@@ -10,12 +10,15 @@ import (
 // This file implements nonblocking point-to-point communication:
 // MPI_Isend / MPI_Irecv / MPI_Wait / MPI_Waitall, plus MPI_Probe and
 // MPI_Iprobe. Posted receives are matched in posting order against arriving
-// sends (a per-process posted-receive queue), exactly as the MPI matching
-// rules require, so overlapping halo exchanges behave like the real thing.
+// sends (a per-process posted-receive set, indexed by signature), exactly
+// as the MPI matching rules require, so overlapping halo exchanges behave
+// like the real thing.
 
 // Request represents an outstanding nonblocking operation, mirroring
 // MPI_Request. A send request is complete at creation (the runtime buffers
 // eagerly); a receive request completes when a matching message arrives.
+// done/env/status/err are guarded by the owning process's mailbox lock
+// until completion; afterwards only the owner touches them.
 type Request struct {
 	c    *Comm
 	src  int // requested source (receives only)
@@ -26,11 +29,9 @@ type Request struct {
 	env    *envelope
 	status Status
 	err    error
-}
 
-// postedRecv is a receive waiting in the posted queue of a process.
-type postedRecv struct {
-	req *Request
+	pseq  uint64   // posting order, for the indexed posted set
+	pnext *Request // intrusive link in its posted queue
 }
 
 // Isend starts a nonblocking send. The runtime buffers eagerly, so the
@@ -49,16 +50,30 @@ func Isend[T any](c *Comm, dest, tag int, data []T) (*Request, error) {
 	return req, nil
 }
 
+// IsendOwned is Isend with SendOwned's ownership-transfer semantics: the
+// slice's array is handed to the transport uncopied and must not be touched
+// by the caller afterwards.
+func IsendOwned[T any](c *Comm, dest, tag int, data []T) (*Request, error) {
+	if tag < 0 {
+		return nil, c.fire(fmt.Errorf("mpi: IsendOwned: negative tag %d is reserved: %w", tag, ErrComm))
+	}
+	err := sendOwned(c, dest, tag, data)
+	req := &Request{c: c, tag: tag, done: true, err: err}
+	if err != nil {
+		return req, c.fire(err)
+	}
+	return req, nil
+}
+
 // Irecv posts a nonblocking receive. If a matching message is already
 // buffered it completes immediately; otherwise the request joins the
-// process's posted queue and is matched in posting order as messages
+// process's posted set and is matched in posting order as messages
 // arrive.
 func Irecv[T any](c *Comm, src, tag int) (*Request, error) {
 	if tag < 0 && tag != AnyTag {
 		return nil, c.fire(fmt.Errorf("mpi: Irecv: negative tag %d is reserved: %w", tag, ErrComm))
 	}
 	st := c.p.st
-	w := st.w
 	req := &Request{c: c, src: src, tag: tag, recv: true}
 
 	if c.sawRevoked {
@@ -66,19 +81,18 @@ func Irecv[T any](c *Comm, src, tag int) (*Request, error) {
 		req.err = ErrRevoked
 		return req, nil
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if i := matchEnvelope(st.mbox, c.sh.id, src, tag); i >= 0 {
-		req.complete(st.mbox[i])
-		st.mbox = append(st.mbox[:i], st.mbox[i+1:]...)
-		return req, nil
+	st.mu.Lock()
+	if env := st.mb.take(c.sh.id, src, tag); env != nil {
+		req.complete(env)
+	} else {
+		st.posted.add(req)
 	}
-	st.posted = append(st.posted, postedRecv{req: req})
+	st.mu.Unlock()
 	return req, nil
 }
 
-// complete fills a receive request from an envelope. Caller holds World.mu
-// (or the envelope is exclusively owned).
+// complete fills a receive request from an envelope. Caller holds the
+// receiving process's mu (or the envelope is exclusively owned).
 func (r *Request) complete(env *envelope) {
 	r.done = true
 	r.env = env
@@ -92,65 +106,66 @@ func Wait[T any](r *Request) ([]T, Status, error) {
 	st := c.p.st
 	w := st.w
 
-	w.mu.Lock()
+	st.mu.Lock()
 	for !r.done {
-		if r.recv {
-			if r.src != AnySource {
-				pw, err := c.peerWorld(r.src)
-				if err != nil {
-					r.done = true
-					r.err = err
-					w.removePosted(st, r)
-					break
-				}
-				if c.sh.revoked && c.sh.quiesced[pw] {
-					r.done = true
-					r.err = ErrRevoked
-					w.removePosted(st, r)
-					break
-				}
-				if !w.aliveLocked(pw) {
-					r.done = true
-					r.err = failedErr(r.src, pw)
-					w.removePosted(st, r)
-					break
-				}
-			} else if hasUnacked(w, c) {
-				r.done = true
-				r.err = ErrPending
-				w.removePosted(st, r)
+		e := st.epoch
+		st.mu.Unlock()
+		v := recvVerdict(c, r.src, r.tag, false)
+		revoked := v.err == nil && c.sh.revoked.Load()
+		if revoked {
+			st.mu.Lock()
+			if r.done {
+				st.mu.Unlock()
 				break
 			}
-			if c.sh.revoked && revokedDeadlockLocked(w, c, st.wrank) {
-				r.done = true
-				r.err = ErrRevoked
-				w.removePosted(st, r)
-				break
+			st.waitSh, st.waitReq = c.sh, r
+			st.mu.Unlock()
+			if !revokedDeadlock(c, st.wrank) {
+				revoked = false
 			}
 		}
-		st.waitSh, st.waitReq = c.sh, r
-		st.cond.Wait()
+		st.mu.Lock()
+		if r.done {
+			// A racing send completed the request while we evaluated the
+			// failure conditions; program order says it was sent first.
+			st.waitSh, st.waitReq = nil, nil
+			break
+		}
+		if v.err != nil || revoked {
+			r.done = true
+			r.err = v.err
+			if revoked {
+				r.err = ErrRevoked
+			}
+			st.posted.remove(r)
+			st.waitSh, st.waitReq = nil, nil
+			break
+		}
+		if st.epoch == e {
+			st.waitSh, st.waitReq = c.sh, r
+			st.cond.Wait()
+		}
 		st.waitSh, st.waitReq = nil, nil
 	}
 	env := r.env
 	err := r.err
 	stt := r.status
+	st.mu.Unlock()
+
 	if env != nil {
 		st.clock.SyncTo(env.arrival)
 		st.clock.AdvanceAttr(w.machine.RecvOverhead, vtime.CompORecv)
 		w.wm.countRecv(st.wrank, env.bytes)
 	}
-	w.mu.Unlock()
-
 	if err != nil {
 		return nil, stt, c.fire(err)
 	}
 	if env == nil {
 		return nil, stt, nil // completed send
 	}
-	data, ok := env.data.([]T)
+	data, ok := payload[T](env)
 	if !ok {
-		return nil, stt, c.fire(fmt.Errorf("mpi: Wait: message holds %T: %w", env.data, ErrType))
+		return nil, stt, c.fire(fmt.Errorf("mpi: Wait: message holds []%v: %w", env.etype, ErrType))
 	}
 	return data, stt, nil
 }
@@ -175,46 +190,10 @@ func Waitall(reqs ...*Request) error {
 // Test reports whether the request has completed, without blocking
 // (MPI_Test without the status output).
 func (r *Request) Test() bool {
-	w := r.c.p.st.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	st := r.c.p.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return r.done
-}
-
-// removePosted drops a request from a process's posted queue. Caller holds
-// World.mu.
-func (w *World) removePosted(st *procState, r *Request) {
-	for i, p := range st.posted {
-		if p.req == r {
-			st.posted = append(st.posted[:i], st.posted[i+1:]...)
-			return
-		}
-	}
-}
-
-// matchPosted tries to deliver an arriving envelope to the earliest posted
-// receive that matches it. Caller holds World.mu. Returns true if consumed.
-func matchPosted(st *procState, env *envelope) bool {
-	for i, p := range st.posted {
-		r := p.req
-		if r.c.sh.id != env.commID {
-			continue
-		}
-		if r.src != AnySource && r.src != env.src {
-			continue
-		}
-		if r.tag == AnyTag {
-			if env.tag < 0 {
-				continue
-			}
-		} else if r.tag != env.tag {
-			continue
-		}
-		r.complete(env)
-		st.posted = append(st.posted[:i], st.posted[i+1:]...)
-		return true
-	}
-	return false
 }
 
 // Probe blocks until a matching message is available and returns its
@@ -222,44 +201,59 @@ func matchPosted(st *procState, env *envelope) bool {
 // conditions as Recv.
 func (c *Comm) Probe(src, tag int) (Status, error) {
 	st := c.p.st
-	w := st.w
 	if c.sawRevoked {
 		return Status{}, c.fire(ErrRevoked)
 	}
-	w.mu.Lock()
-	for {
-		if i := matchEnvelope(st.mbox, c.sh.id, src, tag); i >= 0 {
-			env := st.mbox[i]
+	probe := func() (Status, bool) {
+		if env := st.mb.peek(c.sh.id, src, tag); env != nil {
 			stt := Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}
 			st.clock.SyncTo(env.arrival)
-			w.mu.Unlock()
+			return stt, true
+		}
+		return Status{}, false
+	}
+	for {
+		st.mu.Lock()
+		stt, ok := probe()
+		e := st.epoch
+		st.mu.Unlock()
+		if ok {
 			return stt, nil
 		}
-		if src != AnySource {
-			pw, err := c.peerWorld(src)
-			if err != nil {
-				w.mu.Unlock()
-				return Status{}, c.fire(err)
+
+		if v := recvVerdict(c, src, tag, false); v.err != nil {
+			st.mu.Lock()
+			stt, ok = probe()
+			st.mu.Unlock()
+			if ok {
+				return stt, nil
 			}
-			if c.sh.revoked && c.sh.quiesced[pw] {
-				w.mu.Unlock()
+			return Status{}, c.fire(v.err)
+		}
+
+		if c.sh.revoked.Load() {
+			st.mu.Lock()
+			st.waitSh, st.waitSrc, st.waitTag, st.waitReq = c.sh, src, tag, nil
+			st.mu.Unlock()
+			if revokedDeadlock(c, st.wrank) {
+				st.mu.Lock()
+				stt, ok = probe()
+				st.waitSh = nil
+				st.mu.Unlock()
+				if ok {
+					return stt, nil
+				}
 				return Status{}, c.fire(ErrRevoked)
 			}
-			if !w.aliveLocked(pw) {
-				w.mu.Unlock()
-				return Status{}, c.fire(failedErr(src, pw))
-			}
-		} else if hasUnacked(w, c) {
-			w.mu.Unlock()
-			return Status{}, c.fire(ErrPending)
 		}
-		if c.sh.revoked && revokedDeadlockLocked(w, c, st.wrank) {
-			w.mu.Unlock()
-			return Status{}, c.fire(ErrRevoked)
+
+		st.mu.Lock()
+		if st.epoch == e {
+			st.waitSh, st.waitSrc, st.waitTag, st.waitReq = c.sh, src, tag, nil
+			st.cond.Wait()
 		}
-		st.waitSh, st.waitSrc, st.waitTag = c.sh, src, tag
-		st.cond.Wait()
 		st.waitSh = nil
+		st.mu.Unlock()
 	}
 }
 
@@ -267,14 +261,12 @@ func (c *Comm) Probe(src, tag int) (Status, error) {
 // (MPI_Iprobe).
 func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
 	st := c.p.st
-	w := st.w
 	if c.sawRevoked {
 		return false, Status{}, ErrRevoked
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if i := matchEnvelope(st.mbox, c.sh.id, src, tag); i >= 0 {
-		env := st.mbox[i]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if env := st.mb.peek(c.sh.id, src, tag); env != nil {
 		return true, Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}, nil
 	}
 	return false, Status{}, nil
@@ -301,37 +293,59 @@ func Waitany(reqs ...*Request) int {
 	c := reqs[0].c
 	st := c.p.st
 	w := st.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	for {
+		st.mu.Lock()
 		for i, r := range reqs {
 			if r.done {
+				st.mu.Unlock()
 				return i
 			}
-			// A request whose failure condition already holds completes
-			// with its error; re-check the same conditions Wait uses.
-			if r.recv && r.src != AnySource {
-				pw, err := r.c.peerWorld(r.src)
-				if err != nil {
-					r.done = true
-					r.err = err
-					w.removePosted(r.c.p.st, r)
-					return i
-				}
-				if r.c.sh.revoked && r.c.sh.quiesced[pw] {
-					r.done = true
-					r.err = ErrRevoked
-					w.removePosted(r.c.p.st, r)
-					return i
-				}
-				if !w.aliveLocked(pw) {
-					r.done = true
-					r.err = failedErr(r.src, -1)
-					w.removePosted(r.c.p.st, r)
-					return i
-				}
-			}
 		}
-		st.cond.Wait()
+		e := st.epoch
+		st.mu.Unlock()
+
+		// A request whose failure condition already holds completes with
+		// its error; these are the same named-source conditions Wait uses.
+		for i, r := range reqs {
+			if !r.recv || r.src == AnySource {
+				continue
+			}
+			var verr error
+			pw, err := r.c.peerWorld(r.src)
+			switch {
+			case err != nil:
+				verr = err
+			case r.c.sh.revoked.Load() && quiescedPeer(w, r.c, pw):
+				verr = ErrRevoked
+			case !w.alive(pw):
+				verr = failedErr(r.src, -1)
+			}
+			if verr == nil {
+				continue
+			}
+			st.mu.Lock()
+			if !r.done {
+				r.done = true
+				r.err = verr
+				r.c.p.st.posted.remove(r)
+			}
+			st.mu.Unlock()
+			return i
+		}
+
+		st.mu.Lock()
+		if st.epoch == e {
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
 	}
+}
+
+// quiescedPeer reports whether world rank pw has quiesced on c's revoked
+// communicator.
+func quiescedPeer(w *World, c *Comm, pw int) bool {
+	w.state.RLock()
+	q := c.sh.quiesced[pw]
+	w.state.RUnlock()
+	return q
 }

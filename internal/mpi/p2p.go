@@ -2,7 +2,7 @@ package mpi
 
 import (
 	"fmt"
-	"reflect"
+	"sort"
 
 	"ftsg/internal/vtime"
 )
@@ -17,16 +17,6 @@ const (
 
 // internal tag space for collectives; see internalTag.
 const internalTagBase = 1000
-
-// envelope is one in-flight message.
-type envelope struct {
-	commID  int
-	src     int // sender's rank in its local group
-	tag     int
-	data    any
-	bytes   int
-	arrival float64
-}
 
 // Status mirrors MPI_Status.
 type Status struct {
@@ -51,30 +41,56 @@ func SendOne[T any](c *Comm, dest, tag int, v T) error {
 	return Send(c, dest, tag, []T{v})
 }
 
+// SendOwned sends data without copying it, transferring ownership of the
+// slice's array to the runtime (and ultimately to the receiver). The caller
+// must not read or write data after the call — typically the slice comes
+// from AcquireBuf, and a cooperating receiver hands it back with
+// ReleaseBuf. This is the zero-copy fast path for large payloads (gathered
+// sub-grids, reduction buffers); Send's copying semantics remain the safe
+// default.
+func SendOwned[T any](c *Comm, dest, tag int, data []T) error {
+	if tag < 0 {
+		return c.fire(fmt.Errorf("mpi: SendOwned: negative tag %d is reserved: %w", tag, ErrComm))
+	}
+	return c.fire(sendOwned(c, dest, tag, data))
+}
+
 func sendRaw[T any](c *Comm, dest, tag int, data []T) error {
+	return sendEnv(c, dest, tag, data, false)
+}
+
+func sendOwned[T any](c *Comm, dest, tag int, data []T) error {
+	return sendEnv(c, dest, tag, data, true)
+}
+
+// sendEnv implements the eager send. owned hands the slice itself to the
+// transport (dropped sends recycle it into the typed pool); otherwise the
+// payload is copied into transport-owned memory (slab or pool; see copyIn).
+// The only lock taken on the failure-free path is the destination's
+// mailbox mutex.
+func sendEnv[T any](c *Comm, dest, tag int, data []T, owned bool) error {
 	st := c.p.st
 	w := st.w
-	var elemSize int
-	if len(data) > 0 {
-		elemSize = int(reflect.TypeOf(data[0]).Size())
-	}
-	buf := append([]T(nil), data...)
 
 	// A send fails on revocation only once the sender itself has observed
 	// it (program order): sends are eager and never block, so consulting
 	// the shared revoked flag here would make the outcome depend on the
 	// wall-clock moment another rank's Revoke became visible.
 	if c.sawRevoked {
+		if owned {
+			putBuf(data)
+		}
 		return ErrRevoked
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	dw, err := c.peerWorld(dest)
 	if err != nil {
+		if owned {
+			putBuf(data)
+		}
 		return err
 	}
 	st.clock.AdvanceAttr(w.machine.SendOverhead, vtime.CompOSend)
-	bytes := len(buf) * elemSize
+	bytes := len(data) * elemSize[T]()
 	if wm := w.wm; wm != nil {
 		wm.countSend(st.wrank, bytes)
 		alpha, beta := w.machine.PtToPtParts(bytes)
@@ -90,22 +106,31 @@ func sendRaw[T any](c *Comm, dest, tag int, data []T) error {
 	// and collectives, whose checks follow the peer's program order. This is
 	// the ULFM contract too: local completion of a buffered send guarantees
 	// nothing about delivery.
-	if !w.aliveLocked(dw) {
+	dst := w.proc(dw)
+	if !dst.alive.Load() {
+		if owned {
+			putBuf(data)
+		}
 		return nil
 	}
-	dst := w.procs[dw]
-	env := &envelope{
-		commID:  c.sh.id,
-		src:     c.rank,
-		tag:     tag,
-		data:    buf,
-		bytes:   bytes,
-		arrival: st.clock.Now() + w.machine.PtToPt(bytes),
+	env := getEnv()
+	env.commID, env.src, env.tag = c.sh.id, c.rank, tag
+	env.bytes = bytes
+	env.arrival = st.clock.Now() + w.machine.PtToPt(bytes)
+	if owned {
+		setPayload(env, data)
+	} else {
+		copyIn(env, st, data)
 	}
-	if !matchPosted(dst, env) {
-		dst.mbox = append(dst.mbox, env)
+	dst.mu.Lock()
+	if req := dst.posted.matchArrival(env); req != nil {
+		req.complete(env)
+	} else {
+		dst.mb.push(env)
 	}
+	dst.epoch++
 	dst.cond.Signal()
+	dst.mu.Unlock()
 	return nil
 }
 
@@ -147,6 +172,14 @@ func RecvOne[T any](c *Comm, src, tag int) (T, Status, error) {
 // quiesces, and either precedes its death), so the receiver's outcome is a
 // function of the source's virtual-time history alone, independent of
 // wall-clock scheduling.
+//
+// Locking: the mailbox check takes only the caller's own mu; the failure
+// checks are lock-free or take a brief state read lock (see recvVerdict).
+// Because message and verdict are no longer inspected under one big lock,
+// any verdict is followed by a mandatory mailbox re-check: the source's
+// mailbox insert happens-before the global-state write the verdict read, so
+// a matching message that raced in is visible by then and wins, exactly as
+// it did under the old priority loop.
 func recvRaw[T any](c *Comm, src, tag int, internal bool) ([]T, Status, error) {
 	st := c.p.st
 	w := st.w
@@ -154,125 +187,204 @@ func recvRaw[T any](c *Comm, src, tag int, internal bool) ([]T, Status, error) {
 	if c.sawRevoked {
 		return nil, Status{}, ErrRevoked
 	}
-	w.mu.Lock()
 	for {
-		if i := matchEnvelope(st.mbox, c.sh.id, src, tag); i >= 0 {
-			env := st.mbox[i]
-			st.mbox = append(st.mbox[:i], st.mbox[i+1:]...)
-			st.clock.SyncTo(env.arrival)
-			st.clock.AdvanceAttr(w.machine.RecvOverhead, vtime.CompORecv)
-			if wm := w.wm; wm != nil {
-				wm.countRecv(st.wrank, env.bytes)
-				if !internal {
-					wm.observeOp("recv", st.clock.Now()-t0)
-				}
-			}
-			w.mu.Unlock()
-			data, ok := env.data.([]T)
-			if !ok {
-				return nil, Status{}, fmt.Errorf("mpi: Recv: message holds %T: %w", env.data, ErrType)
-			}
-			return data, Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}, nil
+		st.mu.Lock()
+		env := st.mb.take(c.sh.id, src, tag)
+		e := st.epoch
+		st.mu.Unlock()
+		if env != nil {
+			return deliver[T](c, env, internal, t0)
 		}
-		if src != AnySource {
-			pw, err := c.peerWorld(src)
-			if err != nil {
-				w.mu.Unlock()
-				return nil, Status{}, err
+
+		if v := recvVerdict(c, src, tag, internal); v.err != nil {
+			st.mu.Lock()
+			env = st.mb.take(c.sh.id, src, tag)
+			st.mu.Unlock()
+			if env != nil {
+				return deliver[T](c, env, internal, t0)
 			}
-			if internal {
-				if at, ok := c.sh.abortTime(tag, pw); ok {
-					// The peer bailed out of this collective instance and
-					// will never send; model the failure notification as one
-					// wire latency from its abort point.
-					st.clock.SyncTo(at + w.machine.Alpha)
-					st.clock.AdvanceAttr(w.machine.RecvOverhead, vtime.CompORecv)
-					w.mu.Unlock()
-					return nil, Status{}, failedErr(-1, -1)
+			if v.abort {
+				// The peer bailed out of this collective instance and
+				// will never send; model the failure notification as one
+				// wire latency from its abort point.
+				st.clock.SyncTo(v.at + w.machine.Alpha)
+				st.clock.AdvanceAttr(w.machine.RecvOverhead, vtime.CompORecv)
+			}
+			return nil, Status{}, v.err
+		}
+
+		if c.sh.revoked.Load() {
+			// Register as blocked on this communicator before running the
+			// detector, so that when the last runnable members head for
+			// their final park "simultaneously", whichever takes the
+			// detector's atomic snapshot last sees all the others already
+			// registered and resolves the group.
+			st.mu.Lock()
+			st.waitSh, st.waitSrc, st.waitTag, st.waitReq = c.sh, src, tag, nil
+			st.mu.Unlock()
+			if revokedDeadlock(c, st.wrank) {
+				st.mu.Lock()
+				env = st.mb.take(c.sh.id, src, tag)
+				st.waitSh = nil
+				st.mu.Unlock()
+				if env != nil {
+					return deliver[T](c, env, internal, t0)
 				}
-			}
-			if c.sh.revoked && c.sh.quiesced[pw] {
-				w.mu.Unlock()
 				return nil, Status{}, ErrRevoked
 			}
-			if !w.aliveLocked(pw) {
-				w.mu.Unlock()
-				return nil, Status{}, failedErr(src, pw)
-			}
-		} else if hasUnacked(w, c) {
-			w.mu.Unlock()
-			return nil, Status{}, ErrPending
 		}
-		if c.sh.revoked && revokedDeadlockLocked(w, c, st.wrank) {
-			w.mu.Unlock()
-			return nil, Status{}, ErrRevoked
+
+		st.mu.Lock()
+		if st.epoch == e {
+			st.waitSh, st.waitSrc, st.waitTag, st.waitReq = c.sh, src, tag, nil
+			st.cond.Wait()
 		}
-		st.waitSh, st.waitSrc, st.waitTag = c.sh, src, tag
-		st.cond.Wait()
 		st.waitSh = nil
+		st.mu.Unlock()
 	}
 }
 
-// revokedDeadlockLocked reports whether, on a revoked communicator, every
-// other live non-quiesced member is blocked receiving on the same
-// communicator with no pending resolution (no matchable message already
-// delivered). At that point no member can ever send again, so the whole
-// group must resolve to MPI_ERR_REVOKED — the asynchronous interruption
-// MPI_Comm_revoke guarantees. Whether the group reaches this state is a
-// function of each member's deterministic operation sequence, so the
-// fallback preserves run-to-run determinism. Caller holds World.mu.
-func revokedDeadlockLocked(w *World, c *Comm, self int) bool {
-	for _, wr := range c.allMembers() {
-		if wr == self || !w.aliveLocked(wr) || c.sh.quiesced[wr] {
+// deliver completes a matched receive: virtual-time sync, accounting, and
+// payload extraction. The envelope is recycled; its buffer becomes the
+// caller's.
+func deliver[T any](c *Comm, env *envelope, internal bool, t0 float64) ([]T, Status, error) {
+	st := c.p.st
+	w := st.w
+	st.clock.SyncTo(env.arrival)
+	st.clock.AdvanceAttr(w.machine.RecvOverhead, vtime.CompORecv)
+	if wm := w.wm; wm != nil {
+		wm.countRecv(st.wrank, env.bytes)
+		if !internal {
+			wm.observeOp("recv", st.clock.Now()-t0)
+		}
+	}
+	data, ok := payload[T](env)
+	if !ok {
+		err := fmt.Errorf("mpi: Recv: message holds []%v: %w", env.etype, ErrType)
+		putEnv(env)
+		return nil, Status{}, err
+	}
+	stt := Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}
+	putEnv(env)
+	return data, stt, nil
+}
+
+// verdict is the outcome of a receive's failure checks.
+type verdict struct {
+	err   error
+	abort bool    // err reports a recorded collective abort...
+	at    float64 // ...at this virtual time
+}
+
+// recvVerdict evaluates, in program-order priority, the conditions under
+// which a receive must stop waiting: the named source's recorded collective
+// abort (internal receives only), its quiesce on a revoked communicator,
+// its death; or, for a wildcard receive, unacknowledged failures in the
+// group. Lock-free in the failure-free case: group membership is immutable,
+// liveness is atomic, and the abort/quiesce maps are consulted (under a
+// state read lock) only once their atomic gate flags say there is something
+// to see. Must be called without any transport lock held.
+func recvVerdict(c *Comm, src, tag int, internal bool) verdict {
+	w := c.p.st.w
+	if src != AnySource {
+		pw, err := c.peerWorld(src)
+		if err != nil {
+			return verdict{err: err}
+		}
+		if internal && c.sh.hasAborts.Load() {
+			w.state.RLock()
+			at, ok := c.sh.aborts[tag][pw]
+			w.state.RUnlock()
+			if ok {
+				return verdict{err: failedErr(-1, -1), abort: true, at: at}
+			}
+		}
+		if c.sh.revoked.Load() {
+			w.state.RLock()
+			q := c.sh.quiesced[pw]
+			w.state.RUnlock()
+			if q {
+				return verdict{err: ErrRevoked}
+			}
+		}
+		if !w.alive(pw) {
+			return verdict{err: failedErr(src, pw)}
+		}
+	} else if hasUnacked(w, c) {
+		return verdict{err: ErrPending}
+	}
+	return verdict{}
+}
+
+// revokedDeadlock reports whether, on a revoked communicator, every other
+// live non-quiesced member is blocked receiving on the same communicator
+// with no pending resolution (no matchable message already delivered). At
+// that point no member can ever send again, so the whole group must resolve
+// to MPI_ERR_REVOKED — the asynchronous interruption MPI_Comm_revoke
+// guarantees. Whether the group reaches this state is a function of each
+// member's deterministic operation sequence, so the fallback preserves
+// run-to-run determinism.
+//
+// The check takes an atomic snapshot: World.state freezes membership,
+// quiesce and liveness transitions, and every member's mu (ascending world
+// rank — the one place multiple process locks are held) freezes their
+// parked state. A non-atomic scan could assemble a view that never existed
+// at any instant and nondeterministically resolve a live group. Caller
+// must hold no transport lock.
+func revokedDeadlock(c *Comm, self int) bool {
+	w := c.p.st.w
+	w.state.Lock()
+	ps := w.snapshot()
+	members := c.allMembers()
+	locked := make([]*procState, 0, len(members))
+	for _, wr := range members {
+		locked = append(locked, ps[wr])
+	}
+	sort.Slice(locked, func(i, j int) bool { return locked[i].wrank < locked[j].wrank })
+	for _, q := range locked {
+		q.mu.Lock()
+	}
+	dead := true
+	for _, q := range locked {
+		if q.wrank == self || !q.alive.Load() || c.sh.quiesced[q.wrank] {
 			continue
 		}
-		q := w.procs[wr]
 		if q.waitSh != c.sh {
-			return false
+			dead = false // not blocked on this communicator; it may still send
+			break
 		}
 		if q.waitReq != nil {
 			if q.waitReq.done {
-				return false // a send already completed it; it will run on
+				dead = false // a send already completed it; it will run on
+				break
 			}
-		} else if matchEnvelope(q.mbox, c.sh.id, q.waitSrc, q.waitTag) >= 0 {
-			return false // a matchable message is waiting; it will consume it
+		} else if q.mb.peek(c.sh.id, q.waitSrc, q.waitTag) != nil {
+			dead = false // a matchable message is waiting; it will consume it
+			break
 		}
 	}
-	return true
-}
-
-// matchEnvelope finds the first matching message (FIFO order). A wildcard
-// tag only matches user (non-negative) tags.
-func matchEnvelope(mbox []*envelope, commID, src, tag int) int {
-	for i, env := range mbox {
-		if env.commID != commID {
-			continue
-		}
-		if src != AnySource && env.src != src {
-			continue
-		}
-		if tag == AnyTag {
-			if env.tag >= 0 {
-				return i
-			}
-			continue
-		}
-		if env.tag == tag {
-			return i
-		}
+	for i := len(locked) - 1; i >= 0; i-- {
+		locked[i].mu.Unlock()
 	}
-	return -1
+	w.state.Unlock()
+	return dead
 }
 
 // hasUnacked reports whether the communicator has failed members not yet
-// acknowledged via FailureAck on this handle. Caller holds World.mu.
+// acknowledged via FailureAck on this handle.
 func hasUnacked(w *World, c *Comm) bool {
-	acked := make(map[int]bool, len(c.acked))
-	for _, r := range c.acked {
-		acked[r] = true
-	}
 	for _, wr := range c.allMembers() {
-		if !w.aliveLocked(wr) && !acked[wr] {
+		if w.alive(wr) {
+			continue
+		}
+		acked := false
+		for _, a := range c.acked {
+			if a == wr {
+				acked = true
+				break
+			}
+		}
+		if !acked {
 			return true
 		}
 	}
@@ -290,8 +402,7 @@ func hasUnacked(w *World, c *Comm) bool {
 func abortCollective(c *Comm, tag int) {
 	st := c.p.st
 	w := st.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.state.Lock()
 	if c.sh.aborts == nil {
 		c.sh.aborts = make(map[int]map[int]float64)
 	}
@@ -303,19 +414,9 @@ func abortCollective(c *Comm, tag int) {
 	if _, ok := m[st.wrank]; !ok {
 		m[st.wrank] = st.clock.Now()
 	}
-	for _, wr := range c.allMembers() {
-		if wr == st.wrank || !w.aliveLocked(wr) {
-			continue
-		}
-		w.procs[wr].cond.Signal()
-	}
-}
-
-// abortTime returns the virtual time at which world rank wr aborted
-// collective instance tag, if it did. Caller holds World.mu.
-func (sh *commShared) abortTime(tag, wr int) (float64, bool) {
-	at, ok := sh.aborts[tag][wr]
-	return at, ok
+	c.sh.hasAborts.Store(true)
+	w.wakeRanks(c.allMembers())
+	w.state.Unlock()
 }
 
 // internalTag builds the reserved tag for collective kind k, instance seq.

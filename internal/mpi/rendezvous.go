@@ -2,8 +2,6 @@ package mpi
 
 import (
 	"fmt"
-
-	"ftsg/internal/vtime"
 )
 
 // rvzMode selects how a rendezvous-style collective treats member failure.
@@ -35,7 +33,8 @@ type rvzKey struct {
 
 // rendezvous is the shared state of one in-progress collective that needs a
 // single, globally consistent result (split groups, shrunken communicator,
-// agreement value, spawn). Guarded by World.mu.
+// agreement value, spawn). Guarded by World.state — these are cold
+// control-plane operations, so they stay off the per-process fast path.
 type rendezvous struct {
 	key     rvzKey
 	members []int // expected world ranks (both sides for an intercomm)
@@ -49,23 +48,25 @@ type rendezvous struct {
 }
 
 // maxArrival returns the latest arrival time among arrived-and-alive
-// members. Caller holds World.mu.
+// members, folding the max inline (same zero identity as vtime.Max, with
+// no scratch slice per call). Caller holds World.state.
 func (r *rendezvous) maxArrival(w *World) float64 {
-	ts := make([]float64, 0, len(r.arrived))
+	var m float64
 	for wr, t := range r.arrived {
-		if w.aliveLocked(wr) {
-			ts = append(ts, t)
+		if w.alive(wr) && t > m {
+			m = t
 		}
 	}
-	return vtime.Max(ts...)
+	return m
 }
 
 // aliveArrived reports whether every currently-alive expected member has
-// arrived, and whether any expected member is dead. Caller holds World.mu.
+// arrived, and whether any expected member is dead. Caller holds
+// World.state.
 func (r *rendezvous) aliveArrived(w *World) (complete, anyDead bool) {
 	complete = true
 	for _, wr := range r.members {
-		if !w.aliveLocked(wr) {
+		if !w.alive(wr) {
 			anyDead = true
 			continue
 		}
@@ -77,7 +78,7 @@ func (r *rendezvous) aliveArrived(w *World) (complete, anyDead bool) {
 }
 
 // buildFunc computes the single shared result of a rendezvous once all alive
-// members have arrived. It runs under World.mu (it must not block) and
+// members have arrived. It runs under World.state (it must not block) and
 // returns the result plus the modelled cost of the operation in seconds.
 type buildFunc func(w *World, r *rendezvous) (any, float64)
 
@@ -100,7 +101,10 @@ func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input an
 	if c.sawRevoked && !allowRevoked {
 		return nil, ErrRevoked
 	}
-	w.mu.Lock()
+	w.state.Lock()
+	if w.rvzTable == nil {
+		w.rvzTable = make(map[rvzKey]*rendezvous)
+	}
 	r, ok := w.rvzTable[key]
 	if !ok {
 		r = &rendezvous{
@@ -112,7 +116,7 @@ func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input an
 		w.rvzTable[key] = r
 	}
 	if _, dup := r.arrived[st.wrank]; dup {
-		w.mu.Unlock()
+		w.state.Unlock()
 		panic(fmt.Sprintf("mpi: process %d entered %s twice (seq %d)", st.wrank, op, key.seq))
 	}
 	r.arrived[st.wrank] = st.clock.Now()
@@ -135,17 +139,26 @@ func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input an
 			}
 			r.done = true
 		default:
-			st.cond.Wait()
+			// Park until something rendezvous-relevant happens: a member
+			// arriving and resolving (it wakes the group below) or a death
+			// (markFailed wakes everyone). Epoch-gated so a wake that
+			// lands between releasing state and parking is never lost —
+			// wakers bump the epoch only under state, which we still hold
+			// when reading it.
+			e := st.epochNow()
+			w.state.Unlock()
+			st.mu.Lock()
+			if st.epoch == e {
+				st.cond.Wait()
+			}
+			st.mu.Unlock()
+			w.state.Lock()
 			continue
 		}
-		for _, wr := range r.members {
-			if w.aliveLocked(wr) {
-				w.procs[wr].cond.Broadcast()
-			}
-		}
+		w.wakeRanks(r.members)
 	}
 	result, err, t, cost := r.result, r.err, r.t, r.cost
-	w.mu.Unlock()
+	w.state.Unlock()
 
 	st.clock.SyncTo(t)
 	// Attribute the op's modelled cost once per participating member and

@@ -2,7 +2,6 @@ package mpi
 
 import (
 	"fmt"
-	"sync"
 
 	"ftsg/internal/vtime"
 )
@@ -59,11 +58,13 @@ func (c *Comm) SpawnMultiple(n int, hosts []string, root int) (*Comm, error) {
 	if sr.err != nil {
 		return nil, c.fire(sr.err)
 	}
-	return &Comm{sh: sr.inter, p: c.p, side: 0, rank: c.rank, seqs: make(map[string]int)}, nil
+	return &Comm{sh: sr.inter, p: c.p, side: 0, rank: c.rank}, nil
 }
 
 // spawnLocked creates n processes and launches their goroutines. Caller
-// holds World.mu. Each child starts with its clock at start seconds.
+// holds World.state (write); the grown process table is published as a new
+// copy-on-write snapshot before any child can run. Each child starts with
+// its clock at start seconds.
 func (w *World) spawnLocked(parentGroup []int, n int, hosts []string, start float64) (*commShared, error) {
 	placements := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -79,19 +80,26 @@ func (w *World) spawnLocked(parentGroup []int, n int, hosts []string, start floa
 			placements[i] = 0
 		}
 	}
+	old := w.snapshot()
+	procs := make([]*procState, len(old), len(old)+n)
+	copy(procs, old)
 	childRanks := make([]int, n)
 	children := make([]*procState, n)
+	block := make([]procState, n)
 	for i := 0; i < n; i++ {
-		st := &procState{w: w, wrank: len(w.procs), host: placements[i], alive: true}
-		st.cond = sync.NewCond(&w.mu)
+		st := &block[i]
+		st.w, st.wrank, st.host = w, len(procs), placements[i]
+		st.alive.Store(true)
+		st.cond.L = &st.mu
 		st.clock.Set(start)
 		if w.wm != nil {
 			st.clock.SetObserver(w.wm)
 		}
-		w.procs = append(w.procs, st)
+		procs = append(procs, st)
 		childRanks[i] = st.wrank
 		children[i] = st
 	}
+	w.procs.Store(&procs)
 	w.spawned += n
 	w.wm.countSpawned(n)
 	childWorld := w.newCommLocked(childRanks, nil)
@@ -100,8 +108,8 @@ func (w *World) spawnLocked(parentGroup []int, n int, hosts []string, start floa
 	for i, st := range children {
 		p := &Proc{
 			st:     st,
-			world:  &Comm{sh: childWorld, rank: i, seqs: make(map[string]int)},
-			parent: &Comm{sh: inter, side: 1, rank: i, seqs: make(map[string]int)},
+			world:  &Comm{sh: childWorld, rank: i},
+			parent: &Comm{sh: inter, side: 1, rank: i},
 		}
 		p.world.p = p
 		p.parent.p = p
@@ -141,7 +149,10 @@ func (c *Comm) IntercommMerge(high bool) (*Comm, error) {
 	t0 := st.clock.Now()
 	key := rvzKey{comm: c.sh.id, op: "merge", seq: c.nextSeq("merge")}
 
-	w.mu.Lock()
+	w.state.Lock()
+	if w.mergeTable == nil {
+		w.mergeTable = make(map[rvzKey]*mergeEntry)
+	}
 	e, ok := w.mergeTable[key]
 	if !ok {
 		// Absolute ordering: side 0's group goes first unless side 0 passed
@@ -168,12 +179,12 @@ func (c *Comm) IntercommMerge(high bool) (*Comm, error) {
 	e.highOfSide[c.side] = &h
 	sh := e.sh
 	st.clock.AdvanceAttr(w.machine.ULFM.MergeCost(len(c.sh.a)+len(c.sh.b)), vtime.CompMerge)
-	w.mu.Unlock()
+	w.state.Unlock()
 
 	if err != nil {
 		return nil, c.fire(err)
 	}
 	opEnd(c, "merge", t0)
 	rank := Group(sh.a).Rank(st.wrank)
-	return &Comm{sh: sh, p: c.p, rank: rank, seqs: make(map[string]int)}, nil
+	return &Comm{sh: sh, p: c.p, rank: rank}, nil
 }

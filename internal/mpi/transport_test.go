@@ -1,0 +1,112 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+	"unsafe"
+)
+
+// TestElemSize checks the cached element-size helper against unsafe.Sizeof
+// for the types the application actually ships.
+func TestElemSize(t *testing.T) {
+	if got := elemSize[byte](); got != 1 {
+		t.Errorf("elemSize[byte] = %d", got)
+	}
+	if got := elemSize[int32](); got != 4 {
+		t.Errorf("elemSize[int32] = %d", got)
+	}
+	if got := elemSize[float64](); got != 8 {
+		t.Errorf("elemSize[float64] = %d", got)
+	}
+	type pair struct{ a, b float64 }
+	if got, want := elemSize[pair](), int(unsafe.Sizeof(pair{})); got != want {
+		t.Errorf("elemSize[pair] = %d, want %d", got, want)
+	}
+	if got := elemSize[string](); got != int(unsafe.Sizeof("")) {
+		t.Errorf("elemSize[string] = %d", got)
+	}
+}
+
+// TestZeroLengthSendSizing sends an empty slice: the element size must not be
+// derived from data[0] (there is none), the message must carry zero bytes,
+// and the typed match must still work — including rejecting a receiver of
+// the wrong element type.
+func TestZeroLengthSendSizing(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			must(t, Send(c, 1, 1, []float64{}))
+			must(t, Send(c, 1, 2, []float64(nil)))
+			must(t, Send(c, 1, 3, []int32{}))
+			return
+		}
+		data, st, err := Recv[float64](c, 0, 1)
+		must(t, err)
+		if len(data) != 0 || st.Bytes != 0 {
+			t.Errorf("empty send: got %d values, %d bytes", len(data), st.Bytes)
+		}
+		data, st, err = Recv[float64](c, 0, 2)
+		must(t, err)
+		if len(data) != 0 || st.Bytes != 0 {
+			t.Errorf("nil send: got %d values, %d bytes", len(data), st.Bytes)
+		}
+		// A zero-length message still remembers its element type.
+		if _, _, err := Recv[float64](c, 0, 3); !errors.Is(err, ErrType) {
+			t.Errorf("zero-length type mismatch: err = %v, want ErrType", err)
+		}
+	})
+}
+
+// TestSendOwnedZeroCopy checks the large-message fast path: a buffer above
+// the eager threshold handed over with SendOwned must arrive without being
+// copied — the receiver observes the sender's backing array.
+func TestSendOwnedZeroCopy(t *testing.T) {
+	n := eagerThreshold / int(unsafe.Sizeof(float64(0))) // exactly at the threshold
+	var sentPtr unsafe.Pointer
+	runWorld(t, 2, func(p *Proc) {
+		c := p.World()
+		if c.Rank() == 0 {
+			buf := make([]float64, n)
+			for i := range buf {
+				buf[i] = float64(i)
+			}
+			sentPtr = unsafe.Pointer(unsafe.SliceData(buf))
+			must(t, SendOwned(c, 1, 9, buf))
+			return
+		}
+		got, st, err := Recv[float64](c, 0, 9)
+		must(t, err)
+		if st.Bytes != n*8 || len(got) != n || got[n-1] != float64(n-1) {
+			t.Errorf("payload corrupted: %d values, %d bytes", len(got), st.Bytes)
+		}
+		if unsafe.Pointer(unsafe.SliceData(got)) != sentPtr {
+			t.Error("large SendOwned payload was copied; expected ownership transfer")
+		}
+		ReleaseBuf(got)
+	})
+}
+
+// TestBufferPoolRoundTrip checks that a released large buffer is reused by
+// the next acquisition and that small buffers are refused by the pool.
+func TestBufferPoolRoundTrip(t *testing.T) {
+	n := eagerThreshold // bytes == 8*eagerThreshold, well above the threshold
+	reused := false
+	for try := 0; try < 5 && !reused; try++ { // a GC may drop pooled items
+		b := AcquireBuf[float64](n)
+		p0 := unsafe.Pointer(unsafe.SliceData(b))
+		ReleaseBuf(b)
+		b2 := AcquireBuf[float64](n)
+		reused = unsafe.Pointer(unsafe.SliceData(b2)) == p0
+		ReleaseBuf(b2)
+	}
+	if !reused {
+		t.Error("released buffer never reused")
+	}
+
+	small := AcquireBuf[byte](8) // below the threshold: pool must refuse it
+	ReleaseBuf(small)
+	small2 := AcquireBuf[byte](8)
+	if len(small2) != 8 {
+		t.Fatalf("AcquireBuf(8) returned %d bytes", len(small2))
+	}
+}

@@ -20,20 +20,16 @@ func (c *Comm) Revoke() error {
 	st := c.p.st
 	w := st.w
 	c.sawRevoked = true
-	w.mu.Lock()
-	c.sh.revoked = true
+	w.state.Lock()
+	c.sh.revoked.Store(true)
 	if c.sh.quiesced == nil {
 		c.sh.quiesced = make(map[int]bool)
 	}
 	c.sh.quiesced[st.wrank] = true
 	st.clock.AdvanceAttr(w.machine.ULFM.RevokeCost, vtime.CompRevoke)
 	w.wm.countRevoke()
-	for _, wr := range c.allMembers() {
-		if w.aliveLocked(wr) {
-			w.procs[wr].cond.Broadcast()
-		}
-	}
-	w.mu.Unlock()
+	w.wakeRanks(c.allMembers())
+	w.state.Unlock()
 	return nil
 }
 
@@ -50,7 +46,7 @@ func (c *Comm) Shrink() (*Comm, error) {
 		func(w *World, r *rendezvous) (any, float64) {
 			var alive []int
 			for _, wr := range c.sh.a {
-				if w.aliveLocked(wr) {
+				if w.alive(wr) {
 					alive = append(alive, wr)
 				}
 			}
@@ -63,7 +59,7 @@ func (c *Comm) Shrink() (*Comm, error) {
 	}
 	sh := res.(*commShared)
 	rank := Group(sh.a).Rank(c.p.st.wrank)
-	return &Comm{sh: sh, p: c.p, rank: rank, seqs: make(map[string]int)}, nil
+	return &Comm{sh: sh, p: c.p, rank: rank}, nil
 }
 
 // Agree performs fault-tolerant agreement on the bitwise AND of the flags
@@ -77,12 +73,12 @@ func (c *Comm) Agree(flag int) (int, error) {
 		func(w *World, r *rendezvous) (any, float64) {
 			agreed := -1 // all bits set
 			for wr, in := range r.inputs {
-				if w.aliveLocked(wr) {
+				if w.alive(wr) {
 					agreed &= in.(int)
 				}
 			}
 			members := c.allMembers()
-			nfailed := len(w.failedOfLocked(members))
+			nfailed := len(w.failedOf(members))
 			if c.sh.repairFor > nfailed {
 				nfailed = c.sh.repairFor
 			}
@@ -97,13 +93,12 @@ func (c *Comm) Agree(flag int) (int, error) {
 // FailureAck acknowledges all currently known failures on the communicator
 // (OMPI_Comm_failure_ack): wildcard receives posted after the call no longer
 // report MPI_ERR_PENDING for these failures, and FailureGetAcked returns
-// exactly this snapshot.
+// exactly this snapshot. Liveness reads are atomic, so no lock is needed;
+// acked is owner-only handle state.
 func (c *Comm) FailureAck() error {
 	st := c.p.st
 	w := st.w
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	c.acked = append([]int(nil), w.failedOfLocked(c.allMembers())...)
+	c.acked = w.failedOf(c.allMembers())
 	st.clock.AdvanceAttr(w.machine.ULFM.GroupOpCost*float64(len(c.allMembers())), vtime.CompAck)
 	return nil
 }

@@ -13,11 +13,40 @@
 // runtime marks it failed and wakes every blocked peer so pending and future
 // operations observe MPI_ERR_PROC_FAILED, exactly as a ULFM MPI reports a
 // dead partner.
+//
+// # Lock hierarchy
+//
+// The transport is sharded so the failure-free fast path never serialises
+// on job-wide state (see DESIGN.md, "Transport"):
+//
+//   - World.state, a seldom-written RWMutex, guards membership, failure,
+//     revocation/abort records, rendezvous tables and communicator-id
+//     allocation. Read-locked briefly on failure checks; write-locked only
+//     by cold control-plane events (death, revoke, collective abort,
+//     rendezvous, spawn).
+//   - procState.mu, one per process, guards that process's mailbox, posted
+//     receives, wakeup epoch and blocked-receive descriptor. A send takes
+//     only the destination's mu; a receive only the caller's own.
+//   - World.procs is an atomic copy-on-write snapshot, read lock-free;
+//     procState.alive is atomic; procState.clock and slab are owner-only.
+//
+// Ordering: World.state is always acquired before any procState.mu; when
+// several procState.mu are held together (only the revoked-deadlock
+// detector does this) they are taken in ascending world rank; no code path
+// acquires World.state while holding a procState.mu.
+//
+// Blocking uses an epoch protocol instead of a global broadcast: every
+// event that could unblock a process (message delivery, death, revoke,
+// abort, rendezvous resolution) increments the target's epoch under its mu
+// and signals its condvar. A parker re-checks its wake conditions, then
+// parks only if the epoch is unchanged since before the checks — so a wake
+// that races with the checks is never lost.
 package mpi
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ftsg/internal/metrics"
 	"ftsg/internal/topo"
@@ -27,19 +56,23 @@ import (
 // killSignal is the panic payload used by Proc.Kill to emulate SIGKILL.
 type killSignal struct{}
 
-// procState is the runtime's view of one simulated process. All fields
-// except clock are guarded by World.mu; clock is advanced only by the owning
-// goroutine and read by others only at rendezvous points where the owner is
-// blocked.
+// procState is the runtime's view of one simulated process. wrank and host
+// are immutable; alive is atomic; clock and sl are touched only by the
+// owning goroutine (peers read the clock only at rendezvous points where
+// the owner is provably blocked); everything from mu down is guarded by mu.
 type procState struct {
-	w      *World
-	wrank  int // world-unique process id (never reused)
-	host   int // index into the cluster's host list
-	alive  bool
-	mbox   []*envelope
-	posted []postedRecv // nonblocking receives awaiting a match, post order
-	cond   *sync.Cond   // on World.mu
-	clock  vtime.Clock
+	w     *World
+	wrank int // world-unique process id (never reused)
+	host  int // index into the cluster's host list
+	alive atomic.Bool
+	clock vtime.Clock
+	sl    slab // eager-copy arena; owner-only (senders copy into their own)
+
+	mu     sync.Mutex
+	cond   sync.Cond // on mu; the owning goroutine is the only waiter
+	epoch  uint64    // bumped by every event that may unblock the owner
+	mb     mailbox
+	posted postedSet
 	// waitSh/waitSrc/waitTag/waitReq describe the receive this process is
 	// blocked in (waitSh nil while runnable). They feed the
 	// revoked-communicator deadlock detector: when every live,
@@ -53,18 +86,38 @@ type procState struct {
 	waitReq *Request
 }
 
+// wake bumps the process's epoch and signals it. One goroutine owns each
+// process, so there is at most one waiter and Signal suffices.
+func (st *procState) wake() {
+	st.mu.Lock()
+	st.epoch++
+	st.cond.Signal()
+	st.mu.Unlock()
+}
+
+// epochNow reads the process's current wakeup epoch.
+func (st *procState) epochNow() uint64 {
+	st.mu.Lock()
+	e := st.epoch
+	st.mu.Unlock()
+	return e
+}
+
 // World owns all simulated processes of one MPI job, including processes
-// created later by SpawnMultiple. A single coarse mutex guards all shared
-// runtime state; per-process condition variables avoid thundering herds on
-// the message-passing fast path.
+// created later by SpawnMultiple. See the package comment for the lock
+// hierarchy.
 type World struct {
-	mu      sync.Mutex
 	machine *vtime.Machine
 	cluster *topo.Cluster
 	entry   func(*Proc)
+	wm      *worldMetrics // nil when instrumentation is disabled
 
-	wm         *worldMetrics // nil when instrumentation is disabled
-	procs      []*procState
+	// procs is a copy-on-write snapshot of all processes, loaded lock-free
+	// by the hot paths. Entries are never removed or reordered;
+	// SpawnMultiple publishes a grown copy while holding state.
+	procs atomic.Pointer[[]*procState]
+
+	state      sync.RWMutex
 	nextCommID int
 	rvzTable   map[rvzKey]*rendezvous
 	mergeTable map[rvzKey]*mergeEntry
@@ -72,6 +125,47 @@ type World struct {
 	spawned    int
 	maxTime    float64
 	wg         sync.WaitGroup
+}
+
+// snapshot returns the current process table (lock-free).
+func (w *World) snapshot() []*procState { return *w.procs.Load() }
+
+// proc returns the procState of world rank r.
+func (w *World) proc(r int) *procState { return w.snapshot()[r] }
+
+// alive reports whether world rank r is currently alive (lock-free).
+func (w *World) alive(r int) bool {
+	ps := w.snapshot()
+	return r >= 0 && r < len(ps) && ps[r].alive.Load()
+}
+
+// failedOf returns the failed members of the given world-rank list, in list
+// order.
+func (w *World) failedOf(ranks []int) []int {
+	var out []int
+	for _, r := range ranks {
+		if !w.alive(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// wakeAll wakes every process (job-wide events: death, exit).
+func (w *World) wakeAll() {
+	for _, q := range w.snapshot() {
+		q.wake()
+	}
+}
+
+// wakeRanks wakes the given world ranks.
+func (w *World) wakeRanks(ranks []int) {
+	ps := w.snapshot()
+	for _, r := range ranks {
+		if r >= 0 && r < len(ps) {
+			ps[r].wake()
+		}
+	}
 }
 
 // Options configures a World run.
@@ -128,46 +222,51 @@ func Run(o Options) (*Report, error) {
 		return nil, fmt.Errorf("mpi: cluster has %d slots for %d processes", cl.Slots(), o.NProcs)
 	}
 	w := &World{
-		machine:    m,
-		cluster:    cl,
-		entry:      o.Entry,
-		wm:         newWorldMetrics(o.Metrics),
-		rvzTable:   make(map[rvzKey]*rendezvous),
-		mergeTable: make(map[rvzKey]*mergeEntry),
+		machine: m,
+		cluster: cl,
+		entry:   o.Entry,
+		wm:      newWorldMetrics(o.Metrics),
 	}
 
-	w.mu.Lock()
+	// Block-allocate the initial process table, Proc and Comm handles: the
+	// whole setup is a handful of allocations regardless of NProcs.
+	sts := make([]procState, o.NProcs)
+	procs := make([]*procState, o.NProcs)
 	worldRanks := make([]int, o.NProcs)
 	for r := 0; r < o.NProcs; r++ {
 		host, err := cl.HostIndexOfRank(r)
 		if err != nil {
-			w.mu.Unlock()
 			return nil, err
 		}
-		st := &procState{w: w, wrank: r, host: host, alive: true}
-		st.cond = sync.NewCond(&w.mu)
+		st := &sts[r]
+		st.w, st.wrank, st.host = w, r, host
+		st.alive.Store(true)
+		st.cond.L = &st.mu
 		if w.wm != nil {
 			st.clock.SetObserver(w.wm)
 		}
-		w.procs = append(w.procs, st)
+		procs[r] = st
 		worldRanks[r] = r
 	}
-	worldComm := w.newCommLocked(worldRanks, nil)
+	w.procs.Store(&procs)
+	worldComm := &commShared{id: 0, a: worldRanks}
+	w.nextCommID = 1
+
+	hands := make([]Proc, o.NProcs)
+	comms := make([]Comm, o.NProcs)
 	for r := 0; r < o.NProcs; r++ {
-		p := &Proc{
-			st:    w.procs[r],
-			world: &Comm{sh: worldComm, rank: r, seqs: make(map[string]int)},
-		}
-		p.world.p = p
+		p := &hands[r]
+		c := &comms[r]
+		c.sh, c.rank, c.p = worldComm, r, p
+		p.st, p.world = procs[r], c
 		w.wg.Add(1)
 		go w.runProc(p)
 	}
-	w.mu.Unlock()
 
 	w.wg.Wait()
 
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.state.Lock()
+	defer w.state.Unlock()
 	return &Report{
 		MaxVirtualTime: w.maxTime,
 		Failed:         append([]int(nil), w.failed...),
@@ -199,70 +298,51 @@ func (w *World) runProc(p *Proc) {
 // deadlocking mirrors how a real mpirun job dies). Unlike Kill, a normal
 // exit is not recorded in Report.Failed.
 func (w *World) finish(st *procState) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	st.alive = false
-	st.mbox = nil
-	if st.clock.Now() > w.maxTime {
-		w.maxTime = st.clock.Now()
-	}
-	for _, q := range w.procs {
-		if q.alive {
-			q.cond.Broadcast()
-		}
-	}
+	w.state.Lock()
+	defer w.state.Unlock()
+	w.endProc(st, false)
 }
 
 // markFailed records a process death and wakes every blocked process so
 // pending operations can observe the failure.
 func (w *World) markFailed(st *procState) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if !st.alive {
+	w.state.Lock()
+	defer w.state.Unlock()
+	if !st.alive.Load() {
 		return
 	}
-	st.alive = false
-	st.mbox = nil
-	w.failed = append(w.failed, st.wrank)
+	w.endProc(st, true)
+}
+
+// endProc takes a process out of the job: liveness flips first (under
+// state, so failure checks and membership scans agree), the mailbox is
+// drained back to the envelope pool, and everyone is woken to re-check.
+// Caller holds state (write).
+func (w *World) endProc(st *procState, record bool) {
+	st.alive.Store(false)
+	if record {
+		w.failed = append(w.failed, st.wrank)
+	}
 	if st.clock.Now() > w.maxTime {
 		w.maxTime = st.clock.Now()
 	}
-	for _, q := range w.procs {
-		if q.alive {
-			q.cond.Broadcast()
-		}
-	}
+	st.mu.Lock()
+	st.mb.drain()
+	st.mu.Unlock()
+	w.wakeAll()
 }
 
-// newCommLocked allocates a communicator's shared state. Caller holds mu.
-// b == nil makes an intracommunicator; otherwise a and b are the two groups
-// of an intercommunicator.
+// newCommLocked allocates a communicator's shared state. Caller holds
+// state (write). b == nil makes an intracommunicator; otherwise a and b
+// are the two groups of an intercommunicator.
 func (w *World) newCommLocked(a, b []int) *commShared {
 	sh := &commShared{
 		id: w.nextCommID,
 		a:  append([]int(nil), a...),
-		b:  append([]int(nil), b...),
 	}
-	if b == nil {
-		sh.b = nil
+	if b != nil {
+		sh.b = append([]int(nil), b...)
 	}
 	w.nextCommID++
 	return sh
-}
-
-// aliveLocked reports whether world rank r is alive. Caller holds mu.
-func (w *World) aliveLocked(r int) bool {
-	return r >= 0 && r < len(w.procs) && w.procs[r].alive
-}
-
-// failedOfLocked returns the failed members of the given world-rank list, in
-// list order. Caller holds mu.
-func (w *World) failedOfLocked(ranks []int) []int {
-	var out []int
-	for _, r := range ranks {
-		if !w.aliveLocked(r) {
-			out = append(out, r)
-		}
-	}
-	return out
 }

@@ -118,11 +118,13 @@ func (s *ParallelSolver) exchangeHalos() error {
 		return err
 	}
 	copy(s.local[0:s.nx], lower)
+	mpi.ReleaseBuf(lower)
 	upper, _, err := mpi.Recv[float64](s.Comm, up, tagHaloDown)
 	if err != nil {
 		return err
 	}
 	copy(s.local[(nloc+1)*s.nx:], upper)
+	mpi.ReleaseBuf(upper)
 	return nil
 }
 
@@ -233,6 +235,7 @@ func (s *ParallelSolver) Gather(root int) (*grid.Grid, error) {
 			g.V[row*g.Nx+s.nx] = piece[k*s.nx] // duplicate column
 			row++
 		}
+		mpi.ReleaseBuf(piece) // Gather hands ownership of every piece to root
 	}
 	// Duplicate row.
 	copy(g.V[s.ny*g.Nx:], g.V[:g.Nx])

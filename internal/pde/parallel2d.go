@@ -124,6 +124,8 @@ func (s *ParallelSolver2D) exchangeHalos() error {
 			s.local[s.at(0, ly)] = fromWest[ly-1]
 			s.local[s.at(nlx+1, ly)] = fromEast[ly-1]
 		}
+		mpi.ReleaseBuf(fromWest)
+		mpi.ReleaseBuf(fromEast)
 	}
 
 	// Phase 2: north/south rows INCLUDING the east/west halo columns, so
@@ -146,11 +148,13 @@ func (s *ParallelSolver2D) exchangeHalos() error {
 		return err
 	}
 	copy(s.local[s.at(0, 0):s.at(0, 0)+s.lw], fromSouth)
+	mpi.ReleaseBuf(fromSouth)
 	fromNorth, _, err := mpi.Recv[float64](c, north, tagHaloSouth)
 	if err != nil {
 		return err
 	}
 	copy(s.local[s.at(0, nly+1):s.at(0, nly+1)+s.lw], fromNorth)
+	mpi.ReleaseBuf(fromNorth)
 	return nil
 }
 
@@ -201,11 +205,12 @@ func (s *ParallelSolver2D) Run(n int) error {
 func (s *ParallelSolver2D) Gather(root int) (*grid.Grid, error) {
 	c := s.Cart.Comm
 	nlx, nly := s.cx1-s.cx0, s.cy1-s.cy0
-	mine := make([]float64, nlx*nly)
+	mine := mpi.AcquireBuf[float64](nlx * nly)
 	for ly := 1; ly <= nly; ly++ {
 		copy(mine[(ly-1)*nlx:ly*nlx], s.local[s.at(1, ly):s.at(nlx+1, ly)])
 	}
 	pieces, err := mpi.Gather(c, root, mine)
+	mpi.ReleaseBuf(mine) // Gather copies eagerly; root's own piece is a fresh copy
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +229,7 @@ func (s *ParallelSolver2D) Gather(root int) (*grid.Grid, error) {
 		for gy := ry0; gy < ry1; gy++ {
 			copy(g.V[gy*g.Nx+rx0:gy*g.Nx+rx1], piece[(gy-ry0)*(rx1-rx0):(gy-ry0+1)*(rx1-rx0)])
 		}
+		mpi.ReleaseBuf(piece) // Gather hands ownership of every piece to root
 	}
 	// Periodic duplicates.
 	for gy := 0; gy < s.ny; gy++ {

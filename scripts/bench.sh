@@ -4,7 +4,7 @@
 # root, then prints per-benchmark deltas against BENCH_baseline.json so
 # reviewers can see hot-path cost at a glance:
 #
-#   ./scripts/bench.sh                    # full suite -> BENCH_pr2.json
+#   ./scripts/bench.sh                    # full suite -> BENCH_pr3.json
 #   ./scripts/bench.sh ./internal/grid/   # one package
 #   BENCH_OUT=BENCH_baseline.json ./scripts/bench.sh   # refresh the baseline
 #
@@ -13,8 +13,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 pkgs="${1:-./...}"
-out="${BENCH_OUT:-BENCH_pr2.json}"
+out="${BENCH_OUT:-BENCH_pr3.json}"
 baseline="BENCH_baseline.json"
+prev="BENCH_pr2.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -41,12 +42,13 @@ END { print "\n}" }
 
 echo "wrote $out"
 
-# Compare against the committed baseline (our own line-per-entry JSON, so
+# Compare against a reference snapshot (our own line-per-entry JSON, so
 # awk can parse it directly). ns/op deltas are indicative only; a changed
 # allocs/op on a hot kernel is the red flag.
-if [ "$out" != "$baseline" ] && [ -f "$baseline" ]; then
+print_delta() {
+    ref="$1"
     echo
-    echo "delta vs $baseline (ns/op; allocs/op):"
+    echo "delta vs $ref (ns/op; allocs/op):"
     awk '
     function parse(line) {
         split(line, kv, "\": ")
@@ -69,5 +71,11 @@ if [ "$out" != "$baseline" ] && [ -f "$baseline" ]; then
             printf "  %-70s %10s -> %10.1f  (new)      allocs - -> %s\n", name, "-", ns, al
         }
     }
-    ' "$baseline" "$out"
-fi
+    ' "$ref" "$out"
+}
+
+for ref in "$prev" "$baseline"; do
+    if [ "$out" != "$ref" ] && [ -f "$ref" ]; then
+        print_delta "$ref"
+    fi
+done
