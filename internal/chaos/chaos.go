@@ -1,0 +1,256 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"ftsg/internal/core"
+	"ftsg/internal/harness"
+	"ftsg/internal/metrics"
+	"ftsg/internal/mpi"
+	"ftsg/internal/trace"
+)
+
+// DefaultStallTimeout is how long a run may make zero transport progress
+// before the deadlock watchdog fires. It must be generous: a heavily
+// oversubscribed campaign legitimately starves individual runs.
+const DefaultStallTimeout = 60 * time.Second
+
+// Techniques is the full set a campaign exercises per seed.
+var Techniques = []core.Technique{
+	core.CheckpointRestart,
+	core.ResamplingCopying,
+	core.AlternateCombination,
+}
+
+// Fingerprint captures everything a replay must reproduce byte-for-byte:
+// the virtual clock, the solution error (both as exact bit patterns), the
+// metrics summary and the Chrome-trace export.
+type Fingerprint struct {
+	TotalTime uint64 // math.Float64bits of the virtual end-to-end time
+	L1        uint64 // math.Float64bits of the combined-solution L1 error
+	Metrics   string // metrics registry summary
+	Trace     string // Chrome trace_event export
+}
+
+// Outcome is the result of checking one (seed, technique) cell.
+type Outcome struct {
+	Seed      int64
+	Technique core.Technique
+	Scenario  Scenario
+	// Spawned/L1/TotalTime describe the chaos run; ControlL1 the
+	// failure-free twin.
+	Spawned    int
+	L1         float64
+	ControlL1  float64
+	TotalTime  float64
+	Violations []string
+}
+
+// OK reports whether every invariant held.
+func (o Outcome) OK() bool { return len(o.Violations) == 0 }
+
+// ReproCommand returns the one-liner that replays exactly this cell.
+func ReproCommand(seed int64, tech core.Technique) string {
+	return fmt.Sprintf("go test ./internal/chaos -run TestChaos -chaos.seed=%d -chaos.technique=%s", seed, tech)
+}
+
+// ParseTechniques maps a flag value ("all", or a comma list of CR, RC, AC)
+// to techniques.
+func ParseTechniques(s string) ([]core.Technique, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") || strings.TrimSpace(s) == "" {
+		return Techniques, nil
+	}
+	var out []core.Technique
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToUpper(strings.TrimSpace(part)) {
+		case "CR":
+			out = append(out, core.CheckpointRestart)
+		case "RC":
+			out = append(out, core.ResamplingCopying)
+		case "AC":
+			out = append(out, core.AlternateCombination)
+		default:
+			return nil, fmt.Errorf("chaos: unknown technique %q (want CR, RC, AC or all)", part)
+		}
+	}
+	return out, nil
+}
+
+type runOut struct {
+	res *core.Result
+	fp  Fingerprint
+}
+
+// runOnce executes one configuration with full instrumentation attached and
+// returns its result plus replay fingerprint. A deadlock trips the watchdog,
+// which dumps every rank's blocked operation and the repro line to stderr
+// before aborting the job; the abort surfaces as rank errors, so a stalled
+// run never hangs the campaign.
+func runOnce(cfg core.Config, label, repro string, stallTimeout time.Duration) (runOut, error) {
+	if stallTimeout <= 0 {
+		stallTimeout = DefaultStallTimeout
+	}
+	reg := metrics.New()
+	rec := trace.New(nil)
+	cfg.Metrics = reg
+	cfg.Trace = rec
+	cfg.Watchdog = mpi.Watchdog{
+		Timeout: stallTimeout,
+		OnStall: func(dump string) {
+			fmt.Fprintf(os.Stderr, "chaos: DEADLOCK in %s after %v without progress\n%s\nreplay: %s\n",
+				label, stallTimeout, dump, repro)
+		},
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return runOut{}, err
+	}
+	var mb, tb bytes.Buffer
+	reg.WriteSummary(&mb)
+	if err := rec.ExportChromeTrace(&tb); err != nil {
+		return runOut{}, fmt.Errorf("trace export: %w", err)
+	}
+	return runOut{
+		res: res,
+		fp: Fingerprint{
+			TotalTime: math.Float64bits(res.TotalTime),
+			L1:        math.Float64bits(res.L1Error),
+			Metrics:   mb.String(),
+			Trace:     tb.String(),
+		},
+	}, nil
+}
+
+// FingerprintOf runs the chaos configuration of one (seed, technique) cell
+// once and returns its replay fingerprint.
+func FingerprintOf(seed int64, tech core.Technique, stallTimeout time.Duration) (Fingerprint, error) {
+	sc := NewScenario(seed)
+	out, err := runOnce(sc.ConfigFor(tech), fmt.Sprintf("seed %d %s", seed, tech),
+		ReproCommand(seed, tech), stallTimeout)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	return out.fp, nil
+}
+
+// Check runs one (seed, technique) cell — the failure-free control, the
+// chaos run, and a same-seed replay — and returns the outcome with any
+// invariant violations.
+func Check(seed int64, tech core.Technique, stallTimeout time.Duration) Outcome {
+	sc := NewScenario(seed)
+	o := Outcome{Seed: seed, Technique: tech, Scenario: sc}
+	violate := func(format string, args ...any) {
+		o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
+	}
+	repro := ReproCommand(seed, tech)
+
+	ctl, err := runOnce(sc.Control(tech), fmt.Sprintf("control seed %d %s", seed, tech), repro, stallTimeout)
+	if err != nil {
+		violate("control run failed: %v", err)
+		return o
+	}
+	o.ControlL1 = ctl.res.L1Error
+
+	run1, err := runOnce(sc.ConfigFor(tech), fmt.Sprintf("chaos seed %d %s", seed, tech), repro, stallTimeout)
+	if err != nil {
+		violate("chaos run failed: %v", err)
+		return o
+	}
+	run2, err := runOnce(sc.ConfigFor(tech), fmt.Sprintf("replay seed %d %s", seed, tech), repro, stallTimeout)
+	if err != nil {
+		violate("replay run failed: %v", err)
+		return o
+	}
+
+	res := run1.res
+	o.Spawned = res.Spawned
+	o.L1 = res.L1Error
+	o.TotalTime = res.TotalTime
+
+	// Invariant: same seed, byte-identical run. The virtual clock, the
+	// solution, the metrics counters and the trace timeline must all match.
+	if run1.fp.TotalTime != run2.fp.TotalTime {
+		violate("replay diverged: virtual time %v vs %v",
+			math.Float64frombits(run1.fp.TotalTime), math.Float64frombits(run2.fp.TotalTime))
+	}
+	if run1.fp.L1 != run2.fp.L1 {
+		violate("replay diverged: l1 error %v vs %v",
+			math.Float64frombits(run1.fp.L1), math.Float64frombits(run2.fp.L1))
+	}
+	if run1.fp.Metrics != run2.fp.Metrics {
+		violate("replay diverged: metrics summaries differ")
+	}
+	if run1.fp.Trace != run2.fp.Trace {
+		violate("replay diverged: trace exports differ")
+	}
+
+	// Invariant: the failure report is sane. Rank 0 is never a victim (the
+	// generators protect it), every replacement corresponds to a reported
+	// failure, and every scheduled death actually produced a replacement.
+	for _, r := range res.FailedRanks {
+		if r == 0 {
+			violate("rank 0 reported as failed: %v", res.FailedRanks)
+		}
+		if r < 0 || r >= res.Procs {
+			violate("failed rank %d out of range [0,%d)", r, res.Procs)
+		}
+	}
+	if res.Spawned > 0 && len(res.FailedRanks) == 0 {
+		violate("spawned %d replacements but reported no failed ranks", res.Spawned)
+	}
+	if min := sc.MinSpawned(tech); res.Spawned < min {
+		violate("spawned %d replacements, scenario schedules at least %d deaths", res.Spawned, min)
+	}
+	if res.Procs != ctl.res.Procs {
+		violate("communicator size %d after recovery, control has %d", res.Procs, ctl.res.Procs)
+	}
+
+	// Invariant: solution quality against the failure-free control. A run
+	// where nobody died must be bit-identical to the control. CR recovers
+	// the exact pre-failure state, so it must match the control bitwise even
+	// after failures. RC and AC recover approximately; their error must stay
+	// finite, non-degenerate and within a technique bound of the control.
+	switch {
+	case res.Spawned == 0:
+		if run1.fp.L1 != ctl.fp.L1 {
+			violate("no process died but solution differs from control: l1 %v vs %v",
+				res.L1Error, ctl.res.L1Error)
+		}
+	case tech == core.CheckpointRestart:
+		if run1.fp.L1 != ctl.fp.L1 {
+			violate("CR recovered an inexact solution: l1 %v vs control %v",
+				res.L1Error, ctl.res.L1Error)
+		}
+	default:
+		bound := 100.0
+		if tech == core.AlternateCombination {
+			bound = 1000.0
+		}
+		if math.IsNaN(res.L1Error) || math.IsInf(res.L1Error, 0) || res.L1Error <= 0 {
+			violate("%s recovered a degenerate solution: l1 %v", tech, res.L1Error)
+		} else if res.L1Error > bound*ctl.res.L1Error {
+			violate("%s error %v exceeds %gx the control's %v",
+				tech, res.L1Error, bound, ctl.res.L1Error)
+		}
+	}
+	return o
+}
+
+// Campaign checks every (seed, technique) cell on a bounded worker pool and
+// returns the outcomes in deterministic (seed-major) order. workers <= 0
+// selects GOMAXPROCS.
+func Campaign(seeds []int64, techs []core.Technique, workers int, stallTimeout time.Duration) []Outcome {
+	outs := make([]Outcome, len(seeds)*len(techs))
+	// Check never returns an error — violations land in the outcome — so
+	// ParallelOrdered's error is always nil.
+	_ = harness.ParallelOrdered(workers, len(outs), func(i int) error {
+		outs[i] = Check(seeds[i/len(techs)], techs[i%len(techs)], stallTimeout)
+		return nil
+	})
+	return outs
+}

@@ -1,0 +1,217 @@
+// Package chaos drives seed-replayable randomized fault-injection campaigns
+// against the full recovery protocol. Each seed deterministically generates
+// one failure scenario — simultaneous multi-process failures, a whole-node
+// failure, kills at randomized MPI operations (inside barriers, halo
+// exchanges, gathers), or kills landing inside an in-progress repair — and
+// the campaign runs it under every recovery technique next to a
+// failure-free control, checking a fixed invariant suite: the repaired
+// communicator keeps its size and rank order, all ranks agree on the failed
+// list, the combined solution stays within a technique-specific bound of
+// the control, the run replays byte-identically from the same seed, and
+// nothing deadlocks (a watchdog dumps per-rank blocked-operation state
+// otherwise). Every violation carries a one-line repro command.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ftsg/internal/combine"
+	"ftsg/internal/core"
+	"ftsg/internal/faultgen"
+	"ftsg/internal/vtime"
+)
+
+// Scenario modes. One is drawn per seed.
+const (
+	// ModeMultiEvent schedules 1-2 failure events at increasing solver
+	// steps, each killing 1-2 processes together.
+	ModeMultiEvent = 'A'
+	// ModeNodeFailure kills every process of one host (CR only: node loss
+	// can violate RC's pairwise-recovery constraint and exceed AC's loss
+	// tolerance, so those techniques substitute a 2-process event).
+	ModeNodeFailure = 'B'
+	// ModeOpKill kills 1-2 processes at a randomized MPI operation —
+	// inside a barrier, a halo exchange, a gather, wherever the count
+	// lands in program order.
+	ModeOpKill = 'C'
+	// ModeKillDuringRecovery schedules a step failure AND a kill counted
+	// from the victim's shrink call, so the second death lands inside the
+	// in-progress repair (the paper's Table I pathology).
+	ModeKillDuringRecovery = 'D'
+	// ModeControl injects nothing: the chaos run must be byte-identical
+	// to the control.
+	ModeControl = 'E'
+)
+
+// scenarioSteps is the solver-step budget of every chaos run: enough for
+// several failure events and (under CR) interior checkpoint intervals,
+// small enough that a full campaign stays cheap.
+const scenarioSteps = 24
+
+// Scenario is one seed's failure plan, identical on every replay.
+type Scenario struct {
+	Seed     int64
+	Mode     byte
+	Steps    int
+	Events   []faultgen.Event   // modes A and D
+	OpEvents []faultgen.OpEvent // modes C and D
+	FailStep int                // mode B
+}
+
+// NewScenario deterministically generates the scenario for a seed.
+func NewScenario(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{Seed: seed, Steps: scenarioSteps}
+	switch d := rng.Intn(10); {
+	case d < 3:
+		sc.Mode = ModeMultiEvent
+	case d < 5:
+		sc.Mode = ModeNodeFailure
+	case d < 7:
+		sc.Mode = ModeOpKill
+	case d < 9:
+		sc.Mode = ModeKillDuringRecovery
+	default:
+		sc.Mode = ModeControl
+	}
+	switch sc.Mode {
+	case ModeMultiEvent:
+		nev := 1 + rng.Intn(2)
+		step, total := 0, 0
+		for i := 0; i < nev; i++ {
+			step += 1 + rng.Intn(8)
+			f := 1 + rng.Intn(2)
+			if total+f > 3 {
+				f = 1 // keep every scenario satisfiable under RC's conflict pairs
+			}
+			total += f
+			sc.Events = append(sc.Events, faultgen.Event{Step: step, Failures: f})
+		}
+	case ModeNodeFailure:
+		sc.FailStep = 1 + rng.Intn(16)
+	case ModeOpKill:
+		nop := 1 + rng.Intn(2)
+		for i := 0; i < nop; i++ {
+			sc.OpEvents = append(sc.OpEvents, faultgen.OpEvent{AfterOps: 1 + rng.Intn(64)})
+		}
+	case ModeKillDuringRecovery:
+		sc.Events = []faultgen.Event{{Step: 1 + rng.Intn(8), Failures: 1 + rng.Intn(2)}}
+		sc.OpEvents = []faultgen.OpEvent{{AfterOps: 1 + rng.Intn(6), DuringRecovery: true}}
+	}
+	return sc
+}
+
+// ModeName returns the human-readable scenario class.
+func (sc Scenario) ModeName() string {
+	switch sc.Mode {
+	case ModeMultiEvent:
+		return "multi-event"
+	case ModeNodeFailure:
+		return "node-failure"
+	case ModeOpKill:
+		return "op-kill"
+	case ModeKillDuringRecovery:
+		return "kill-during-recovery"
+	case ModeControl:
+		return "control"
+	}
+	return fmt.Sprintf("mode-%c", sc.Mode)
+}
+
+func (sc Scenario) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d %s", sc.Seed, sc.ModeName())
+	for _, e := range sc.Events {
+		fmt.Fprintf(&b, " kill %d@step %d", e.Failures, e.Step)
+	}
+	for _, e := range sc.OpEvents {
+		if e.DuringRecovery {
+			fmt.Fprintf(&b, " kill 1@shrink+%dops", e.AfterOps)
+		} else {
+			fmt.Fprintf(&b, " kill 1@op %d", e.AfterOps)
+		}
+	}
+	if sc.Mode == ModeNodeFailure {
+		fmt.Fprintf(&b, " node@step %d", sc.FailStep)
+	}
+	return b.String()
+}
+
+// chaosMachine is the OPL profile with small hosts, so the 11-19 rank
+// chaos worlds span several nodes and whole-node failures are meaningful.
+func chaosMachine() *vtime.Machine {
+	m := vtime.OPL()
+	m.SlotsPerHost = 4
+	return m
+}
+
+// Control returns the failure-free twin of the scenario's configuration —
+// the baseline for the solution-quality invariant. It matches the chaos
+// configuration in everything but the injected failures (including the
+// cluster shape, so virtual costs are comparable).
+func (sc Scenario) Control(tech core.Technique) core.Config {
+	cfg := core.Config{
+		Layout:    combine.Layout{N: 6, L: 4},
+		Technique: tech,
+		Machine:   chaosMachine(),
+		DiagProcs: 2,
+		Steps:     sc.Steps,
+		Seed:      sc.Seed,
+	}
+	if sc.Mode == ModeNodeFailure && tech == core.CheckpointRestart {
+		cfg.SpareNodes = 1
+	}
+	return cfg
+}
+
+// ConfigFor returns the chaos configuration of the scenario under one
+// recovery technique.
+func (sc Scenario) ConfigFor(tech core.Technique) core.Config {
+	cfg := sc.Control(tech)
+	switch {
+	case sc.Mode == ModeControl:
+		// Nothing injected.
+	case sc.Mode == ModeNodeFailure && tech == core.CheckpointRestart:
+		cfg.RealFailures = true
+		cfg.NodeFailure = true
+		cfg.SpareNodes = 1
+		cfg.FailStep = sc.FailStep
+	case sc.Mode == ModeNodeFailure:
+		// RC's pairwise constraint (and AC's loss tolerance) rule out a
+		// whole node; these techniques get an equivalent two-process event.
+		cfg.RealFailures = true
+		cfg.FailSchedule = []faultgen.Event{{Step: sc.FailStep, Failures: 2}}
+	default:
+		cfg.RealFailures = true
+		cfg.FailSchedule = append([]faultgen.Event(nil), sc.Events...)
+		cfg.OpFailures = append([]faultgen.OpEvent(nil), sc.OpEvents...)
+	}
+	return cfg
+}
+
+// MinSpawned returns the number of replacements the scenario is guaranteed
+// to require under the technique: step-scheduled victims always die, a node
+// failure kills at least one process, and a kill-during-recovery victim
+// always reaches its operation count inside the reconstruct loop.
+// Operation-granularity victims of mode C may outlive their count, so they
+// guarantee nothing.
+func (sc Scenario) MinSpawned(tech core.Technique) int {
+	total := 0
+	for _, e := range sc.Events {
+		total += e.Failures
+	}
+	switch sc.Mode {
+	case ModeMultiEvent:
+		return total
+	case ModeNodeFailure:
+		if tech == core.CheckpointRestart {
+			return 1
+		}
+		return 2
+	case ModeKillDuringRecovery:
+		return total + 1
+	}
+	return 0
+}

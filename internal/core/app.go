@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -39,6 +40,7 @@ type runState struct {
 	ckPlan  checkpoint.Plan
 	store   *checkpoint.Store
 	plan    *faultgen.Plan
+	opPlan  *faultgen.OpPlan
 	simLost []int
 	cluster *topo.Cluster
 	place   recovery.Placement
@@ -165,6 +167,24 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	if len(cfg.OpFailures) > 0 {
+		// Operation-granularity victims: decorrelate the draw from the step
+		// plan's seed (same seed, different stream) and exclude its victims,
+		// so both kinds of failure can hit the same run without colliding.
+		var exclude []int
+		if rs.plan != nil {
+			exclude = rs.plan.Victims()
+		}
+		rs.opPlan, err = faultgen.NewOpPlan(faultgen.Config{
+			Seed:      cfg.Seed + 7919,
+			NumRanks:  nprocs,
+			GridOf:    gridOfID,
+			Conflicts: conflicts,
+		}, cfg.OpFailures, exclude)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	rs.res = Result{
 		Technique:      cfg.Technique,
@@ -186,11 +206,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	rep, err := mpi.Run(mpi.Options{
-		NProcs:  nprocs,
-		Machine: cfg.Machine,
-		Cluster: rs.cluster,
-		Entry:   rs.entry,
-		Metrics: reg,
+		NProcs:   nprocs,
+		Machine:  cfg.Machine,
+		Cluster:  rs.cluster,
+		Entry:    rs.entry,
+		Metrics:  reg,
+		Watchdog: cfg.Watchdog,
 	})
 	if err != nil {
 		return nil, err
@@ -223,6 +244,12 @@ func (rs *runState) detectionPoints() []int {
 
 func (rs *runState) entry(p *mpi.Proc) {
 	if err := rs.rank(p); err != nil {
+		if errors.Is(err, recovery.ErrOrphaned) {
+			// This replacement's repair round was hit by a further failure
+			// and abandoned; the survivors retried with fresh replacements.
+			// Exiting cleanly is the whole of its job.
+			return
+		}
 		panic(fmt.Sprintf("core: world rank %d: %v", p.WorldRank(), err))
 	}
 }
@@ -284,6 +311,11 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		if err != nil {
 			return err
 		}
+		// Invariant: this replacement adopted its predecessor's rank, so
+		// that rank must be in the failed list rank 0 announced.
+		if !containsInt(failedList, rank) {
+			return fmt.Errorf("core: replacement adopted rank %d but rank 0 announced failed ranks %v", rank, failedList)
+		}
 		cfg.Trace.Emit(p.Now(), rank, "respawn",
 			"replacement world id %d attached on host %d, rejoining at step %d",
 			p.WorldRank(), p.Host(), cur)
@@ -302,12 +334,26 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		}
 	}
 
+	// Operation-granularity fault injection (chaos campaigns): the hook is
+	// armed only across the solve + detect/repair window of each detection
+	// interval — the phases whose peers tolerate a mid-operation death — and
+	// disarmed before the recovery-info broadcast, data recovery and the
+	// combination. Its op count persists across windows. Replacements never
+	// poll or hook: their predecessor already died.
+	var opHook mpi.OpHook
+	if !replacement {
+		opHook = rs.opPlan.Hook(p, rank)
+	}
+
 	gridLost := false
 	var detectOverhead float64
 	var stateBuf []float64 // persistent checkpoint-encode scratch, reused across writes
 	for _, dp := range rs.detectionPoints() {
 		if dp <= cur {
 			continue
+		}
+		if opHook != nil {
+			p.SetOpHook(opHook)
 		}
 		solveSpan := cfg.Trace.BeginSpan(p.Now(), rank, "solve", "steps %d..%d", cur+1, dp)
 		for s := cur + 1; s <= dp; s++ {
@@ -332,16 +378,31 @@ func (rs *runState) rank(p *mpi.Proc) error {
 
 		st := recovery.Stats{Trace: cfg.Trace}
 		newWorld, newRank, err := recovery.ReconstructPlaced(p, world, nil, &st, rs.place)
+		if opHook != nil {
+			p.SetOpHook(nil)
+		}
 		if err != nil {
 			return err
 		}
 		if st.ReconstructTime > 0 {
 			// A failure was repaired: re-derive everything that hung off
-			// the old communicator.
+			// the old communicator — after checking the protocol's core
+			// promises (paper Fig. 3): same size, same rank order.
+			if newRank != rank {
+				return fmt.Errorf("core: repaired communicator moved rank %d to %d", rank, newRank)
+			}
+			if newWorld.Size() != world.Size() {
+				return fmt.Errorf("core: repaired communicator size %d, want %d", newWorld.Size(), world.Size())
+			}
 			world, rank = newWorld, newRank
 			_, failedList, err = syncRecoveryInfo(world, dp, st.FailedRanks)
 			if err != nil {
 				return err
+			}
+			// Invariant: every survivor derived the failed-rank list locally
+			// (Fig. 6 group algebra); it must agree with rank 0's broadcast.
+			if !equalInts(failedList, st.FailedRanks) {
+				return fmt.Errorf("core: rank %d derived failed ranks %v but rank 0 announced %v", rank, st.FailedRanks, failedList)
 			}
 			if rank == 0 {
 				cfg.Trace.Emit(p.Now(), rank, "repair",
@@ -810,4 +871,16 @@ func containsInt(xs []int, v int) bool {
 		}
 	}
 	return false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -13,6 +13,7 @@ import (
 	"ftsg/internal/faultgen"
 	"ftsg/internal/grid"
 	"ftsg/internal/metrics"
+	"ftsg/internal/mpi"
 	"ftsg/internal/pde"
 	"ftsg/internal/trace"
 	"ftsg/internal/vtime"
@@ -132,6 +133,19 @@ type Config struct {
 	// — the node-failure scenario of the paper's future work. Requires
 	// SpareNodes >= 1 so the replacements have somewhere to go.
 	NodeFailure bool
+	// OpFailures kills additional victims at MPI-operation granularity:
+	// victim i dies at the entry of its AfterOps-th operation (inside a
+	// barrier, halo exchange, gather, ...), or — with DuringRecovery — at
+	// the AfterOps-th operation counted from its shrink call, landing the
+	// death inside an in-progress repair. Victims are drawn from Seed
+	// (decorrelated from the step-schedule victims, which are excluded) and
+	// honour the same constraints (rank 0 protected, RC conflict pairs
+	// avoided jointly with the step plan's victims). Requires RealFailures.
+	OpFailures []faultgen.OpEvent
+	// Watchdog, when enabled (Timeout > 0), monitors transport progress
+	// during the run and dumps every rank's blocked-operation state on a
+	// stall instead of hanging (see mpi.Watchdog).
+	Watchdog mpi.Watchdog
 	// SpareNodes appends empty hosts to the cluster; when present,
 	// replacements are spawned onto the first spare instead of the failed
 	// processes' original hosts.
@@ -241,6 +255,16 @@ func (c Config) Validate() error {
 	}
 	if c.ExtraLayers < -1 || c.ExtraLayers > c.Layout.L-2 {
 		return fmt.Errorf("core: ExtraLayers %d outside [-1, %d]", c.ExtraLayers, c.Layout.L-2)
+	}
+	if len(c.OpFailures) > 0 {
+		if !c.RealFailures {
+			return fmt.Errorf("core: OpFailures requires RealFailures")
+		}
+		for i, e := range c.OpFailures {
+			if e.AfterOps < 1 {
+				return fmt.Errorf("core: OpFailures event %d: AfterOps must be >= 1", i)
+			}
+		}
 	}
 	if len(c.FailSchedule) > 0 {
 		if !c.RealFailures {

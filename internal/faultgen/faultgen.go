@@ -160,10 +160,15 @@ func Schedule(cfg Config, events []Event) (*Plan, error) {
 	conflict := buildConflictTable(cfg.Conflicts)
 	totalNeeded := 0
 	for _, e := range events {
+		if e.Failures < 0 {
+			return nil, fmt.Errorf("faultgen: negative failure count %d", e.Failures)
+		}
 		totalNeeded += e.Failures
-	}
-	if totalNeeded >= cfg.NumRanks {
-		return nil, fmt.Errorf("faultgen: %d failures scheduled with %d ranks", totalNeeded, cfg.NumRanks)
+		// Checked inside the loop so partial sums can never overflow: any
+		// partial sum at or above NumRanks errors out before the next add.
+		if totalNeeded >= cfg.NumRanks {
+			return nil, fmt.Errorf("faultgen: %d failures scheduled with %d ranks", totalNeeded, cfg.NumRanks)
+		}
 	}
 	placedGrids := make(map[int]bool)
 	for ei, e := range events {
@@ -263,7 +268,7 @@ func NodePlan(seed int64, step, numRanks int, hostOf func(rank int) int) (*Plan,
 // same conflict constraint — the paper's simulated-failure mode (Figs. 9 and
 // 10 assume whole grids are lost without killing processes).
 func PickGrids(seed int64, n int, candidates []int, conflicts [][2]int) ([]int, error) {
-	if n > len(candidates) {
+	if n < 0 || n > len(candidates) {
 		return nil, fmt.Errorf("faultgen: %d grids requested from %d candidates", n, len(candidates))
 	}
 	rng := rand.New(rand.NewSource(seed))

@@ -1,0 +1,162 @@
+package faultgen
+
+import (
+	"testing"
+)
+
+// fuzzGridOf is the synthetic layout the fuzz harnesses use: ranks are dealt
+// round-robin onto nGrids sub-grids.
+func fuzzGridOf(nGrids int) func(rank int) int {
+	return func(rank int) int {
+		if nGrids <= 0 {
+			return -1
+		}
+		return rank % nGrids
+	}
+}
+
+// fuzzConflicts decodes a bitmask into conflict pairs (g, g+1).
+func fuzzConflicts(mask uint16, nGrids int) [][2]int {
+	var out [][2]int
+	for g := 0; g+1 < nGrids && g < 16; g++ {
+		if mask&(1<<g) != 0 {
+			out = append(out, [2]int{g, g + 1})
+		}
+	}
+	return out
+}
+
+// FuzzSchedule checks the multi-event failure generator against its
+// contract on arbitrary inputs: it must return quickly (no livelock on
+// unsatisfiable or degenerate configurations), and every plan it does
+// return must protect rank 0, pick distinct in-range victims with the
+// requested per-event counts and steps, honour the conflict table across
+// all events, and be a pure function of the seed.
+func FuzzSchedule(f *testing.F) {
+	f.Add(int64(42), 16, 7, uint16(0), 10, 2, 20, 1)
+	f.Add(int64(1), 19, 7, uint16(0x7f), 1, 3, 2, 3)    // heavy conflicts
+	f.Add(int64(7), 2, 1, uint16(1), 5, 1, 6, 1)        // 2 ranks: second event unsatisfiable
+	f.Add(int64(0), 8, 4, uint16(0), 10, 7, 20, 7)      // more victims than ranks
+	f.Add(int64(-3), 0, 0, uint16(0), 0, 0, 0, 0)       // degenerate world
+	f.Add(int64(99), 64, 8, uint16(0xffff), 3, 2, 3, 2) // non-increasing steps
+	f.Add(int64(5), 32, 7, uint16(2), 100, -1, 200, 1)  // negative failure count
+	f.Fuzz(func(t *testing.T, seed int64, numRanks, nGrids int, mask uint16,
+		s1, f1, s2, f2 int) {
+		if numRanks > 1024 || numRanks < -1024 {
+			t.Skip("world size out of scope")
+		}
+		conflicts := fuzzConflicts(mask, nGrids)
+		cfg := Config{
+			Seed:      seed,
+			NumRanks:  numRanks,
+			GridOf:    fuzzGridOf(nGrids),
+			Conflicts: conflicts,
+		}
+		events := []Event{{Step: s1, Failures: f1}, {Step: s2, Failures: f2}}
+		plan, err := Schedule(cfg, events)
+		if err != nil {
+			return // rejecting is always allowed; hanging or panicking is not
+		}
+
+		conflict := buildConflictTable(conflicts)
+		perStep := map[int]int{}
+		hitGrids := map[int]bool{}
+		for _, r := range plan.Victims() {
+			if r == 0 {
+				t.Fatal("rank 0 chosen as victim")
+			}
+			if r < 1 || r >= numRanks {
+				t.Fatalf("victim %d outside [1, %d)", r, numRanks)
+			}
+			step, ok := plan.DeathStep(r)
+			if !ok {
+				t.Fatalf("victim %d has no death step", r)
+			}
+			perStep[step]++
+			g := cfg.GridOf(r)
+			for other := range hitGrids {
+				if conflict[[2]int{g, other}] || conflict[[2]int{other, g}] {
+					t.Fatalf("victims hit conflicting grids %d and %d", g, other)
+				}
+			}
+			hitGrids[g] = true
+		}
+		for _, e := range events {
+			want := e.Failures
+			if want < 0 {
+				want = 0
+			}
+			if perStep[e.Step] != want {
+				t.Fatalf("step %d has %d victims, want %d (victims %v)",
+					e.Step, perStep[e.Step], want, plan.Victims())
+			}
+		}
+
+		replay, err := Schedule(cfg, events)
+		if err != nil {
+			t.Fatalf("replay with identical inputs errored: %v", err)
+		}
+		a, b := plan.Victims(), replay.Victims()
+		if len(a) != len(b) {
+			t.Fatalf("replay drew different victims: %v vs %v", a, b)
+		}
+		for i := range a {
+			sa, _ := plan.DeathStep(a[i])
+			sb, _ := replay.DeathStep(b[i])
+			if a[i] != b[i] || sa != sb {
+				t.Fatalf("replay diverged: %v vs %v", a, b)
+			}
+		}
+	})
+}
+
+// FuzzPickGrids checks the simulated-loss grid picker: fast rejection of
+// impossible requests (negative n, n beyond the candidate set, unsatisfiable
+// conflicts) and, on success, n distinct candidates with no conflicting pair
+// — deterministically for a given seed.
+func FuzzPickGrids(f *testing.F) {
+	f.Add(int64(3), 2, uint8(10), uint16(0))
+	f.Add(int64(11), 5, uint8(10), uint16(0x3ff)) // every adjacent pair conflicts
+	f.Add(int64(0), -1, uint8(4), uint16(0))      // negative request
+	f.Add(int64(8), 9, uint8(4), uint16(0))       // more grids than candidates
+	f.Add(int64(21), 0, uint8(0), uint16(0))      // empty candidate set
+	f.Fuzz(func(t *testing.T, seed int64, n int, numCandidates uint8, mask uint16) {
+		candidates := make([]int, numCandidates)
+		for i := range candidates {
+			candidates[i] = i
+		}
+		conflicts := fuzzConflicts(mask, len(candidates))
+		chosen, err := PickGrids(seed, n, candidates, conflicts)
+		if err != nil {
+			return
+		}
+		if len(chosen) != n {
+			t.Fatalf("picked %d grids, want %d", len(chosen), n)
+		}
+		conflict := buildConflictTable(conflicts)
+		seen := map[int]bool{}
+		for _, g := range chosen {
+			if g < 0 || g >= len(candidates) {
+				t.Fatalf("grid %d outside the candidate set", g)
+			}
+			if seen[g] {
+				t.Fatalf("grid %d picked twice: %v", g, chosen)
+			}
+			seen[g] = true
+			for other := range seen {
+				if other != g && (conflict[[2]int{g, other}] || conflict[[2]int{other, g}]) {
+					t.Fatalf("conflicting grids %d and %d both picked", g, other)
+				}
+			}
+		}
+		replay, err := PickGrids(seed, n, candidates, conflicts)
+		if err != nil {
+			t.Fatalf("replay errored: %v", err)
+		}
+		for i := range chosen {
+			if chosen[i] != replay[i] {
+				t.Fatalf("replay diverged: %v vs %v", chosen, replay)
+			}
+		}
+	})
+}

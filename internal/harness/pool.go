@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelOrdered runs n independent jobs on a bounded worker pool and
+// returns the first error BY JOB INDEX, not by completion time, so the
+// reported failure is identical no matter how the workers were scheduled.
+// workers <= 0 selects runtime.GOMAXPROCS(0). After the first failing job,
+// workers finish their in-flight job and stop; jobs not yet claimed never
+// run. The experiment scheduler and the chaos campaign both fan out
+// through here.
+func ParallelOrdered(workers, n int, run func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() {
+				return
+			}
+			if err := run(i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+				return
+			}
+		}
+	}
+	if workers == 1 {
+		// A single worker needs no pool: run the queue on the calling
+		// goroutine, skipping the spawn/join handoff entirely.
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,8 +2,6 @@ package harness
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"ftsg/internal/core"
 	"ftsg/internal/metrics"
@@ -75,77 +73,44 @@ func (s *sched) Run() error {
 	if n == 0 {
 		return nil
 	}
-	workers := s.workers
-	if workers > n {
-		workers = n
-	}
 	results := make([]*core.Result, n)
-	errs := make([]error, n)
 	var regs []*metrics.Registry
 	if s.agg != nil {
 		regs = make([]*metrics.Registry, n)
 	}
-	var next atomic.Int64
-	var failed atomic.Bool
-	work := func() {
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= n || failed.Load() {
-				return
-			}
-			cfg := jobs[i].cfg
-			if regs != nil && cfg.Metrics == nil {
-				// Private per-run registry: the run's Result telemetry
-				// stays per-run, and the fixed-order merge below keeps
-				// the aggregate deterministic under concurrency.
-				regs[i] = metrics.New()
-				cfg.Metrics = regs[i]
-			}
-			res, err := core.Run(cfg)
-			if err != nil {
-				errs[i] = err
-				failed.Store(true)
-				return
-			}
-			if regs != nil && regs[i] != nil && !cfg.Telemetry {
-				// The registry was injected for the aggregate summary
-				// only; clear the per-run telemetry fields so tables and
-				// CSVs stay identical to an uninstrumented sweep.
-				res.MPIMessages, res.MPIBytes = 0, 0
-				res.CheckpointBytesOut, res.CheckpointBytesIn = 0, 0
-			}
-			results[i] = res
+	err := ParallelOrdered(s.workers, n, func(i int) error {
+		cfg := jobs[i].cfg
+		if regs != nil && cfg.Metrics == nil {
+			// Private per-run registry: the run's Result telemetry
+			// stays per-run, and the fixed-order merge below keeps
+			// the aggregate deterministic under concurrency.
+			regs[i] = metrics.New()
+			cfg.Metrics = regs[i]
 		}
-	}
-	if workers == 1 {
-		// A single worker needs no pool: run the queue on the calling
-		// goroutine, skipping the spawn/join handoff entirely. Same code
-		// path, same submission-order results.
-		work()
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				work()
-			}()
+		res, err := core.Run(cfg)
+		if err != nil {
+			if jobs[i].wrap != nil {
+				return jobs[i].wrap(err)
+			}
+			return err
 		}
-		wg.Wait()
-	}
+		if regs != nil && regs[i] != nil && !cfg.Telemetry {
+			// The registry was injected for the aggregate summary
+			// only; clear the per-run telemetry fields so tables and
+			// CSVs stay identical to an uninstrumented sweep.
+			res.MPIMessages, res.MPIBytes = 0, 0
+			res.CheckpointBytesOut, res.CheckpointBytesIn = 0, 0
+		}
+		results[i] = res
+		return nil
+	})
 	for _, reg := range regs {
 		if reg != nil {
 			s.agg.Merge(reg)
 		}
 	}
-	for i, j := range jobs {
-		if errs[i] == nil {
-			continue
-		}
-		if j.wrap != nil {
-			return j.wrap(errs[i])
-		}
-		return errs[i]
+	if err != nil {
+		return err
 	}
 	for i, j := range jobs {
 		j.fold(results[i])

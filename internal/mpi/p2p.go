@@ -71,6 +71,7 @@ func sendOwned[T any](c *Comm, dest, tag int, data []T) error {
 func sendEnv[T any](c *Comm, dest, tag int, data []T, owned bool) error {
 	st := c.p.st
 	w := st.w
+	st.hookOp(OpSend)
 
 	// A send fails on revocation only once the sender itself has observed
 	// it (program order): sends are eager and never block, so consulting
@@ -183,6 +184,7 @@ func RecvOne[T any](c *Comm, src, tag int) (T, Status, error) {
 func recvRaw[T any](c *Comm, src, tag int, internal bool) ([]T, Status, error) {
 	st := c.p.st
 	w := st.w
+	st.hookOp(OpRecv)
 	t0 := st.clock.Now()
 	if c.sawRevoked {
 		return nil, Status{}, ErrRevoked

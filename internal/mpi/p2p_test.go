@@ -4,13 +4,21 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 )
 
-// runWorld executes entry on n simulated processes and fails the test on a
-// runtime-level error.
+// runWorld runs entry on n ranks with the fail-fast watchdog: a hang panics
+// with the per-rank blocked-op/mailbox dump after 30s of no transport
+// progress instead of riding out the 10-minute package timeout.
 func runWorld(t *testing.T, n int, entry func(p *Proc)) *Report {
 	t.Helper()
-	rep, err := Run(Options{NProcs: n, Entry: entry})
+	return runWorldWatched(t, n, Watchdog{Timeout: 30 * time.Second}, entry)
+}
+
+// runWorldWatched is runWorld with an explicit watchdog configuration.
+func runWorldWatched(t *testing.T, n int, wd Watchdog, entry func(p *Proc)) *Report {
+	t.Helper()
+	rep, err := Run(Options{NProcs: n, Entry: entry, Watchdog: wd})
 	if err != nil {
 		t.Fatal(err)
 	}

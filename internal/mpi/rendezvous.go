@@ -92,6 +92,7 @@ type buildFunc func(w *World, r *rendezvous) (any, float64)
 func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input any, build buildFunc) (any, error) {
 	st := c.p.st
 	w := st.w
+	st.hookOp(op)
 	t0 := st.clock.Now()
 	key := rvzKey{comm: c.sh.id, op: op, seq: c.nextSeq(op)}
 
@@ -125,7 +126,18 @@ func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input an
 	for !r.done {
 		complete, anyDead := r.aliveArrived(w)
 		switch {
-		case anyDead && mode == failOnDeath:
+		case complete && anyDead && mode == failOnDeath:
+			// Abort only once every alive member has arrived, exactly like
+			// the completion path. Aborting on the first observation of a
+			// death would stamp r.t with the max over whichever members
+			// happened to have arrived in real time — a timestamp (and thus
+			// per-rank clocks) dependent on goroutine scheduling. Waiting
+			// makes the abort time a pure function of program order, which
+			// the seed-replay determinism contract requires; every alive
+			// member provably arrives, since the callers of failOnDeath
+			// collectives pair them with reportDeath operations over the
+			// same member sets, which have always had wait-for-all-alive
+			// semantics.
 			r.err = failedErr(-1, -1)
 			r.t = r.maxArrival(w)
 			r.done = true

@@ -146,6 +146,7 @@ func (c *Comm) IntercommMerge(high bool) (*Comm, error) {
 	}
 	st := c.p.st
 	w := st.w
+	st.hookOp(OpMerge)
 	t0 := st.clock.Now()
 	key := rvzKey{comm: c.sh.id, op: "merge", seq: c.nextSeq("merge")}
 

@@ -3,6 +3,7 @@ package mpi
 import (
 	"runtime"
 	"testing"
+	"time"
 
 	"ftsg/internal/metrics"
 	"ftsg/internal/vtime"
@@ -56,7 +57,10 @@ func runTransportStress(t *testing.T) transportStressOutcome {
 	}
 
 	reg := metrics.New()
-	rep, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), Metrics: reg, Entry: func(p *Proc) {
+	// Fail-fast watchdog: a transport hang dumps every rank's blocked-op
+	// state after 60s (generous for -race) instead of timing the package out.
+	wd := Watchdog{Timeout: 60 * time.Second}
+	rep, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), Metrics: reg, Watchdog: wd, Entry: func(p *Proc) {
 		if p.Parent() != nil {
 			// Replacement process: rejoin exactly as the paper's Fig. 3.
 			_, _ = p.Parent().Agree(1)

@@ -61,12 +61,13 @@ type killSignal struct{}
 // owning goroutine (peers read the clock only at rendezvous points where
 // the owner is provably blocked); everything from mu down is guarded by mu.
 type procState struct {
-	w     *World
-	wrank int // world-unique process id (never reused)
-	host  int // index into the cluster's host list
-	alive atomic.Bool
-	clock vtime.Clock
-	sl    slab // eager-copy arena; owner-only (senders copy into their own)
+	w      *World
+	wrank  int // world-unique process id (never reused)
+	host   int // index into the cluster's host list
+	alive  atomic.Bool
+	clock  vtime.Clock
+	sl     slab   // eager-copy arena; owner-only (senders copy into their own)
+	opHook OpHook // operation observer; owner-only (see ophook.go)
 
 	mu     sync.Mutex
 	cond   sync.Cond // on mu; the owning goroutine is the only waiter
@@ -188,6 +189,11 @@ type Options struct {
 	// for the instrument names). nil disables instrumentation at zero
 	// cost to the hot paths.
 	Metrics *metrics.Registry
+	// Watchdog, when its Timeout is non-zero, monitors the run for stalls
+	// and dumps per-rank blocked-op/mailbox state when no transport progress
+	// happens for a full timeout interval (see watchdog.go). The zero value
+	// disables it.
+	Watchdog Watchdog
 }
 
 // Report summarises a completed run.
@@ -263,6 +269,11 @@ func Run(o Options) (*Report, error) {
 		go w.runProc(p)
 	}
 
+	if o.Watchdog.Timeout > 0 {
+		done := make(chan struct{})
+		defer close(done)
+		go w.watch(o.Watchdog, done)
+	}
 	w.wg.Wait()
 
 	w.state.Lock()

@@ -19,6 +19,7 @@ package recovery
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"ftsg/internal/mpi"
 	"ftsg/internal/trace"
@@ -27,6 +28,26 @@ import (
 // MergeTag is the tag used to send each child its predecessor's rank
 // (MERGE_TAG in the paper's pseudo-code).
 const MergeTag = 900
+
+// maxRepairRounds bounds the Fig. 3 loop. Every failed repair round is
+// caused by at least one fresh process death, and the next round's shrink
+// excludes it, so the loop provably terminates; the bound only guards
+// against runtime bugs turning into livelock.
+const maxRepairRounds = 64
+
+// ErrOrphaned reports that a re-spawned process's repair round was itself
+// hit by a failure and abandoned: the surviving parents retried the repair
+// from the original broken communicator and spawned fresh replacements, so
+// this child was never knitted into the application and must exit cleanly
+// without participating further.
+var ErrOrphaned = errors.New("recovery: replacement orphaned by a failure during recovery")
+
+// retryable reports whether a failed repair round may be retried from the
+// original broken communicator: a process death or a revocation observed
+// mid-protocol means this round is lost but the protocol itself is intact.
+func retryable(err error) bool {
+	return errors.Is(err, mpi.ErrProcFailed) || errors.Is(err, mpi.ErrRevoked)
+}
 
 // Stats records the virtual-time cost of each protocol component, the
 // quantities behind the paper's Fig. 8 and Table I.
@@ -208,12 +229,24 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 	}
 	st.MergeTime += p.Now() - t0
 
+	// From here on the freshly spawned children are blocked inside their own
+	// ChildAttach (agree, then a receive of their old rank on the merged
+	// communicator). If anything below fails — the Table I pathology of a
+	// further failure during an in-progress repair — the merged communicator
+	// is revoked before returning, so every child deterministically observes
+	// the abandonment (MPI_ERR_REVOKED), exits as orphaned, and the caller
+	// can retry the repair from the original broken communicator.
+	abandon := func(err error) error {
+		_ = unordered.Revoke()
+		return err
+	}
+
 	t0 = p.Now()
 	sp = st.span(t0, me, "agree", "")
 	_, err = inter.Agree(1)
 	sp.End(p.Now())
 	if err != nil {
-		return nil, fmt.Errorf("recovery: agree: %w", err)
+		return nil, abandon(fmt.Errorf("recovery: agree: %w", err))
 	}
 	st.AgreeTime += p.Now() - t0
 
@@ -223,7 +256,7 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 	if unordered.Rank() == 0 {
 		for i, fr := range failedRanks {
 			if err := mpi.SendOne(unordered, shrinkedGroupSize+i, MergeTag, fr); err != nil {
-				return nil, fmt.Errorf("recovery: send old rank: %w", err)
+				return nil, abandon(fmt.Errorf("recovery: send old rank: %w", err))
 			}
 		}
 	}
@@ -235,7 +268,7 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 	repaired, err := unordered.Split(0, key)
 	sp.End(p.Now())
 	if err != nil {
-		return nil, fmt.Errorf("recovery: split: %w", err)
+		return nil, abandon(fmt.Errorf("recovery: split: %w", err))
 	}
 	st.SplitTime += p.Now() - t0
 	return repaired, nil
@@ -253,9 +286,17 @@ func ChildAttach(p *mpi.Proc, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, erro
 	parent.SetErrhandler(ErrorHandler(p))
 	t0 := p.Now()
 	sp := st.span(t0, me, "agree", "child synchronise")
-	_, _ = parent.Agree(1) // synchronise (failure report expected here)
+	_, agreeErr := parent.Agree(1)
 	sp.End(p.Now())
 	st.AgreeTime += p.Now() - t0
+	if agreeErr != nil {
+		// The agreement over the spawn intercommunicator covers exactly this
+		// repair round's participants (survivors + children), so a failure
+		// report here means a participant died during the repair itself: the
+		// parents will abandon this round and retry with fresh replacements
+		// (see RepairCommPlaced). This child is orphaned.
+		return nil, -1, fmt.Errorf("recovery: child agree: %v: %w", agreeErr, ErrOrphaned)
+	}
 
 	t0 = p.Now()
 	sp = st.span(t0, me, "merge", "child merge high")
@@ -268,6 +309,12 @@ func ChildAttach(p *mpi.Proc, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, erro
 
 	oldRank, _, err := mpi.RecvOne[int](unordered, 0, MergeTag)
 	if err != nil {
+		if retryable(err) {
+			// The parents revoked the merged communicator (or a participant
+			// died) before rank 0 could send this child its old rank: the
+			// round was abandoned.
+			return nil, -1, fmt.Errorf("recovery: child receive old rank: %v: %w", err, ErrOrphaned)
+		}
 		return nil, -1, fmt.Errorf("recovery: child receive old rank: %w", err)
 	}
 
@@ -276,6 +323,9 @@ func ChildAttach(p *mpi.Proc, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, erro
 	ordered, err := unordered.Split(0, oldRank)
 	sp.End(p.Now())
 	if err != nil {
+		if retryable(err) {
+			return nil, -1, fmt.Errorf("recovery: child split: %v: %w", err, ErrOrphaned)
+		}
 		return nil, -1, fmt.Errorf("recovery: child split: %w", err)
 	}
 	st.SplitTime += p.Now() - t0
@@ -300,30 +350,60 @@ func Reconstruct(p *mpi.Proc, myWorld *mpi.Comm, parent *mpi.Comm, st *Stats) (*
 func ReconstructPlaced(p *mpi.Proc, myWorld *mpi.Comm, parent *mpi.Comm, st *Stats, place Placement) (*mpi.Comm, int, error) {
 	reconstructed := myWorld
 	handler := ErrorHandler(p)
+	var replaced map[int]bool // union of failed ranks over all repairs this call
 
 	for iter := 0; ; iter++ {
 		st.Iterations = iter + 1
 		if parent == nil {
 			reconstructed.SetErrhandler(handler)
 
-			// Detection: a synchronising agree (uniform failure report)
-			// followed by a barrier (Fig. 3 lines 12-13). Both contribute
-			// to the failure-information time of Fig. 8a.
+			// Detection: a barrier followed by a synchronising agree (Fig. 3
+			// lines 12-13; both contribute to the failure-information time
+			// of Fig. 8a). The agree runs LAST so the repair decision is
+			// uniform: a process death inside the barrier surfaces
+			// non-uniformly (ranks whose dissemination partners were
+			// unaffected complete it), but the agree reports any member
+			// death to every member, so either all members repair or none
+			// do — no rank leaves the loop while another revokes the
+			// communicator behind its back.
 			t0 := p.Now()
-			sp := st.span(t0, reconstructed.Rank(), "detect", "agree + barrier round")
-			_, agreeErr := reconstructed.Agree(1)
+			sp := st.span(t0, reconstructed.Rank(), "detect", "barrier + agree round")
 			barrierErr := reconstructed.Barrier()
+			_, agreeErr := reconstructed.Agree(1)
 			sp.End(p.Now())
 			st.ListTime += p.Now() - t0
 
 			if agreeErr == nil && barrierErr == nil {
+				if replaced != nil {
+					// Several repairs may have run back-to-back (a fresh
+					// failure hit the verification round of an earlier
+					// repair). Report the union so callers recover the data
+					// of EVERY replaced rank, not just the last round's.
+					st.FailedRanks = sortedRanks(replaced)
+				}
 				return reconstructed, reconstructed.Rank(), nil
 			}
 			t0 = p.Now()
 			repaired, err := RepairCommPlaced(p, reconstructed, st, place)
 			st.ReconstructTime += p.Now() - t0
 			if err != nil {
+				if retryable(err) && iter+1 < maxRepairRounds {
+					// A further failure hit the repair itself (Table I's
+					// expensive pathology). Retry from the SAME broken
+					// communicator: it still carries the original size and
+					// rank order, the next shrink excludes every failure so
+					// far, and fresh replacements are spawned for all of
+					// them; children of the abandoned round observed the
+					// revocation and exited as orphans.
+					continue
+				}
 				return nil, -1, err
+			}
+			if replaced == nil {
+				replaced = make(map[int]bool, len(st.FailedRanks))
+			}
+			for _, r := range st.FailedRanks {
+				replaced[r] = true
 			}
 			reconstructed = repaired
 			continue
@@ -339,4 +419,13 @@ func ReconstructPlaced(p *mpi.Proc, myWorld *mpi.Comm, parent *mpi.Comm, st *Sta
 		reconstructed = ordered
 		parent = nil // Fig. 3 line 32: the child becomes a parent.
 	}
+}
+
+func sortedRanks(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }

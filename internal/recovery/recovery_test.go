@@ -1,6 +1,8 @@
 package recovery
 
 import (
+	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
@@ -383,10 +385,11 @@ func TestFailureDuringRecovery(t *testing.T) {
 			p.Kill()
 		case 4:
 			// Follow the protocol by hand up to the end of the first
-			// repair, then die before verification.
+			// repair, then die before verification. The detection order
+			// must match ReconstructPlaced (barrier, then uniform agree).
 			c.SetErrhandler(ErrorHandler(p))
-			_, _ = c.Agree(1)
 			_ = c.Barrier()
+			_, _ = c.Agree(1)
 			if _, err := RepairComm(p, c, &st); err != nil {
 				t.Errorf("rank 4 repair: %v", err)
 			}
@@ -422,6 +425,160 @@ func TestFailureDuringRecovery(t *testing.T) {
 	for r := 0; r < 7; r++ {
 		if !filled[r] {
 			t.Errorf("rank %d unfilled after double recovery (map %v)", r, finalRank)
+		}
+	}
+}
+
+// TestSelectRankKeyProperty: for random failure sets, the survivor keys and
+// the failed (= replacement) keys must together form exactly {0..n-1}, with
+// survivor keys strictly increasing — splitting on those keys therefore
+// restores a communicator of the original size in the original rank order.
+func TestSelectRankKeyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(30)
+		failed := rng.Perm(n)[:1+rng.Intn(n-1)]
+		sort.Ints(failed)
+		shrunk := n - len(failed)
+
+		seen := make([]bool, n)
+		prev := -1
+		for i := 0; i < shrunk; i++ {
+			key := SelectRankKey(i, shrunk, failed, n)
+			if key < 0 || key >= n || seen[key] {
+				t.Fatalf("trial %d (n=%d failed=%v): survivor %d got key %d", trial, n, failed, i, key)
+			}
+			if key <= prev {
+				t.Fatalf("trial %d (n=%d failed=%v): survivor keys not increasing at %d (%d after %d)",
+					trial, n, failed, i, key, prev)
+			}
+			prev = key
+			seen[key] = true
+		}
+		// Replacements key on the old rank they take over.
+		for _, f := range failed {
+			if seen[f] {
+				t.Fatalf("trial %d (n=%d failed=%v): failed rank %d also keyed by a survivor", trial, n, failed, f)
+			}
+			seen[f] = true
+		}
+		for r, ok := range seen {
+			if !ok {
+				t.Fatalf("trial %d (n=%d failed=%v): rank %d keyed by nobody", trial, n, failed, r)
+			}
+		}
+	}
+}
+
+// TestReconstructRandomFailures drives the full repair through Comm_split
+// for randomized world sizes and failure sets and checks the same-size /
+// same-order property end to end: every survivor keeps its rank, every
+// replacement takes exactly one failed rank, and no process observes a
+// different communicator size.
+func TestReconstructRandomFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + rng.Intn(6)
+		kill := map[int]bool{}
+		for _, r := range rng.Perm(n)[:1+rng.Intn(3)] {
+			kill[r] = true
+		}
+		finalRank, finalSize, _, rep := reconstructWorld(t, n, kill)
+		if rep.Spawned != len(kill) {
+			t.Errorf("trial %d (n=%d kill=%v): spawned %d", trial, n, kill, rep.Spawned)
+		}
+		taken := map[int]int{}
+		for wr, r := range finalRank {
+			if wr < n && !kill[wr] && r != wr {
+				t.Errorf("trial %d (n=%d kill=%v): survivor %d moved to rank %d", trial, n, kill, wr, r)
+			}
+			if wr >= n && !kill[r] {
+				t.Errorf("trial %d (n=%d kill=%v): replacement %d took non-failed rank %d", trial, n, kill, wr, r)
+			}
+			taken[r]++
+			if finalSize[wr] != n {
+				t.Errorf("trial %d (n=%d kill=%v): world %d sees size %d", trial, n, kill, wr, finalSize[wr])
+			}
+		}
+		for r := 0; r < n; r++ {
+			if taken[r] != 1 {
+				t.Errorf("trial %d (n=%d kill=%v): rank %d held by %d processes", trial, n, kill, r, taken[r])
+			}
+		}
+	}
+}
+
+// TestFailureDuringSpawn: a second survivor dies at the entry of
+// SpawnMultiple, mid-repair, before any replacement exists. The spawn
+// collective must abort uniformly across the remaining survivors (no child
+// is created for the abandoned round) and the retry from the original
+// broken communicator must repair both failures in one further round.
+func TestFailureDuringSpawn(t *testing.T) {
+	var mu sync.Mutex
+	finalRank := map[int]int{}
+	var rootStats *Stats
+
+	rep, err := mpi.Run(mpi.Options{NProcs: 7, Machine: vtime.OPL(), Entry: func(p *mpi.Proc) {
+		var st Stats
+		record := func(c *mpi.Comm, rank int) {
+			mu.Lock()
+			finalRank[p.WorldRank()] = rank
+			if rank == 0 {
+				rootStats = &st
+			}
+			mu.Unlock()
+			if err := c.Barrier(); err != nil {
+				t.Errorf("world %d: post-recovery barrier: %v", p.WorldRank(), err)
+			}
+		}
+		if p.Parent() != nil {
+			rec, rank, err := Reconstruct(p, nil, p.Parent(), &st)
+			if err != nil {
+				t.Errorf("child %d: %v", p.WorldRank(), err)
+				return
+			}
+			record(rec, rank)
+			return
+		}
+		c := p.World()
+		switch c.Rank() {
+		case 2:
+			p.Kill()
+		case 4:
+			// Die at the first spawn this process reaches: inside the
+			// repair, after the shrink, before any child exists.
+			p.SetOpHook(func(op string) {
+				if op == mpi.OpSpawn {
+					p.Kill()
+				}
+			})
+		}
+		rec, rank, err := Reconstruct(p, c, nil, &st)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		record(rec, rank)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spawned != 2 {
+		t.Fatalf("spawned %d replacements, want 2 (the aborted round must not spawn)", rep.Spawned)
+	}
+	if rootStats == nil {
+		t.Fatal("rank 0 recorded no stats")
+	}
+	if len(rootStats.FailedRanks) != 2 || rootStats.FailedRanks[0] != 2 || rootStats.FailedRanks[1] != 4 {
+		t.Errorf("failed ranks = %v, want [2 4]", rootStats.FailedRanks)
+	}
+	filled := map[int]bool{}
+	for _, r := range finalRank {
+		filled[r] = true
+	}
+	for r := 0; r < 7; r++ {
+		if !filled[r] {
+			t.Errorf("rank %d unfilled after failure during spawn (map %v)", r, finalRank)
 		}
 	}
 }
