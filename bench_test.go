@@ -8,6 +8,7 @@ package ftsg
 //	go test -bench=. -benchmem
 
 import (
+	"math"
 	"testing"
 
 	"ftsg/internal/core"
@@ -436,6 +437,51 @@ func BenchmarkHarnessParallel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointBackend compares the checkpoint store's
+// backends and write modes on a CR run with one real failure and a Young
+// interval short enough that several generations are written and recovery
+// reads one back. Virtual-time results are identical across all four cells
+// by construction — the accounting model charges the same TIO costs either
+// way — so ns/op isolates the real storage cost: the mem backend removes
+// filesystem traffic entirely, and async write-behind overlaps what
+// remains with compute.
+func BenchmarkAblationCheckpointBackend(b *testing.B) {
+	base := core.Config{
+		Technique:    core.CheckpointRestart,
+		DiagProcs:    4,
+		Steps:        benchSteps,
+		NumFailures:  1,
+		RealFailures: true,
+		Seed:         5,
+	}
+	base.Layout.N, base.Layout.L = 6, 4
+	filled := base.WithDefaults()
+	stepTime := filled.EstimateStepTime()
+	base.MTBF = math.Pow(8*stepTime, 2) / (2 * filled.Machine.TIOWrite)
+	for _, bc := range []struct {
+		name, backend string
+		async         bool
+	}{
+		{"dir", "dir", false},
+		{"dir-async", "dir", true},
+		{"mem", "mem", false},
+		{"mem-async", "mem", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var total float64
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.CheckpointBackend = bc.backend
+				cfg.CheckpointAsync = bc.async
+				res := runBench(b, cfg)
+				total += res.TotalTime
+			}
+			b.ReportMetric(total/float64(b.N), "total-vsec/op")
 		})
 	}
 }

@@ -29,6 +29,7 @@ func main() {
 		seeds      = flag.Int("seeds", 256, "number of consecutive seeds to sweep")
 		start      = flag.Int64("start", 1, "first seed")
 		techniques = flag.String("techniques", "all", "all, or a comma list of CR, RC, AC")
+		mode       = flag.String("mode", "", "force one scenario mode (A..F) for every seed, e.g. F = checkpoint corruption")
 		workers    = flag.Int("workers", 0, "concurrent cells (0 = one per CPU)")
 		stall      = flag.Duration("stall", chaos.DefaultStallTimeout, "deadlock watchdog timeout per run")
 		out        = flag.String("out", "", "also write the summary to this file")
@@ -40,13 +41,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	forced, err := chaos.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	seedList := make([]int64, *seeds)
 	for i := range seedList {
 		seedList[i] = *start + int64(i)
 	}
 
 	t0 := time.Now()
-	outs := chaos.Campaign(seedList, techs, *workers, *stall)
+	outs := chaos.CampaignMode(seedList, techs, forced, *workers, *stall)
 	elapsed := time.Since(t0)
 
 	violations := 0
@@ -54,7 +60,7 @@ func main() {
 		for _, v := range o.Violations {
 			violations++
 			fmt.Printf("VIOLATION %s under %s: %s\n  replay: %s\n",
-				o.Scenario, o.Technique, v, chaos.ReproCommand(o.Seed, o.Technique))
+				o.Scenario, o.Technique, v, chaos.ReproCommandMode(o.Seed, o.Technique, forced))
 		}
 	}
 

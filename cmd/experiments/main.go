@@ -43,6 +43,9 @@ func main() {
 		showMet    = flag.Bool("metrics", false, "print the aggregate instrumentation summary over every run of the sweep")
 		metOut     = flag.String("metrics-out", "", "write the aggregate instrumentation summary to this file")
 		traceOut   = flag.String("trace-out", "", "write the Chrome trace_event JSON of one representative fault-injected run (2 failures, RC, largest core count of the sweep) to this file")
+		ckptBack   = flag.String("ckpt-backend", "", "checkpoint storage backend for CR runs: dir (files, default) | mem (in-memory; identical output, no filesystem traffic)")
+		ckptGens   = flag.Int("ckpt-generations", 0, "checkpoint generations retained per rank in CR runs (0 = store default)")
+		ckptAsync  = flag.Bool("ckpt-async", false, "write checkpoints on write-behind goroutines; output is byte-identical, only real I/O overlaps")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the sweep to this file")
 		blockProf  = flag.String("blockprofile", "", "write a blocking profile of the sweep to this file")
@@ -102,6 +105,9 @@ func main() {
 		opts.Log = os.Stderr
 	}
 	opts.Telemetry = *telemetry
+	opts.CkptBackend = *ckptBack
+	opts.CkptGenerations = *ckptGens
+	opts.CkptAsync = *ckptAsync
 	var reg *metrics.Registry
 	if *showMet || *metOut != "" {
 		reg = metrics.New()

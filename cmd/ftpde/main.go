@@ -54,6 +54,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		showMet   = fs.Bool("metrics", false, "print the instrumentation summary (MPI messages/bytes, per-op latency, cost attribution)")
 		metOut    = fs.String("metrics-out", "", "write the instrumentation summary to this file")
 		quiet     = fs.Bool("quiet", false, "suppress the run summary (trace/metrics output still honoured)")
+		ckptBack  = fs.String("ckpt-backend", "", "checkpoint storage backend for CR: dir (files under a temp directory, default) | mem (in-memory)")
+		ckptGens  = fs.Int("ckpt-generations", 0, "checkpoint generations retained per rank; recovery falls back through them past corrupt or torn blobs (0 = store default)")
+		ckptAsync = fs.Bool("ckpt-async", false, "write checkpoints on a per-store write-behind goroutine; results are bit-identical, only real I/O overlaps")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +86,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Seed:         *seed,
 	}
 	cfg.Layout.N, cfg.Layout.L = *n, *level
+	cfg.CheckpointBackend = *ckptBack
+	cfg.CheckpointGenerations = *ckptGens
+	cfg.CheckpointAsync = *ckptAsync
 	var rec *trace.Recorder
 	if *showTrace || *traceOut != "" {
 		rec = trace.New(nil)

@@ -141,3 +141,37 @@ func TestBadFlagsExitCode(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckpointFlags: -ckpt-backend/-ckpt-generations/-ckpt-async select
+// the checkpoint store without changing any simulated result — the run
+// summary is byte-identical to the default dir-backed synchronous store.
+func TestCheckpointFlags(t *testing.T) {
+	run := func(extra ...string) string {
+		t.Helper()
+		args := append([]string{
+			"-technique", "CR", "-failures", "1", "-real",
+			"-diagprocs", "4", "-steps", "64", "-n", "6",
+		}, extra...)
+		var stdout, stderr bytes.Buffer
+		if code := realMain(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("realMain(%v) = %d, stderr: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	want := run()
+	for _, extra := range [][]string{
+		{"-ckpt-backend", "mem"},
+		{"-ckpt-async"},
+		{"-ckpt-backend", "mem", "-ckpt-async"},
+	} {
+		if got := run(extra...); got != want {
+			t.Errorf("%v changed the run summary:\n got:\n%s\nwant:\n%s", extra, got, want)
+		}
+	}
+
+	var stdout, stderr bytes.Buffer
+	args := []string{"-technique", "CR", "-ckpt-backend", "s3"}
+	if code := realMain(args, &stdout, &stderr); code != 1 {
+		t.Errorf("unknown backend: realMain = %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+}

@@ -56,7 +56,34 @@ func (o Outcome) OK() bool { return len(o.Violations) == 0 }
 
 // ReproCommand returns the one-liner that replays exactly this cell.
 func ReproCommand(seed int64, tech core.Technique) string {
-	return fmt.Sprintf("go test ./internal/chaos -run TestChaos -chaos.seed=%d -chaos.technique=%s", seed, tech)
+	return ReproCommandMode(seed, tech, 0)
+}
+
+// ReproCommandMode is ReproCommand for a cell run under a forced scenario
+// mode.
+func ReproCommandMode(seed int64, tech core.Technique, mode byte) string {
+	cmd := fmt.Sprintf("go test ./internal/chaos -run TestChaos -chaos.seed=%d -chaos.technique=%s", seed, tech)
+	if mode != 0 {
+		cmd += fmt.Sprintf(" -chaos.mode=%c", mode)
+	}
+	return cmd
+}
+
+// ParseMode maps a flag value to a scenario mode: "" means "draw from the
+// seed" (0), otherwise a single letter A..F.
+func ParseMode(s string) (byte, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	if s == "" {
+		return 0, nil
+	}
+	if len(s) == 1 {
+		switch m := s[0]; m {
+		case ModeMultiEvent, ModeNodeFailure, ModeOpKill,
+			ModeKillDuringRecovery, ModeControl, ModeCkptCorrupt:
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown scenario mode %q (want A..F)", s)
 }
 
 // ParseTechniques maps a flag value ("all", or a comma list of CR, RC, AC)
@@ -142,12 +169,18 @@ func FingerprintOf(seed int64, tech core.Technique, stallTimeout time.Duration) 
 // chaos run, and a same-seed replay — and returns the outcome with any
 // invariant violations.
 func Check(seed int64, tech core.Technique, stallTimeout time.Duration) Outcome {
-	sc := NewScenario(seed)
+	return CheckMode(seed, tech, 0, stallTimeout)
+}
+
+// CheckMode is Check with the scenario mode forced (mode 0 draws it from
+// the seed).
+func CheckMode(seed int64, tech core.Technique, mode byte, stallTimeout time.Duration) Outcome {
+	sc := NewScenarioMode(seed, mode)
 	o := Outcome{Seed: seed, Technique: tech, Scenario: sc}
 	violate := func(format string, args ...any) {
 		o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
 	}
-	repro := ReproCommand(seed, tech)
+	repro := ReproCommandMode(seed, tech, mode)
 
 	ctl, err := runOnce(sc.Control(tech), fmt.Sprintf("control seed %d %s", seed, tech), repro, stallTimeout)
 	if err != nil {
@@ -245,11 +278,17 @@ func Check(seed int64, tech core.Technique, stallTimeout time.Duration) Outcome 
 // returns the outcomes in deterministic (seed-major) order. workers <= 0
 // selects GOMAXPROCS.
 func Campaign(seeds []int64, techs []core.Technique, workers int, stallTimeout time.Duration) []Outcome {
+	return CampaignMode(seeds, techs, 0, workers, stallTimeout)
+}
+
+// CampaignMode is Campaign with the scenario mode forced for every seed
+// (mode 0 draws it per seed).
+func CampaignMode(seeds []int64, techs []core.Technique, mode byte, workers int, stallTimeout time.Duration) []Outcome {
 	outs := make([]Outcome, len(seeds)*len(techs))
-	// Check never returns an error — violations land in the outcome — so
-	// ParallelOrdered's error is always nil.
+	// CheckMode never returns an error — violations land in the outcome —
+	// so ParallelOrdered's error is always nil.
 	_ = harness.ParallelOrdered(workers, len(outs), func(i int) error {
-		outs[i] = Check(seeds[i/len(techs)], techs[i%len(techs)], stallTimeout)
+		outs[i] = CheckMode(seeds[i/len(techs)], techs[i%len(techs)], mode, stallTimeout)
 		return nil
 	})
 	return outs

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ftsg/internal/core"
+	"ftsg/internal/metrics"
 )
 
 var (
@@ -21,6 +22,8 @@ var (
 		"techniques to exercise: all, or a comma list of CR, RC, AC")
 	chaosStall = flag.Duration("chaos.stall", DefaultStallTimeout,
 		"deadlock watchdog timeout per run")
+	chaosModeFlag = flag.String("chaos.mode", "",
+		"force one scenario mode (A..F) for every seed instead of drawing it")
 )
 
 // TestChaos sweeps seeded random failure scenarios through every recovery
@@ -45,7 +48,11 @@ func TestChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs := Campaign(seeds, techs, 0, *chaosStall)
+	mode, err := ParseMode(*chaosModeFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := CampaignMode(seeds, techs, mode, 0, *chaosStall)
 	violations := 0
 	for _, o := range outs {
 		if o.OK() {
@@ -54,7 +61,7 @@ func TestChaos(t *testing.T) {
 		violations += len(o.Violations)
 		for _, v := range o.Violations {
 			t.Errorf("%s under %s: %s\n  replay: %s",
-				o.Scenario, o.Technique, v, ReproCommand(o.Seed, o.Technique))
+				o.Scenario, o.Technique, v, ReproCommandMode(o.Seed, o.Technique, mode))
 		}
 	}
 	t.Logf("chaos: %d seeds x %d techniques, %d violations",
@@ -97,15 +104,25 @@ func TestScenarioDeterminism(t *testing.T) {
 		if a.Mode == ModeNodeFailure && (a.FailStep < 1 || a.FailStep > a.Steps) {
 			t.Errorf("seed %d: node FailStep %d out of range", seed, a.FailStep)
 		}
+		if (a.CkptFaults != nil) != (a.Mode == ModeCkptCorrupt) {
+			t.Errorf("seed %d: CkptFaults presence %v under mode %c", seed, a.CkptFaults != nil, a.Mode)
+		}
+		if fp := a.CkptFaults; fp != nil {
+			for _, pr := range []float64{fp.ReadCorrupt, fp.ReadErr, fp.WriteErr, fp.WriteShort} {
+				if pr < 0 || pr > 1 {
+					t.Errorf("seed %d: checkpoint fault probability %v outside [0,1]", seed, pr)
+				}
+			}
+		}
 	}
-	for _, m := range []byte{ModeMultiEvent, ModeNodeFailure, ModeOpKill, ModeKillDuringRecovery, ModeControl} {
+	for _, m := range []byte{ModeMultiEvent, ModeNodeFailure, ModeOpKill, ModeKillDuringRecovery, ModeControl, ModeCkptCorrupt} {
 		if modes[m] == 0 {
 			t.Errorf("mode %c never generated in 200 seeds", m)
 		}
 	}
-	t.Logf("mode distribution over 200 seeds: A=%d B=%d C=%d D=%d E=%d",
+	t.Logf("mode distribution over 200 seeds: A=%d B=%d C=%d D=%d E=%d F=%d",
 		modes[ModeMultiEvent], modes[ModeNodeFailure], modes[ModeOpKill],
-		modes[ModeKillDuringRecovery], modes[ModeControl])
+		modes[ModeKillDuringRecovery], modes[ModeControl], modes[ModeCkptCorrupt])
 }
 
 // TestParseTechniques covers the flag grammar.
@@ -134,7 +151,7 @@ func TestChaosReplayAcrossGOMAXPROCS(t *testing.T) {
 	// exercises every injection path, not just whichever modes the first
 	// few seeds happen to draw.
 	seedFor := map[byte]int64{}
-	for seed := int64(1); len(seedFor) < 5 && seed < 1000; seed++ {
+	for seed := int64(1); len(seedFor) < 6 && seed < 1000; seed++ {
 		m := NewScenario(seed).Mode
 		if _, ok := seedFor[m]; !ok {
 			seedFor[m] = seed
@@ -157,5 +174,65 @@ func TestChaosReplayAcrossGOMAXPROCS(t *testing.T) {
 					seed, tech, prev, ReproCommand(seed, tech))
 			}
 		}
+	}
+}
+
+// TestChaosCheckpointCorruption forces mode F — seeded storage damage on
+// the checkpoint backend plus a scheduled failure — over a block of seeds
+// under CR, and requires a clean campaign: every run completes, CR's
+// solution stays bit-identical to its failure-free control no matter how
+// deep recovery had to fall back, and replays are byte-identical. CI runs
+// the same sweep wider via
+//
+//	go test -race ./internal/chaos -run TestChaos -chaos.seeds=64 -chaos.mode=F -chaos.technique=CR
+func TestChaosCheckpointCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign skipped in -short mode")
+	}
+	seeds := make([]int64, 16)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	outs := CampaignMode(seeds, []core.Technique{core.CheckpointRestart}, ModeCkptCorrupt, 0, *chaosStall)
+	for _, o := range outs {
+		for _, v := range o.Violations {
+			t.Errorf("%s under %s: %s\n  replay: %s",
+				o.Scenario, o.Technique, v, ReproCommandMode(o.Seed, o.Technique, ModeCkptCorrupt))
+		}
+	}
+}
+
+// TestCheckpointCorruptionFallbackObserved pins the observability
+// requirement: a mode-F cell with heavy read corruption must actually drive
+// the generation-fallback path, visible on the
+// checkpoint.generations.fallback counter.
+func TestCheckpointCorruptionFallbackObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	// Pick the first seed whose drawn fault plan corrupts reads often
+	// enough that at least one recovery read is damaged with near
+	// certainty.
+	seed := int64(-1)
+	for s := int64(1); s < 1000; s++ {
+		sc := NewScenarioMode(s, ModeCkptCorrupt)
+		if sc.CkptFaults.ReadCorrupt > 0.8 {
+			seed = s
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no seed with ReadCorrupt > 0.8 in 1..999")
+	}
+	sc := NewScenarioMode(seed, ModeCkptCorrupt)
+	reg := metrics.New()
+	cfg := sc.ConfigFor(core.CheckpointRestart)
+	cfg.Metrics = reg
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if got := reg.Counter("checkpoint.generations.fallback").Value(); got == 0 {
+		t.Errorf("seed %d (ReadCorrupt=%.2f): fallback counter is 0; corruption never observed",
+			seed, sc.CkptFaults.ReadCorrupt)
 	}
 }

@@ -14,9 +14,11 @@ package chaos
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
+	"ftsg/internal/checkpoint"
 	"ftsg/internal/combine"
 	"ftsg/internal/core"
 	"ftsg/internal/faultgen"
@@ -43,6 +45,15 @@ const (
 	// ModeControl injects nothing: the chaos run must be byte-identical
 	// to the control.
 	ModeControl = 'E'
+	// ModeCkptCorrupt schedules a failure late enough that interior
+	// checkpoints exist, with seeded storage faults active on the
+	// checkpoint backend the whole run: reads come back bit-flipped or
+	// erroring and writes tear or fail, so CR recovery must fall back
+	// through generations — possibly to different depths on different
+	// ranks — and still restore a group-consistent step. Under RC and AC
+	// (no checkpoint store) the storage faults are inert and the scenario
+	// degenerates to a plain failure event.
+	ModeCkptCorrupt = 'F'
 )
 
 // scenarioSteps is the solver-step budget of every chaos run: enough for
@@ -52,19 +63,29 @@ const scenarioSteps = 24
 
 // Scenario is one seed's failure plan, identical on every replay.
 type Scenario struct {
-	Seed     int64
-	Mode     byte
-	Steps    int
-	Events   []faultgen.Event   // modes A and D
-	OpEvents []faultgen.OpEvent // modes C and D
-	FailStep int                // mode B
+	Seed       int64
+	Mode       byte
+	Steps      int
+	Events     []faultgen.Event      // modes A, D and F
+	OpEvents   []faultgen.OpEvent    // modes C and D
+	FailStep   int                   // mode B
+	CkptFaults *checkpoint.FaultPlan // mode F
 }
 
 // NewScenario deterministically generates the scenario for a seed.
 func NewScenario(seed int64) Scenario {
+	return NewScenarioMode(seed, 0)
+}
+
+// NewScenarioMode generates the scenario for a seed with the mode forced
+// (mode 0 draws it from the seed as usual). Forcing lets a campaign
+// concentrate a whole seed sweep on one injection class — e.g. mode F to
+// hammer checkpoint-storage damage under CR — while event parameters still
+// vary per seed exactly as in a mixed sweep.
+func NewScenarioMode(seed int64, mode byte) Scenario {
 	rng := rand.New(rand.NewSource(seed))
 	sc := Scenario{Seed: seed, Steps: scenarioSteps}
-	switch d := rng.Intn(10); {
+	switch d := rng.Intn(12); {
 	case d < 3:
 		sc.Mode = ModeMultiEvent
 	case d < 5:
@@ -73,8 +94,13 @@ func NewScenario(seed int64) Scenario {
 		sc.Mode = ModeOpKill
 	case d < 9:
 		sc.Mode = ModeKillDuringRecovery
-	default:
+	case d < 10:
 		sc.Mode = ModeControl
+	default:
+		sc.Mode = ModeCkptCorrupt
+	}
+	if mode != 0 {
+		sc.Mode = mode
 	}
 	switch sc.Mode {
 	case ModeMultiEvent:
@@ -99,6 +125,11 @@ func NewScenario(seed int64) Scenario {
 	case ModeKillDuringRecovery:
 		sc.Events = []faultgen.Event{{Step: 1 + rng.Intn(8), Failures: 1 + rng.Intn(2)}}
 		sc.OpEvents = []faultgen.OpEvent{{AfterOps: 1 + rng.Intn(6), DuringRecovery: true}}
+	case ModeCkptCorrupt:
+		// Die in the second half of the run, after several checkpoint
+		// intervals have written (and possibly torn) generations.
+		sc.Events = []faultgen.Event{{Step: 8 + rng.Intn(12), Failures: 1 + rng.Intn(2)}}
+		sc.CkptFaults = faultgen.CkptFaults(rng)
 	}
 	return sc
 }
@@ -116,6 +147,8 @@ func (sc Scenario) ModeName() string {
 		return "kill-during-recovery"
 	case ModeControl:
 		return "control"
+	case ModeCkptCorrupt:
+		return "ckpt-corrupt"
 	}
 	return fmt.Sprintf("mode-%c", sc.Mode)
 }
@@ -135,6 +168,10 @@ func (sc Scenario) String() string {
 	}
 	if sc.Mode == ModeNodeFailure {
 		fmt.Fprintf(&b, " node@step %d", sc.FailStep)
+	}
+	if fp := sc.CkptFaults; fp != nil {
+		fmt.Fprintf(&b, " ckpt-faults[corrupt=%.2f readerr=%.2f writeerr=%.2f torn=%.2f]",
+			fp.ReadCorrupt, fp.ReadErr, fp.WriteErr, fp.WriteShort)
 	}
 	return b.String()
 }
@@ -163,6 +200,17 @@ func (sc Scenario) Control(tech core.Technique) core.Config {
 	if sc.Mode == ModeNodeFailure && tech == core.CheckpointRestart {
 		cfg.SpareNodes = 1
 	}
+	if sc.Mode == ModeCkptCorrupt {
+		// Force a ~6-step Young interval so several checkpoint
+		// generations exist before the scheduled failure, and keep three
+		// of them — the fallback chain the injected damage exercises. The
+		// control shares the schedule (it only affects virtual I/O time,
+		// not the solution), so CR's L1-bitwise-equal invariant still
+		// compares like with like.
+		stepTime := cfg.WithDefaults().EstimateStepTime()
+		cfg.MTBF = math.Pow(6*stepTime, 2) / (2 * cfg.Machine.TIOWrite)
+		cfg.CheckpointGenerations = 3
+	}
 	return cfg
 }
 
@@ -187,6 +235,9 @@ func (sc Scenario) ConfigFor(tech core.Technique) core.Config {
 		cfg.RealFailures = true
 		cfg.FailSchedule = append([]faultgen.Event(nil), sc.Events...)
 		cfg.OpFailures = append([]faultgen.OpEvent(nil), sc.OpEvents...)
+		// Storage damage rides only on the chaos run, never the control;
+		// it is inert outside CR (no checkpoint store exists).
+		cfg.CheckpointFaults = sc.CkptFaults
 	}
 	return cfg
 }
@@ -203,7 +254,7 @@ func (sc Scenario) MinSpawned(tech core.Technique) int {
 		total += e.Failures
 	}
 	switch sc.Mode {
-	case ModeMultiEvent:
+	case ModeMultiEvent, ModeCkptCorrupt:
 		return total
 	case ModeNodeFailure:
 		if tech == core.CheckpointRestart {

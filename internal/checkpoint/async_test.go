@@ -1,0 +1,217 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ftsg/internal/metrics"
+	"ftsg/internal/mpi"
+	"ftsg/internal/vtime"
+)
+
+// snapshot returns every blob in a backend, keyed by name.
+func snapshot(t *testing.T, b Backend) map[string][]byte {
+	t.Helper()
+	names, err := b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(names))
+	for _, n := range names {
+		blob, err := b.Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[n] = blob
+	}
+	return out
+}
+
+// runSequence writes a fixed checkpoint sequence through a store and
+// returns the rank's final virtual clock.
+func runSequence(t *testing.T, s *Store) float64 {
+	t.Helper()
+	var now float64
+	withProc(t, vtime.OPL(), func(p *mpi.Proc) {
+		for i := 1; i <= 8; i++ {
+			for rank := 0; rank < 3; rank++ {
+				data := []float64{float64(i), float64(rank), float64(i * rank)}
+				if err := s.Write(p, 0, rank, i*4, data); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		s.Flush()
+		step, data, err := s.Read(p, 0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if step != 32 || data[0] != 8 {
+			t.Errorf("latest = (%d, %g), want (32, 8)", step, data[0])
+		}
+		now = p.Now()
+	})
+	return now
+}
+
+// TestAsyncMatchesSync: the async write-behind path must be observationally
+// identical to synchronous writes — same final backend contents, same
+// virtual clock, same metric values. This is the store-level half of the
+// byte-identical-goldens guarantee.
+func TestAsyncMatchesSync(t *testing.T) {
+	type result struct {
+		blobs   map[string][]byte
+		now     float64
+		summary string
+	}
+	run := func(async bool) result {
+		b := NewMem()
+		reg := metrics.New()
+		s, err := Open(Options{Backend: b, Generations: 2, Async: async, QueueDepth: 4, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := runSequence(t, s)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		reg.WriteSummary(&buf)
+		return result{blobs: snapshot(t, b), now: now, summary: buf.String()}
+	}
+	sync, async := run(false), run(true)
+	if sync.now != async.now {
+		t.Errorf("virtual clock differs: sync %v, async %v", sync.now, async.now)
+	}
+	if sync.summary != async.summary {
+		t.Errorf("store metric summaries differ:\nsync:\n%s\nasync:\n%s", sync.summary, async.summary)
+	}
+	if len(sync.blobs) != len(async.blobs) {
+		t.Fatalf("blob counts differ: %d vs %d", len(sync.blobs), len(async.blobs))
+	}
+	for name, blob := range sync.blobs {
+		if !bytes.Equal(blob, async.blobs[name]) {
+			t.Errorf("blob %s differs between sync and async", name)
+		}
+	}
+}
+
+// TestFlushIsADurabilityBarrier: after Flush returns, every prior Write is
+// visible in the backend even with a deliberately tiny queue.
+func TestFlushIsADurabilityBarrier(t *testing.T) {
+	b := NewMem()
+	s, err := Open(Options{Backend: b, Generations: 64, Async: true, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+		for i := 0; i < 16; i++ {
+			if err := s.Write(p, 0, i, i, []float64{float64(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		s.Flush()
+	})
+	names, _ := b.List()
+	if len(names) != 16 {
+		t.Errorf("after Flush, backend holds %d blobs, want 16", len(names))
+	}
+}
+
+// TestQueueDepthGaugeParity: the queue-depth gauge must be registered (and
+// settle to zero) in both modes, so metric summaries cannot reveal the mode.
+func TestQueueDepthGaugeParity(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		reg := metrics.New()
+		s, err := Open(Options{Backend: NewMem(), Async: async, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+			_ = s.Write(p, 0, 0, 1, []float64{1})
+			s.Flush()
+		})
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		reg.WriteSummary(&buf)
+		if !bytes.Contains(buf.Bytes(), []byte("checkpoint.queue.depth")) {
+			t.Errorf("async=%v: queue depth gauge missing from summary", async)
+		}
+		if got := reg.Gauge("checkpoint.queue.depth").Value(); got != 0 {
+			t.Errorf("async=%v: settled queue depth = %v, want 0", async, got)
+		}
+	}
+}
+
+// TestCloseDrainsQueue: Close must commit everything still queued.
+func TestCloseDrainsQueue(t *testing.T) {
+	b := NewMem()
+	s, err := Open(Options{Backend: b, Generations: 64, Async: true, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+		for i := 0; i < 8; i++ {
+			_ = s.Write(p, 0, i, i, []float64{float64(i)})
+		}
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close errored: %v", err)
+	}
+	names, _ := b.List()
+	if len(names) != 8 {
+		t.Errorf("after Close, backend holds %d blobs, want 8", len(names))
+	}
+}
+
+// TestAsyncConcurrentRanks exercises the store from many simulated ranks at
+// once (run under -race in CI): concurrent enqueue, rotation, flush.
+func TestAsyncConcurrentRanks(t *testing.T) {
+	b := NewMem()
+	s, err := Open(Options{Backend: b, Generations: 2, Async: true, QueueDepth: 8, Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const nprocs = 8
+	_, err = mpi.Run(mpi.Options{NProcs: nprocs, Machine: vtime.Generic(), Entry: func(p *mpi.Proc) {
+		me := p.World().Rank()
+		for i := 1; i <= 10; i++ {
+			if err := s.Write(p, 0, me, i, []float64{float64(me), float64(i)}); err != nil {
+				t.Errorf("rank %d: %v", me, err)
+				return
+			}
+		}
+		step, data, err := s.Read(p, 0, me)
+		if err != nil {
+			t.Errorf("rank %d: %v", me, err)
+			return
+		}
+		if step != 10 || data[0] != float64(me) {
+			t.Errorf("rank %d read (%d, %g)", me, step, data[0])
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := b.List()
+	if want := nprocs * 2; len(names) != want {
+		t.Errorf("backend holds %d blobs, want %d", len(names), want)
+	}
+	for _, n := range names {
+		var g, r, gen int
+		if _, err := fmt.Sscanf(n, "grid%03d_rank%04d.gen%06d.ckpt", &g, &r, &gen); err != nil {
+			t.Errorf("unexpected blob name %q", n)
+		}
+	}
+}

@@ -1,22 +1,33 @@
 // Package checkpoint implements the Checkpoint/Restart data-recovery
-// technique: periodic per-process checkpoints of sub-grid state written to
-// disk, restart from the most recent checkpoint, and recomputation of the
-// steps taken since. Real files are written (binary format with a CRC), and
-// the simulated machine's disk latency T_I/O is charged to the process's
-// virtual clock — the parameter whose two-orders-of-magnitude difference
-// between OPL (3.52 s) and Raijin (0.03 s) drives the paper's Fig. 9b
-// crossover.
+// technique: periodic per-process checkpoints of sub-grid state, restart
+// from the most recent readable checkpoint, and recomputation of the steps
+// taken since. Checkpoints are binary blobs with a CRC, stored through a
+// pluggable Backend (local directory, in-memory, or a fault-injecting
+// wrapper), and the simulated machine's disk latency T_I/O is charged to
+// the process's virtual clock — the parameter whose two-orders-of-magnitude
+// difference between OPL (3.52 s) and Raijin (0.03 s) drives the paper's
+// Fig. 9b crossover.
+//
+// The store keeps the last K generations per (grid, rank) and falls back
+// generation-by-generation when a read turns out corrupt, truncated, or
+// unreadable; when every generation is exhausted it reports ErrNoCheckpoint
+// and the caller recomputes from the initial condition. Writes can be
+// performed through an async write-behind queue; Flush is the barrier that
+// makes queued writes durable before a recovery decision depends on them.
+// Virtual-time accounting is identical in sync and async modes (the cost is
+// charged at Write-call time, in program order), so golden outputs are
+// byte-identical either way.
 package checkpoint
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
-	"path/filepath"
 	"sync"
 
+	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
 	"ftsg/internal/vtime"
 )
@@ -32,36 +43,32 @@ type encBuf struct{ b []byte }
 const (
 	magic   = 0x46545347 // "FTSG"
 	version = 1
+
+	headerSize  = 24             // magic + version + step + length
+	minFileSize = headerSize + 4 // empty payload + CRC
+
+	// DefaultGenerations is how many checkpoint generations a store keeps
+	// per (grid, rank) unless configured otherwise: the latest plus one
+	// fallback, the minimum that survives a single torn or corrupt write.
+	DefaultGenerations = 2
+
+	// defaultQueueDepth bounds the async write-behind queue. Writers block
+	// (in real time only — no virtual cost) when the backend falls this
+	// far behind.
+	defaultQueueDepth = 64
 )
 
-// Store writes and reads checkpoints under a directory. Files are keyed by
-// (grid ID, rank within the grid's process group), so a re-spawned
-// replacement process — which takes over the failed process's exact position
-// — finds its predecessor's state.
-type Store struct {
-	dir string
-}
+// ErrNoCheckpoint is returned by Read when no generation of a checkpoint
+// could be read and validated. The caller should fall back to the initial
+// condition and recompute.
+var ErrNoCheckpoint = errors.New("no readable checkpoint")
 
-// NewStore creates (if needed) and wraps a checkpoint directory.
-func NewStore(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("checkpoint: %w", err)
-	}
-	return &Store{dir: dir}, nil
-}
-
-// Dir returns the store's directory.
-func (s *Store) Dir() string { return s.dir }
-
-func (s *Store) path(gridID, rank int) string {
-	return filepath.Join(s.dir, fmt.Sprintf("grid%03d_rank%04d.ckpt", gridID, rank))
-}
-
-// Write stores one process's owned rows at the given step, charging the
-// machine's per-checkpoint write latency T_I/O to the process's clock.
-func (s *Store) Write(p *mpi.Proc, gridID, rank, step int, data []float64) error {
-	n := 24 + 8*len(data) + 4
-	eb := encPool.Get().(*encBuf)
+// encode serialises one checkpoint into eb (reusing its capacity) and
+// returns the encoded bytes: a 24-byte header (magic, version, step,
+// value count), the float64 payload, and a trailing CRC32 over everything
+// before it.
+func encode(step int, data []float64, eb *encBuf) []byte {
+	n := headerSize + 8*len(data) + 4
 	if cap(eb.b) < n {
 		eb.b = make([]byte, n)
 	}
@@ -71,31 +78,18 @@ func (s *Store) Write(p *mpi.Proc, gridID, rank, step int, data []float64) error
 	binary.LittleEndian.PutUint64(buf[8:], uint64(step))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(len(data)))
 	for i, v := range data {
-		binary.LittleEndian.PutUint64(buf[24+8*i:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(buf[headerSize+8*i:], math.Float64bits(v))
 	}
 	binary.LittleEndian.PutUint32(buf[n-4:], crc32.ChecksumIEEE(buf[:n-4]))
-	tmp := s.path(gridID, rank) + ".tmp"
-	err := os.WriteFile(tmp, buf, 0o644)
-	encPool.Put(eb)
-	if err != nil {
-		return fmt.Errorf("checkpoint: write: %w", err)
-	}
-	if err := os.Rename(tmp, s.path(gridID, rank)); err != nil {
-		return fmt.Errorf("checkpoint: commit: %w", err)
-	}
-	p.ComputeAttr(p.Machine().TIOWrite, vtime.CompDiskWrite)
-	p.Metrics().Counter("checkpoint.bytes.written").Add(int64(n))
-	return nil
+	return buf
 }
 
-// Read loads the most recent checkpoint for (gridID, rank), charging the
-// read latency. It validates the format and CRC.
-func (s *Store) Read(p *mpi.Proc, gridID, rank int) (step int, data []float64, err error) {
-	raw, err := os.ReadFile(s.path(gridID, rank))
-	if err != nil {
-		return 0, nil, fmt.Errorf("checkpoint: read: %w", err)
-	}
-	if len(raw) < 28 {
+// decode validates and deserialises a checkpoint blob. It must be safe on
+// arbitrary adversarial input (see FuzzReadCheckpoint): every length is
+// checked before use and the value count is bounded by the blob size
+// before any allocation.
+func decode(raw []byte) (step int, data []float64, err error) {
+	if len(raw) < minFileSize {
 		return 0, nil, fmt.Errorf("checkpoint: truncated file (%d bytes)", len(raw))
 	}
 	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
@@ -109,27 +103,393 @@ func (s *Store) Read(p *mpi.Proc, gridID, rank int) (step int, data []float64, e
 		return 0, nil, fmt.Errorf("checkpoint: unsupported version %d", v)
 	}
 	step = int(binary.LittleEndian.Uint64(body[8:16]))
-	n := int(binary.LittleEndian.Uint64(body[16:24]))
-	if len(body) != 24+8*n {
-		return 0, nil, fmt.Errorf("checkpoint: length mismatch (%d values, %d bytes)", n, len(body))
+	n64 := binary.LittleEndian.Uint64(body[16:24])
+	if n64 > uint64(len(body)) || uint64(len(body)) != headerSize+8*n64 {
+		return 0, nil, fmt.Errorf("checkpoint: length mismatch (%d values, %d bytes)", n64, len(body))
 	}
-	data = make([]float64, n)
+	data = make([]float64, n64)
 	for i := range data {
-		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[24+8*i : 32+8*i]))
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[headerSize+8*i:]))
 	}
-	p.ComputeAttr(p.Machine().TIORead, vtime.CompDiskRead)
-	p.Metrics().Counter("checkpoint.bytes.read").Add(int64(len(raw)))
 	return step, data, nil
 }
 
-// Exists reports whether a checkpoint exists for (gridID, rank).
-func (s *Store) Exists(gridID, rank int) bool {
-	_, err := os.Stat(s.path(gridID, rank))
-	return err == nil
+// validHeader checks the cheap invariants Exists relies on: intact magic
+// and version in the first headerSize bytes, and a total blob size
+// consistent with the declared value count. It cannot vouch for the CRC —
+// that is Read's job — but it rejects truncated and foreign files without
+// reading the payload.
+func validHeader(hdr []byte, size int64) bool {
+	if len(hdr) < headerSize {
+		return false
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+		return false
+	}
+	if binary.LittleEndian.Uint32(hdr[4:8]) != version {
+		return false
+	}
+	n64 := binary.LittleEndian.Uint64(hdr[16:24])
+	if n64 > uint64(size) {
+		return false
+	}
+	return uint64(size) == headerSize+8*n64+4
 }
 
-// Remove deletes all checkpoints in the store.
-func (s *Store) Remove() error { return os.RemoveAll(s.dir) }
+type genKey struct{ gridID, rank int }
+
+func genName(gridID, rank int, gen uint64) string {
+	return fmt.Sprintf("grid%03d_rank%04d.gen%06d.ckpt", gridID, rank, gen)
+}
+
+// writeReq is one queued write-behind operation: commit the encoded blob,
+// then delete the generations it rotated out.
+type writeReq struct {
+	name  string
+	key   genKey
+	gen   uint64
+	eb    *encBuf
+	n     int
+	drops []string
+}
+
+// Options configures a Store.
+type Options struct {
+	// Backend is the storage layer. Required.
+	Backend Backend
+	// Generations is how many checkpoint generations to keep per
+	// (grid, rank). Defaults to DefaultGenerations; 1 disables fallback.
+	Generations int
+	// Async enables the write-behind writer: Write enqueues and returns,
+	// a single writer goroutine commits in FIFO order, and Flush (called
+	// implicitly by Read and Exists) is the durability barrier.
+	Async bool
+	// QueueDepth bounds the async queue (default 64). Ignored when sync.
+	QueueDepth int
+	// Metrics receives the store-side instruments: the
+	// checkpoint.queue.depth gauge (registered eagerly in both sync and
+	// async modes, so metric summaries do not depend on the mode) and the
+	// checkpoint.write.errors counter. May be nil.
+	Metrics *metrics.Registry
+}
+
+// Store writes and reads generational checkpoints through a Backend. Blobs
+// are keyed by (grid ID, rank within the grid's process group), so a
+// re-spawned replacement process — which takes over the failed process's
+// exact position — finds its predecessor's state.
+type Store struct {
+	backend Backend
+	keep    int
+	async   bool
+	metrics *metrics.Registry
+
+	queue chan *writeReq // nil when sync
+	done  chan struct{}  // closed when the writer goroutine exits
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	gens      map[genKey][]uint64 // committed/queued generations, ascending
+	nextGen   map[genKey]uint64
+	enqueued  uint64
+	completed uint64
+	closed    bool
+}
+
+// Open creates a Store over the given backend.
+func Open(opts Options) (*Store, error) {
+	if opts.Backend == nil {
+		return nil, fmt.Errorf("checkpoint: no backend")
+	}
+	keep := opts.Generations
+	if keep <= 0 {
+		keep = DefaultGenerations
+	}
+	s := &Store{
+		backend: opts.Backend,
+		keep:    keep,
+		async:   opts.Async,
+		metrics: opts.Metrics,
+		gens:    make(map[genKey][]uint64),
+		nextGen: make(map[genKey]uint64),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	// Register the queue-depth gauge up front in both modes: WriteSummary
+	// prints every registered instrument, so a mode-dependent registration
+	// would make summaries differ between async on and off.
+	s.metrics.Gauge("checkpoint.queue.depth").Set(0)
+	if opts.Async {
+		depth := opts.QueueDepth
+		if depth <= 0 {
+			depth = defaultQueueDepth
+		}
+		s.queue = make(chan *writeReq, depth)
+		s.done = make(chan struct{})
+		go s.writer()
+	}
+	return s, nil
+}
+
+// NewStore opens a Store over a local directory with default settings
+// (synchronous writes, DefaultGenerations kept). Orphaned temp files from
+// earlier interrupted writes are swept.
+func NewStore(dir string) (*Store, error) {
+	b, err := OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Open(Options{Backend: b})
+}
+
+// Dir returns the backing directory when the store sits on a DirBackend,
+// and "" otherwise.
+func (s *Store) Dir() string {
+	if b, ok := s.backend.(*DirBackend); ok {
+		return b.Dir()
+	}
+	return ""
+}
+
+func (s *Store) writer() {
+	for req := range s.queue {
+		s.perform(req)
+	}
+	close(s.done)
+}
+
+// perform commits one write request: Put the blob, drop rotated-out
+// generations, and account completion. A failed Put withdraws the
+// generation from the index (Read will never try it) and counts a write
+// error — the run continues, older generations still cover recovery.
+func (s *Store) perform(req *writeReq) {
+	err := s.backend.Put(req.name, req.eb.b[:req.n])
+	encPool.Put(req.eb)
+	if err != nil {
+		s.mu.Lock()
+		s.gens[req.key] = removeGen(s.gens[req.key], req.gen)
+		s.mu.Unlock()
+		s.metrics.Counter("checkpoint.write.errors").Inc()
+	}
+	for _, name := range req.drops {
+		_ = s.backend.Delete(name)
+	}
+	s.mu.Lock()
+	s.completed++
+	s.setDepthLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func removeGen(list []uint64, gen uint64) []uint64 {
+	for i, g := range list {
+		if g == gen {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func (s *Store) setDepthLocked() {
+	s.metrics.Gauge("checkpoint.queue.depth").Set(float64(s.enqueued - s.completed))
+}
+
+// Write stores one process's owned rows at the given step as a new
+// generation, rotating out the oldest beyond the configured keep count.
+// The machine's per-checkpoint write latency T_I/O and the byte counter
+// are charged here, at call time and in program order, regardless of the
+// write-behind mode — which is why sync and async runs produce
+// byte-identical virtual results. In async mode the actual commit happens
+// on the writer goroutine; a backend failure then surfaces as a withdrawn
+// generation and a checkpoint.write.errors count, never as an error from
+// Write itself.
+func (s *Store) Write(p *mpi.Proc, gridID, rank, step int, data []float64) error {
+	eb := encPool.Get().(*encBuf)
+	buf := encode(step, data, eb)
+	p.ComputeAttr(p.Machine().TIOWrite, vtime.CompDiskWrite)
+	p.Metrics().Counter("checkpoint.bytes.written").Add(int64(len(buf)))
+
+	key := genKey{gridID, rank}
+	s.mu.Lock()
+	gen := s.nextGen[key]
+	s.nextGen[key] = gen + 1
+	list := append(s.gens[key], gen)
+	var drops []string
+	for len(list) > s.keep {
+		drops = append(drops, genName(gridID, rank, list[0]))
+		list = list[1:]
+	}
+	s.gens[key] = list
+	req := &writeReq{name: genName(gridID, rank, gen), key: key, gen: gen, eb: eb, n: len(buf), drops: drops}
+	s.enqueued++
+	s.setDepthLocked()
+	s.mu.Unlock()
+
+	if s.async {
+		s.queue <- req
+		return nil
+	}
+	s.perform(req)
+	return nil
+}
+
+// Flush blocks until every queued write has been committed (or withdrawn).
+// It is the durability barrier at failure-detection points; it adds no
+// virtual time, so sync and async runs stay byte-identical.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	for s.completed != s.enqueued {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Read loads the most recent readable checkpoint for (gridID, rank),
+// charging the read latency once per attempted generation. Generations
+// that turn out corrupt, truncated, or unreadable are skipped — counted on
+// the checkpoint.generations.fallback counter — and the next-older one is
+// tried. When every generation is exhausted (or none exists) Read returns
+// ErrNoCheckpoint and the caller restarts from the initial condition.
+func (s *Store) Read(p *mpi.Proc, gridID, rank int) (step int, data []float64, err error) {
+	s.Flush()
+	key := genKey{gridID, rank}
+	s.mu.Lock()
+	list := append([]uint64(nil), s.gens[key]...)
+	s.mu.Unlock()
+
+	for i := len(list) - 1; i >= 0; i-- {
+		name := genName(gridID, rank, list[i])
+		raw, gerr := s.backend.Get(name)
+		if gerr == nil {
+			p.ComputeAttr(p.Machine().TIORead, vtime.CompDiskRead)
+			p.Metrics().Counter("checkpoint.bytes.read").Add(int64(len(raw)))
+			step, data, err = decode(raw)
+			if err == nil {
+				return step, data, nil
+			}
+		}
+		p.Metrics().Counter("checkpoint.generations.fallback").Inc()
+	}
+	return 0, nil, fmt.Errorf("checkpoint: grid %d rank %d: %w", gridID, rank, ErrNoCheckpoint)
+}
+
+// Generations returns the number of checkpoint generations the store keeps
+// per (grid, rank). Restart negotiation uses it to size the fixed-width
+// candidate exchange.
+func (s *Store) Generations() int {
+	return s.keep
+}
+
+// CandidateSteps returns the steps of the generations whose headers peek
+// valid for (gridID, rank), newest generation first. Like the old
+// stat-based Exists check, the header peek models filesystem metadata
+// access and charges no virtual time; full CRC validation happens in
+// ReadAt. Generations whose headers are damaged are counted on the
+// fallback counter — they exist but cannot serve recovery.
+//
+// The restart path uses this to negotiate a common restore step across a
+// grid's process group: every member must recompute from the same step, so
+// recovery intersects the members' candidate lists rather than letting each
+// rank independently pick its newest readable generation.
+func (s *Store) CandidateSteps(gridID, rank int) []int {
+	s.Flush()
+	key := genKey{gridID, rank}
+	s.mu.Lock()
+	list := append([]uint64(nil), s.gens[key]...)
+	s.mu.Unlock()
+
+	var steps []int
+	seen := map[int]bool{}
+	for i := len(list) - 1; i >= 0; i-- {
+		hdr, size, err := s.backend.Peek(genName(gridID, rank, list[i]), headerSize)
+		if err != nil || !validHeader(hdr, size) {
+			s.metrics.Counter("checkpoint.generations.fallback").Inc()
+			continue
+		}
+		step := int(binary.LittleEndian.Uint64(hdr[8:16]))
+		if !seen[step] {
+			seen[step] = true
+			steps = append(steps, step)
+		}
+	}
+	return steps
+}
+
+// ReadAt loads and fully validates the checkpoint holding the given step
+// for (gridID, rank), charging one read latency per generation actually
+// read. Generations whose headers do not claim the requested step are
+// skipped for free; a matching generation that fails validation (CRC,
+// format, or a header that lied about its step) counts a fallback and the
+// next older match is tried.
+func (s *Store) ReadAt(p *mpi.Proc, gridID, rank, step int) ([]float64, error) {
+	s.Flush()
+	key := genKey{gridID, rank}
+	s.mu.Lock()
+	list := append([]uint64(nil), s.gens[key]...)
+	s.mu.Unlock()
+
+	for i := len(list) - 1; i >= 0; i-- {
+		name := genName(gridID, rank, list[i])
+		hdr, size, err := s.backend.Peek(name, headerSize)
+		if err != nil || !validHeader(hdr, size) ||
+			int(binary.LittleEndian.Uint64(hdr[8:16])) != step {
+			continue
+		}
+		raw, gerr := s.backend.Get(name)
+		if gerr == nil {
+			p.ComputeAttr(p.Machine().TIORead, vtime.CompDiskRead)
+			p.Metrics().Counter("checkpoint.bytes.read").Add(int64(len(raw)))
+			gotStep, data, derr := decode(raw)
+			if derr == nil && gotStep == step {
+				return data, nil
+			}
+		}
+		p.Metrics().Counter("checkpoint.generations.fallback").Inc()
+	}
+	return nil, fmt.Errorf("checkpoint: grid %d rank %d step %d: %w", gridID, rank, step, ErrNoCheckpoint)
+}
+
+// Exists reports whether a plausibly readable checkpoint exists for
+// (gridID, rank): some generation must have an intact header (magic,
+// version) and a size consistent with its declared payload. It peeks only
+// the header — full CRC validation still happens in Read, which is why
+// Read falls back rather than trusting Exists.
+func (s *Store) Exists(gridID, rank int) bool {
+	s.Flush()
+	key := genKey{gridID, rank}
+	s.mu.Lock()
+	list := append([]uint64(nil), s.gens[key]...)
+	s.mu.Unlock()
+
+	for i := len(list) - 1; i >= 0; i-- {
+		hdr, size, err := s.backend.Peek(genName(gridID, rank, list[i]), headerSize)
+		if err == nil && validHeader(hdr, size) {
+			return true
+		}
+	}
+	return false
+}
+
+// Close flushes queued writes and stops the writer goroutine. The backend's
+// contents are left in place. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.async {
+		close(s.queue)
+		<-s.done
+	}
+	return nil
+}
+
+// Remove closes the store and deletes everything in its backend.
+func (s *Store) Remove() error {
+	_ = s.Close()
+	return s.backend.Destroy()
+}
 
 // PaperCount is the paper's Eq. 2 as printed: C = T / T_I/O with T the MTBF
 // (half the application run time in the paper's setup). Note that as printed
@@ -167,6 +527,11 @@ type Plan struct {
 	IntervalSteps int
 	// Count is the number of checkpoint writes over the run.
 	Count int
+	// TotalSteps is the run length the plan was sized for. When set, a
+	// checkpoint that would land on the final step is suppressed: the run
+	// is over, so the write could never be restored from. Zero means
+	// unbounded (no suppression).
+	TotalSteps int
 }
 
 // NewPlan sizes a checkpoint plan with Young's interval.
@@ -182,12 +547,21 @@ func NewPlan(totalSteps int, stepTime, mtbf, tio float64) Plan {
 	if steps > totalSteps {
 		steps = totalSteps
 	}
-	return Plan{IntervalSteps: steps, Count: totalSteps / steps}
+	count := 0
+	if steps > 0 && totalSteps > 0 {
+		// Dues land on multiples of the interval strictly before the
+		// final step — the final-step write is suppressed (see Plan.Due).
+		count = (totalSteps - 1) / steps
+	}
+	return Plan{IntervalSteps: steps, Count: count, TotalSteps: totalSteps}
 }
 
-// Due reports whether a checkpoint is due after the given 1-based step.
+// Due reports whether a checkpoint is due after the given 1-based step. A
+// step on or past TotalSteps (when set) is never due: checkpointing the
+// final state is pure overhead, there are no further steps to recover.
 func (p Plan) Due(step int) bool {
-	return step > 0 && p.IntervalSteps > 0 && step%p.IntervalSteps == 0
+	return step > 0 && p.IntervalSteps > 0 && step%p.IntervalSteps == 0 &&
+		(p.TotalSteps <= 0 || step < p.TotalSteps)
 }
 
 // LastBefore returns the step of the most recent checkpoint written at or

@@ -1,11 +1,14 @@
 package checkpoint
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
+	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
 	"ftsg/internal/vtime"
 )
@@ -14,6 +17,15 @@ import (
 func withProc(t *testing.T, m *vtime.Machine, f func(p *mpi.Proc)) {
 	t.Helper()
 	_, err := mpi.Run(mpi.Options{NProcs: 1, Machine: m, Entry: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// withProcMetrics is withProc with an attached metrics registry.
+func withProcMetrics(t *testing.T, m *vtime.Machine, reg *metrics.Registry, f func(p *mpi.Proc)) {
+	t.Helper()
+	_, err := mpi.Run(mpi.Options{NProcs: 1, Machine: m, Metrics: reg, Entry: f})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,8 +94,12 @@ func TestRaijinChargesLess(t *testing.T) {
 func TestReadMissing(t *testing.T) {
 	s, _ := NewStore(t.TempDir())
 	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
-		if _, _, err := s.Read(p, 9, 9); err == nil {
+		_, _, err := s.Read(p, 9, 9)
+		if err == nil {
 			t.Error("read of missing checkpoint succeeded")
+		}
+		if !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("missing checkpoint error = %v, want ErrNoCheckpoint", err)
 		}
 	})
 	if s.Exists(9, 9) {
@@ -91,15 +107,28 @@ func TestReadMissing(t *testing.T) {
 	}
 }
 
-func TestCorruptionDetected(t *testing.T) {
+// TestCorruptFallsBackToPreviousGeneration is the headline regression for
+// the old hard-fail behaviour: a single flipped byte in the latest
+// checkpoint must not make recovery impossible — Read falls back to the
+// previous generation and counts the fallback.
+func TestCorruptFallsBackToPreviousGeneration(t *testing.T) {
 	dir := t.TempDir()
-	s, _ := NewStore(dir)
-	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	withProcMetrics(t, vtime.Generic(), reg, func(p *mpi.Proc) {
 		if err := s.Write(p, 1, 2, 5, []float64{1, 2, 3}); err != nil {
 			t.Error(err)
 			return
 		}
-		path := filepath.Join(dir, "grid001_rank0002.ckpt")
+		if err := s.Write(p, 1, 2, 10, []float64{4, 5, 6}); err != nil {
+			t.Error(err)
+			return
+		}
+		// Flip a byte in the newest generation's file on disk.
+		path := filepath.Join(dir, genName(1, 2, 1))
 		raw, err := os.ReadFile(path)
 		if err != nil {
 			t.Error(err)
@@ -110,10 +139,64 @@ func TestCorruptionDetected(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if _, _, err := s.Read(p, 1, 2); err == nil {
-			t.Error("corrupted checkpoint accepted")
+		step, data, err := s.Read(p, 1, 2)
+		if err != nil {
+			t.Errorf("recovery failed despite intact previous generation: %v", err)
+			return
+		}
+		if step != 5 || data[0] != 1 {
+			t.Errorf("got step %d value %g, want previous generation (5, 1)", step, data[0])
 		}
 	})
+	if got := reg.Counter("checkpoint.generations.fallback").Value(); got != 1 {
+		t.Errorf("fallback counter = %d, want 1", got)
+	}
+}
+
+// TestAllGenerationsCorruptFallsBackToNoCheckpoint: when every kept
+// generation is corrupt, Read reports ErrNoCheckpoint (initial-condition
+// recompute) rather than a hard error.
+func TestAllGenerationsCorruptFallsBackToNoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+		_ = s.Write(p, 1, 2, 5, []float64{1, 2, 3})
+		path := filepath.Join(dir, genName(1, 2, 0))
+		raw, _ := os.ReadFile(path)
+		raw[len(raw)-1] ^= 0x01 // break the CRC
+		_ = os.WriteFile(path, raw, 0o644)
+		_, _, err := s.Read(p, 1, 2)
+		if !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("err = %v, want ErrNoCheckpoint", err)
+		}
+	})
+}
+
+// TestGenerationRotation: only the configured number of generations is
+// kept, and the oldest blobs are deleted from the backend.
+func TestGenerationRotation(t *testing.T) {
+	b := NewMem()
+	s, err := Open(Options{Backend: b, Generations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+		for step := 1; step <= 5; step++ {
+			_ = s.Write(p, 0, 0, step*10, []float64{float64(step)})
+		}
+		step, data, err := s.Read(p, 0, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if step != 50 || data[0] != 5 {
+			t.Errorf("latest = (%d, %g), want (50, 5)", step, data[0])
+		}
+	})
+	names, _ := b.List()
+	if len(names) != 2 {
+		t.Errorf("backend holds %d blobs, want 2 (gens 3 and 4): %v", len(names), names)
+	}
 }
 
 func TestOverwriteKeepsLatest(t *testing.T) {
@@ -130,6 +213,47 @@ func TestOverwriteKeepsLatest(t *testing.T) {
 			t.Errorf("got step %d value %g, want latest (20, 2)", step, data[0])
 		}
 	})
+}
+
+// TestExistsRejectsTruncatedFile: Exists must peek the header and length,
+// not just stat the file — a truncated blob is not a usable checkpoint.
+func TestExistsRejectsTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+		_ = s.Write(p, 0, 0, 10, []float64{1, 2, 3, 4})
+	})
+	if !s.Exists(0, 0) {
+		t.Fatal("Exists false on a valid checkpoint")
+	}
+	path := filepath.Join(dir, genName(0, 0, 0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn write: header intact but payload cut short.
+	if err := os.WriteFile(path, raw[:len(raw)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists(0, 0) {
+		t.Error("Exists true on a truncated checkpoint")
+	}
+	// Garbage shorter than a header.
+	if err := os.WriteFile(path, []byte("FT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists(0, 0) {
+		t.Error("Exists true on a 2-byte file")
+	}
+	// Wrong magic, plausible length.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists(0, 0) {
+		t.Error("Exists true on a bad-magic file")
+	}
 }
 
 func TestPaperCount(t *testing.T) {
@@ -176,6 +300,7 @@ func TestCheckpointTotalOverheadDropsWithTIO(t *testing.T) {
 }
 
 func TestPlanDueAndLastBefore(t *testing.T) {
+	// Zero TotalSteps = unbounded plan: old semantics, no suppression.
 	p := Plan{IntervalSteps: 10, Count: 5}
 	if !p.Due(10) || !p.Due(50) || p.Due(11) || p.Due(0) {
 		t.Error("Due wrong")
@@ -188,17 +313,130 @@ func TestPlanDueAndLastBefore(t *testing.T) {
 	}
 }
 
+// TestPlanFinalStepSuppressed: a checkpoint landing on the run's final step
+// is useless (the run is over, nothing can restore from it) and must not be
+// scheduled or counted.
+func TestPlanFinalStepSuppressed(t *testing.T) {
+	p := NewPlan(50, 1.0, 50, 1.0) // Young: sqrt(2*50*1) = 10 steps
+	if p.IntervalSteps != 10 {
+		t.Fatalf("interval = %d, want 10", p.IntervalSteps)
+	}
+	if p.Due(50) {
+		t.Error("checkpoint due on the final step")
+	}
+	if !p.Due(40) {
+		t.Error("interior checkpoint not due")
+	}
+	if p.Count != 4 {
+		t.Errorf("Count = %d, want 4 (steps 10..40, final 50 suppressed)", p.Count)
+	}
+	// Interval == run length: the only multiple is the final step itself.
+	p = NewPlan(100, 0.001, 1, 100)
+	if p.Count != 0 {
+		t.Errorf("Count = %d, want 0 when the only due step is the last", p.Count)
+	}
+	if p.Due(100) {
+		t.Error("final-step checkpoint not suppressed")
+	}
+}
+
 func TestNewPlanBounds(t *testing.T) {
 	// Interval clamped to [1, totalSteps].
 	p := NewPlan(100, 1.0, 10000, 1e-9)
 	if p.IntervalSteps < 1 {
 		t.Fatalf("interval %d < 1", p.IntervalSteps)
 	}
+	if p.Count != 99 {
+		t.Fatalf("count = %d, want 99 (every step but the last)", p.Count)
+	}
 	p = NewPlan(100, 0.001, 1, 100)
 	if p.IntervalSteps > 100 {
 		t.Fatalf("interval %d > total steps", p.IntervalSteps)
 	}
-	if p.Count < 1 {
-		t.Fatalf("count %d < 1", p.Count)
+	if p.TotalSteps != 100 {
+		t.Fatalf("TotalSteps = %d, want 100", p.TotalSteps)
 	}
+}
+
+// flipFileByte flips one byte of a file on disk.
+func flipFileByte(t *testing.T, path string, off int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCandidateStepsAndReadAt covers the restart-negotiation API:
+// CandidateSteps lists header-valid generations newest first (free of
+// virtual-time charges), and ReadAt fully validates a specific step.
+func TestCandidateStepsAndReadAt(t *testing.T) {
+	dir := t.TempDir()
+	back, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	s, err := Open(Options{Backend: back, Generations: 3, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	withProcMetrics(t, vtime.Generic(), reg, func(p *mpi.Proc) {
+		for _, step := range []int{10, 20, 30} {
+			if err := s.Write(p, 1, 2, step, []float64{float64(step)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := s.CandidateSteps(1, 2); !reflect.DeepEqual(got, []int{30, 20, 10}) {
+			t.Fatalf("CandidateSteps = %v, want [30 20 10]", got)
+		}
+		before := p.Now()
+		s.CandidateSteps(1, 2)
+		if p.Now() != before {
+			t.Error("CandidateSteps charged virtual time; header peeks must be free")
+		}
+
+		// A damaged header drops the generation from the candidate list
+		// and counts a fallback; ReadAt can then no longer find the step.
+		flipFileByte(t, filepath.Join(dir, genName(1, 2, 2)), 0)
+		if got := s.CandidateSteps(1, 2); !reflect.DeepEqual(got, []int{20, 10}) {
+			t.Fatalf("CandidateSteps after header damage = %v, want [20 10]", got)
+		}
+		if got := reg.Counter("checkpoint.generations.fallback").Value(); got == 0 {
+			t.Error("header damage did not count a fallback")
+		}
+		if _, err := s.ReadAt(p, 1, 2, 30); !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("ReadAt(30) err = %v, want ErrNoCheckpoint", err)
+		}
+
+		// ReadAt targets a step regardless of recency.
+		data, err := s.ReadAt(p, 1, 2, 10)
+		if err != nil || data[0] != 10 {
+			t.Errorf("ReadAt(10) = %v, %v; want [10]", data, err)
+		}
+
+		// A valid header over a damaged payload survives CandidateSteps
+		// but fails ReadAt's full CRC validation.
+		flipFileByte(t, filepath.Join(dir, genName(1, 2, 1)), headerSize+3)
+		if got := s.CandidateSteps(1, 2); !reflect.DeepEqual(got, []int{20, 10}) {
+			t.Fatalf("CandidateSteps after payload damage = %v, want [20 10]", got)
+		}
+		fb := reg.Counter("checkpoint.generations.fallback").Value()
+		if _, err := s.ReadAt(p, 1, 2, 20); !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("ReadAt(20) err = %v, want ErrNoCheckpoint", err)
+		}
+		if got := reg.Counter("checkpoint.generations.fallback").Value(); got != fb+1 {
+			t.Errorf("payload damage fallback count = %d, want %d", got, fb+1)
+		}
+
+		// An unknown step is ErrNoCheckpoint, not a hard error.
+		if _, err := s.ReadAt(p, 1, 2, 999); !errors.Is(err, ErrNoCheckpoint) {
+			t.Errorf("ReadAt(999) err = %v, want ErrNoCheckpoint", err)
+		}
+	})
 }

@@ -1,0 +1,147 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ftsg/internal/metrics"
+	"ftsg/internal/mpi"
+	"ftsg/internal/vtime"
+)
+
+// faultTrace records the observable outcome of a fixed operation sequence
+// against a fault-wrapped backend.
+func faultTrace(t *testing.T, plan *FaultPlan) []string {
+	t.Helper()
+	b := plan.Wrap(NewMem())
+	var out []string
+	for i := 0; i < 32; i++ {
+		name := []string{"a", "b", "c"}[i%3]
+		if err := b.Put(name, []byte{byte(i), 1, 2, 3, 4, 5, 6, 7}); err != nil {
+			out = append(out, "putErr:"+name)
+			continue
+		}
+		blob, err := b.Get(name)
+		switch {
+		case err != nil:
+			out = append(out, "getErr:"+name)
+		default:
+			out = append(out, string(rune('0'+blob[0]%10))+":"+name)
+		}
+	}
+	return out
+}
+
+// TestFaultPlanDeterministic: the injected fault sequence is a pure
+// function of (seed, name, per-name op index).
+func TestFaultPlanDeterministic(t *testing.T) {
+	plan := &FaultPlan{Seed: 42, ReadCorrupt: 0.3, ReadErr: 0.1, WriteShort: 0.2, WriteErr: 0.1}
+	a := faultTrace(t, plan)
+	b := faultTrace(t, plan)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	other := faultTrace(t, &FaultPlan{Seed: 43, ReadCorrupt: 0.3, ReadErr: 0.1, WriteShort: 0.2, WriteErr: 0.1})
+	same := len(other) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault traces")
+	}
+}
+
+// TestFaultPlanInjectsEverything: with certainty-1 probabilities each fault
+// class actually fires and is distinguishable.
+func TestFaultPlanInjectsEverything(t *testing.T) {
+	mem := NewMem()
+	wErr := (&FaultPlan{Seed: 1, WriteErr: 1}).Wrap(mem)
+	if err := wErr.Put("x", []byte("data")); !errors.Is(err, ErrInjected) {
+		t.Errorf("WriteErr=1 Put err = %v, want ErrInjected", err)
+	}
+
+	short := (&FaultPlan{Seed: 1, WriteShort: 1}).Wrap(mem)
+	if err := short.Put("x", []byte("longpayload")); err != nil {
+		t.Fatalf("torn write should report success, got %v", err)
+	}
+	blob, err := mem.Get("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) >= len("longpayload") {
+		t.Errorf("WriteShort=1 stored %d bytes, want a strict prefix", len(blob))
+	}
+
+	rErr := (&FaultPlan{Seed: 1, ReadErr: 1}).Wrap(mem)
+	if _, err := rErr.Get("x"); !errors.Is(err, ErrInjected) {
+		t.Errorf("ReadErr=1 Get err = %v, want ErrInjected", err)
+	}
+	if _, _, err := rErr.Peek("x", 4); !errors.Is(err, ErrInjected) {
+		t.Errorf("ReadErr=1 Peek err = %v, want ErrInjected", err)
+	}
+
+	if err := mem.Put("y", []byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := (&FaultPlan{Seed: 1, ReadCorrupt: 1}).Wrap(mem)
+	got, err := corrupt.Get("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Error("ReadCorrupt=1 returned pristine data")
+	}
+	clean, _ := mem.Get("y")
+	if !bytes.Equal(clean, []byte{0, 0, 0, 0}) {
+		t.Error("corruption leaked into the stored blob")
+	}
+}
+
+// TestStoreRecoversThroughFaultyBackend is the subsystem-level property the
+// chaos campaign leans on: under a heavily faulty backend, Read either
+// recovers a valid (step, data) pair from some generation or reports
+// ErrNoCheckpoint — it never returns garbage and never hard-fails.
+func TestStoreRecoversThroughFaultyBackend(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		plan := &FaultPlan{Seed: seed, ReadCorrupt: 0.4, ReadErr: 0.1, WriteShort: 0.2, WriteErr: 0.1}
+		s, err := Open(Options{Backend: plan.Wrap(NewMem()), Generations: 3, Metrics: metrics.New()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withProc(t, vtime.Generic(), func(p *mpi.Proc) {
+			want := map[int][]float64{}
+			for i := 1; i <= 6; i++ {
+				step := i * 10
+				data := []float64{float64(seed), float64(step)}
+				want[step] = data
+				_ = s.Write(p, 0, 0, step, data)
+			}
+			step, data, err := s.Read(p, 0, 0)
+			if err != nil {
+				if !errors.Is(err, ErrNoCheckpoint) {
+					t.Errorf("seed %d: hard error %v", seed, err)
+				}
+				return
+			}
+			ref, ok := want[step]
+			if !ok {
+				t.Errorf("seed %d: recovered unknown step %d", seed, step)
+				return
+			}
+			if len(data) != len(ref) || data[0] != ref[0] || data[1] != ref[1] {
+				t.Errorf("seed %d: step %d data %v, want %v", seed, step, data, ref)
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// fuzzValid builds a well-formed checkpoint blob for the seed corpus.
+func fuzzValid(step int, data []float64) []byte {
+	var eb encBuf
+	return append([]byte(nil), encode(step, data, &eb)...)
+}
+
+// FuzzReadCheckpoint drives the binary decode path with arbitrary bytes.
+// The contract under fuzzing: never panic or over-allocate, accept only
+// blobs whose CRC, magic, version, and declared length all check out, and
+// round-trip accepted blobs exactly (re-encoding the decoded values must
+// reproduce the input bit-for-bit — the format has a single canonical
+// encoding).
+func FuzzReadCheckpoint(f *testing.F) {
+	valid := fuzzValid(42, []float64{1.5, -2.25, math.Pi, 0})
+	f.Add(valid)
+	f.Add(fuzzValid(0, nil))
+	f.Add(valid[:len(valid)-7]) // truncated mid-payload
+	f.Add(valid[:10])           // shorter than the header
+	f.Add([]byte{})
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] ^= 0xFF
+	f.Add(badMagic)
+
+	badVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badVersion[4:], 999)
+	f.Add(badVersion)
+
+	// Declared length disagrees with the blob size, CRC re-stitched so only
+	// the length check can reject it.
+	lenMismatch := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(lenMismatch[16:], 3)
+	binary.LittleEndian.PutUint32(lenMismatch[len(lenMismatch)-4:],
+		crc32.ChecksumIEEE(lenMismatch[:len(lenMismatch)-4]))
+	f.Add(lenMismatch)
+
+	// Huge declared length: must be rejected before any allocation.
+	hugeLen := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hugeLen[16:], 1<<60)
+	binary.LittleEndian.PutUint32(hugeLen[len(hugeLen)-4:],
+		crc32.ChecksumIEEE(hugeLen[:len(hugeLen)-4]))
+	f.Add(hugeLen)
+
+	flippedCRC := append([]byte(nil), valid...)
+	flippedCRC[len(flippedCRC)-1] ^= 0x01
+	f.Add(flippedCRC)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		step, data, err := decode(raw)
+		if err != nil {
+			return // rejecting is fine; panicking or misdecoding is not
+		}
+		if len(raw) != headerSize+8*len(data)+4 {
+			t.Fatalf("accepted %d bytes but decoded %d values", len(raw), len(data))
+		}
+		var eb encBuf
+		re := encode(step, data, &eb)
+		if len(re) != len(raw) {
+			t.Fatalf("re-encode length %d != input %d", len(re), len(raw))
+		}
+		for i := range re {
+			if re[i] != raw[i] {
+				t.Fatalf("accepted blob does not round-trip at byte %d", i)
+			}
+		}
+	})
+}

@@ -70,25 +70,60 @@ func Run(cfg Config) (*Result, error) {
 	}
 	rs.ckPlan = checkpoint.NewPlan(cfg.Steps, stepTime, mtbf, cfg.Machine.TIOWrite)
 
-	dir := cfg.CheckpointDir
-	cleanup := false
-	if dir == "" {
-		var err error
-		dir, err = os.MkdirTemp("", "ftsg-ckpt-*")
+	// Instrumentation: an explicit registry (possibly shared across runs
+	// for aggregate summaries) wins; Telemetry attaches a private one so
+	// the Result's traffic/IO fields come out populated. Resolved before
+	// the checkpoint store so the store's instruments land on it.
+	reg := cfg.Metrics
+	if reg == nil && cfg.Telemetry {
+		reg = metrics.New()
+	}
+
+	// The checkpoint store exists only under CR — the other techniques
+	// never touch disk, and skipping it spares every RC/AC run a temp dir.
+	if cfg.Technique == CheckpointRestart {
+		var backend checkpoint.Backend
+		removeAll := false
+		switch cfg.CheckpointBackend {
+		case "", "dir":
+			dir := cfg.CheckpointDir
+			if dir == "" {
+				var err error
+				dir, err = os.MkdirTemp("", "ftsg-ckpt-*")
+				if err != nil {
+					return nil, err
+				}
+				removeAll = true
+			}
+			b, err := checkpoint.OpenDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			backend = b
+		case "mem":
+			backend = checkpoint.NewMem()
+			removeAll = true
+		default:
+			return nil, fmt.Errorf("core: unknown checkpoint backend %q", cfg.CheckpointBackend)
+		}
+		store, err := checkpoint.Open(checkpoint.Options{
+			Backend:     cfg.CheckpointFaults.Wrap(backend),
+			Generations: cfg.CheckpointGenerations,
+			Async:       cfg.CheckpointAsync,
+			Metrics:     reg,
+		})
 		if err != nil {
 			return nil, err
 		}
-		cleanup = true
-	}
-	store, err := checkpoint.NewStore(dir)
-	if err != nil {
-		return nil, err
-	}
-	rs.store = store
-	if cleanup {
-		defer func() { _ = store.Remove() }()
+		rs.store = store
+		if removeAll {
+			defer func() { _ = store.Remove() }()
+		} else {
+			defer func() { _ = store.Close() }()
+		}
 	}
 
+	var err error
 	var conflicts [][2]int
 	if cfg.Technique == ResamplingCopying {
 		conflicts = rcConflicts(rs.grids)
@@ -195,14 +230,6 @@ func Run(cfg Config) (*Result, error) {
 		CheckpointPlan: rs.ckPlan,
 		LostGrids:      append([]int(nil), rs.simLost...),
 		TIOWrite:       cfg.Machine.TIOWrite,
-	}
-
-	// Instrumentation: an explicit registry (possibly shared across runs
-	// for aggregate summaries) wins; Telemetry attaches a private one so
-	// the Result's traffic/IO fields come out populated.
-	reg := cfg.Metrics
-	if reg == nil && cfg.Telemetry {
-		reg = metrics.New()
 	}
 
 	rep, err := mpi.Run(mpi.Options{
@@ -323,6 +350,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		if err != nil {
 			return err
 		}
+		rs.flushCheckpoints(p, rank, cur)
 		if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, cur); err != nil {
 			return err
 		}
@@ -419,6 +447,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 					return err
 				}
 			}
+			rs.flushCheckpoints(p, rank, dp)
 			if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, dp); err != nil {
 				return err
 			}
@@ -500,6 +529,75 @@ func (rs *runState) lostGridIDs(failedRanks []int) []int {
 	return out
 }
 
+// flushCheckpoints drains the store's write-behind queue at a
+// failure-detection point, under a trace span, so every checkpoint written
+// before the failure is durable before recovery reads it back. The barrier
+// costs no virtual time — the write latency was charged at Write-call time
+// — so sync and async runs stay byte-identical; the span is emitted in both
+// modes for the same reason.
+func (rs *runState) flushCheckpoints(p *mpi.Proc, rank, atStep int) {
+	if rs.store == nil {
+		return
+	}
+	sp := rs.cfg.Trace.BeginSpan(p.Now(), rank, "ckpt-flush", "drain write-behind queue at step %d", atStep)
+	rs.store.Flush()
+	sp.End(p.Now())
+}
+
+// agreeRestoreStep picks the newest checkpoint step that every member of
+// the group offers as a candidate, or 0 when no common step exists (restart
+// from the initial condition). Candidate lists are exchanged padded to the
+// store's generation count so the collective's shape is independent of how
+// much per-rank damage the header peeks found.
+func agreeRestoreStep(gcomm *mpi.Comm, cand []int, width int) (int, error) {
+	if width < len(cand) {
+		width = len(cand)
+	}
+	buf := make([]int64, width)
+	for i, s := range cand {
+		buf[i] = int64(s)
+	}
+	all, err := mpi.Allgather(gcomm, buf)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for _, s := range cand {
+		if s <= best {
+			continue
+		}
+		common := true
+		for _, theirs := range all {
+			found := false
+			for _, v := range theirs {
+				if int(v) == s {
+					found = true
+					break
+				}
+			}
+			if !found {
+				common = false
+				break
+			}
+		}
+		if common {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// removeStep returns cand without step, preserving order.
+func removeStep(cand []int, step int) []int {
+	out := cand[:0]
+	for _, s := range cand {
+		if s != step {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // recoverData restores the data of lost sub-grids at the given step using
 // the configured technique. Every process of the communicator calls it with
 // the same arguments; only members of the lost grids and their recovery
@@ -532,26 +630,57 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 		if !containsInt(lost, mine.ID) {
 			return nil
 		}
-		// Restart from the most recent checkpoint actually on disk (the
-		// write due at a detection point is skipped on failure, and an
-		// earlier recovery may have skipped one too), falling back to the
-		// initial condition, then recompute.
-		if rs.store.Exists(mine.ID, gcomm.Rank()) {
-			step, data, err := rs.store.Read(p, mine.ID, gcomm.Rank())
+		// Restart from the newest checkpoint step the whole process group
+		// can read. The recompute below runs the parallel solver, whose
+		// halo exchanges require every member of the grid to execute the
+		// same number of steps — a rank that independently fell back to an
+		// older generation (its newer one corrupt or torn) would recompute
+		// more steps than its neighbours and deadlock the group. So the
+		// members negotiate: exchange candidate steps, pick the newest one
+		// everybody offers, and verify the full CRC-checked read everywhere
+		// before committing. A step whose payload turns out damaged on any
+		// rank is discarded group-wide and the next older common step is
+		// tried; when nothing usable survives on every rank, all restart
+		// from the initial condition and recompute the full prefix.
+		// Recovery never hard-fails on storage damage; that failure mode is
+		// exactly what CR exists to absorb.
+		cand := rs.store.CandidateSteps(mine.ID, gcomm.Rank())
+		for {
+			step, err := agreeRestoreStep(gcomm, cand, rs.store.Generations())
 			if err != nil {
 				return fmt.Errorf("core: CR restore: %w", err)
 			}
-			if err := solver.Restore(step, data); err != nil {
-				return err
+			if step == 0 {
+				ic := grid.NewPooled(mine.Lv)
+				ic.Fill(rs.prob.U0)
+				rerr := solver.SetFromGrid(ic, 0)
+				ic.Free()
+				if rerr != nil {
+					return rerr
+				}
+				break
 			}
-		} else {
-			ic := grid.NewPooled(mine.Lv)
-			ic.Fill(rs.prob.U0)
-			err := solver.SetFromGrid(ic, 0)
-			ic.Free()
-			if err != nil {
-				return err
+			data, rerr := rs.store.ReadAt(p, mine.ID, gcomm.Rank(), step)
+			ok := int64(1)
+			if rerr != nil {
+				if !errors.Is(rerr, checkpoint.ErrNoCheckpoint) {
+					return fmt.Errorf("core: CR restore: %w", rerr)
+				}
+				ok = 0
 			}
+			allOK, aerr := mpi.Allreduce(gcomm, []int64{ok}, mpi.MinOp)
+			if aerr != nil {
+				return fmt.Errorf("core: CR restore: %w", aerr)
+			}
+			if allOK[0] == 1 {
+				if err := solver.Restore(step, data); err != nil {
+					return err
+				}
+				break
+			}
+			// The full read exposed damage the header peek missed on at
+			// least one rank: drop the step everywhere and renegotiate.
+			cand = removeStep(cand, step)
 		}
 		if err := solver.Run(atStep - solver.Steps()); err != nil {
 			return fmt.Errorf("core: CR recompute: %w", err)

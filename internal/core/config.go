@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"ftsg/internal/checkpoint"
 	"ftsg/internal/combine"
 	"ftsg/internal/faultgen"
 	"ftsg/internal/grid"
@@ -178,8 +179,28 @@ type Config struct {
 	// deterministic per-cell telemetry columns.
 	Telemetry bool
 	// CheckpointDir overrides the checkpoint directory (default: a fresh
-	// temporary directory, removed after the run).
+	// temporary directory, removed after the run). Only meaningful with
+	// the "dir" backend.
 	CheckpointDir string
+	// CheckpointBackend selects the storage backend for CR checkpoints:
+	// "dir" (the default — real files under CheckpointDir or a fresh temp
+	// directory) or "mem" (in-process, no real disk I/O; the simulated
+	// T_I/O accounting is identical, so results are byte-identical — the
+	// harness uses it for its thousands of short runs).
+	CheckpointBackend string
+	// CheckpointGenerations is how many checkpoint generations the store
+	// keeps per (grid, rank); recovery falls back generation-by-generation
+	// past corrupt or torn checkpoints (0 = checkpoint.DefaultGenerations).
+	CheckpointGenerations int
+	// CheckpointAsync moves checkpoint commits off the simulated ranks'
+	// OS-thread critical path onto a write-behind queue, drained at
+	// failure-detection points. Virtual-time accounting is unchanged, so
+	// all outputs stay byte-identical; only wall-clock time changes.
+	CheckpointAsync bool
+	// CheckpointFaults, when non-nil, wraps the checkpoint backend with
+	// seeded fault injection (corrupt reads, torn writes, I/O errors) —
+	// the chaos campaign's checkpoint-corruption mode.
+	CheckpointFaults *checkpoint.FaultPlan
 	// MTBF overrides the mean time between failures used to size the
 	// checkpoint interval (0 = half the estimated run time, the paper's
 	// setup).
@@ -263,6 +284,27 @@ func (c Config) Validate() error {
 		for i, e := range c.OpFailures {
 			if e.AfterOps < 1 {
 				return fmt.Errorf("core: OpFailures event %d: AfterOps must be >= 1", i)
+			}
+		}
+	}
+	switch c.CheckpointBackend {
+	case "", "dir", "mem":
+	default:
+		return fmt.Errorf("core: unknown checkpoint backend %q (want dir or mem)", c.CheckpointBackend)
+	}
+	if c.CheckpointGenerations < 0 {
+		return fmt.Errorf("core: CheckpointGenerations must be >= 0")
+	}
+	if fp := c.CheckpointFaults; fp != nil {
+		for _, pr := range []struct {
+			name string
+			v    float64
+		}{
+			{"ReadCorrupt", fp.ReadCorrupt}, {"ReadErr", fp.ReadErr},
+			{"WriteShort", fp.WriteShort}, {"WriteErr", fp.WriteErr},
+		} {
+			if pr.v < 0 || pr.v > 1 {
+				return fmt.Errorf("core: CheckpointFaults.%s = %g outside [0, 1]", pr.name, pr.v)
 			}
 		}
 	}

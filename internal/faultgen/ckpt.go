@@ -1,0 +1,24 @@
+package faultgen
+
+import (
+	"math/rand"
+
+	"ftsg/internal/checkpoint"
+)
+
+// CkptFaults draws a checkpoint-storage fault plan from the generator's
+// stream: every fault class the storage layer can inject — bit-flipped
+// reads, read errors, torn writes, write errors — gets a probability, so a
+// single scenario can combine damage on the write path (divergent surviving
+// generations across ranks) with damage on the read path (recovery-time
+// fallback). The plan's own seed is drawn from the same stream, keeping the
+// whole scenario a pure function of the campaign seed.
+func CkptFaults(rng *rand.Rand) *checkpoint.FaultPlan {
+	return &checkpoint.FaultPlan{
+		Seed:        rng.Int63(),
+		ReadCorrupt: 0.9 * rng.Float64(),
+		ReadErr:     0.3 * rng.Float64(),
+		WriteErr:    0.5 * rng.Float64(),
+		WriteShort:  0.4 * rng.Float64(),
+	}
+}

@@ -94,6 +94,54 @@ func TestGoldenOutputWithTelemetryOff(t *testing.T) {
 	}
 }
 
+// TestGoldenOutputAsyncCheckpoints pins the checkpoint store's accounting
+// contract at the harness level: switching every CR run of the sweep to the
+// in-memory backend with the async write-behind writer changes NOTHING in
+// the output — the golden CSVs captured with the sync dir-backed store must
+// match byte for byte, at 1 and 8 workers. Virtual time is charged at
+// enqueue, so the writer only overlaps real I/O, never simulated time.
+func TestGoldenOutputAsyncCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick experiment matrix")
+	}
+	for _, workers := range []int{1, 8} {
+		// CkptGenerations is deliberately left at the default: the restart
+		// negotiation exchanges one candidate slot per retained generation,
+		// so a different generation count changes simulated message sizes
+		// (and thus virtual time) by design. Backend and async mode must
+		// not.
+		o := goldenOpts(workers)
+		o.CkptBackend = "mem"
+		o.CkptAsync = true
+
+		rows11, err := Fig11(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := CSVFig11(&csv, rows11); err != nil {
+			t.Fatal(err)
+		}
+		if want := readGolden(t, "golden_fig11_csv.txt"); csv.String() != want {
+			t.Errorf("workers=%d: async+mem CR sweep drifted from sync+dir golden:\n got:\n%s\nwant:\n%s",
+				workers, csv.String(), want)
+		}
+
+		rows8, err := Fig8(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csv.Reset()
+		if err := CSVFig8(&csv, rows8); err != nil {
+			t.Fatal(err)
+		}
+		if want := readGolden(t, "golden_fig8_csv.txt"); csv.String() != want {
+			t.Errorf("workers=%d: async+mem fig8 drifted from golden:\n got:\n%s\nwant:\n%s",
+				workers, csv.String(), want)
+		}
+	}
+}
+
 // TestTelemetryColumnsDeterministic: with telemetry on, the extra columns
 // appear and the whole output is still byte-identical across worker counts
 // (the scheduler folds results in submission order).

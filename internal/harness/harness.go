@@ -60,6 +60,20 @@ type Options struct {
 	// so the aggregate is deterministic for every worker count. Tables
 	// and CSVs are unaffected unless Telemetry is also set.
 	Metrics *metrics.Registry
+	// CkptBackend selects the checkpoint storage backend for every CR run
+	// of the sweep: "" or "dir" writes files under a per-run temp
+	// directory, "mem" keeps blobs in memory. Virtual-time accounting is
+	// identical either way, so output is byte-identical across backends;
+	// "mem" only removes real filesystem traffic from the sweep.
+	CkptBackend string
+	// CkptGenerations is how many checkpoint generations each CR run
+	// retains per rank (0 = the store default). Older generations are the
+	// fallback chain when the newest blob is corrupt or torn.
+	CkptGenerations int
+	// CkptAsync moves checkpoint writes onto each store's write-behind
+	// goroutine. Output stays byte-identical — the virtual clock charges at
+	// enqueue time — only real wall-clock overlap changes.
+	CkptAsync bool
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }

@@ -30,7 +30,28 @@ type schedJob struct {
 type sched struct {
 	workers int
 	agg     *metrics.Registry
+	ckpt    ckptOpts
 	jobs    []schedJob
+}
+
+// ckptOpts is the sweep-wide checkpoint store configuration applied to
+// every run (harness Options CkptBackend/CkptGenerations/CkptAsync).
+type ckptOpts struct {
+	backend     string
+	generations int
+	async       bool
+}
+
+func (c ckptOpts) apply(cfg *core.Config) {
+	if c.backend != "" {
+		cfg.CheckpointBackend = c.backend
+	}
+	if c.generations > 0 {
+		cfg.CheckpointGenerations = c.generations
+	}
+	if c.async {
+		cfg.CheckpointAsync = true
+	}
 }
 
 // newSched returns a scheduler for the Options: o.Workers bounds
@@ -43,7 +64,15 @@ func newSched(o Options) *sched {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &sched{workers: workers, agg: o.Metrics}
+	return &sched{
+		workers: workers,
+		agg:     o.Metrics,
+		ckpt: ckptOpts{
+			backend:     o.CkptBackend,
+			generations: o.CkptGenerations,
+			async:       o.CkptAsync,
+		},
+	}
 }
 
 // Add enqueues a single run of cfg.
@@ -80,6 +109,7 @@ func (s *sched) Run() error {
 	}
 	err := ParallelOrdered(s.workers, n, func(i int) error {
 		cfg := jobs[i].cfg
+		s.ckpt.apply(&cfg)
 		if regs != nil && cfg.Metrics == nil {
 			// Private per-run registry: the run's Result telemetry
 			// stays per-run, and the fixed-order merge below keeps
