@@ -46,6 +46,9 @@ func main() {
 		ckptBack   = flag.String("ckpt-backend", "", "checkpoint storage backend for CR runs: dir (files, default) | mem (in-memory; identical output, no filesystem traffic)")
 		ckptGens   = flag.Int("ckpt-generations", 0, "checkpoint generations retained per rank in CR runs (0 = store default)")
 		ckptAsync  = flag.Bool("ckpt-async", false, "write checkpoints on write-behind goroutines; output is byte-identical, only real I/O overlaps")
+		hosts      = flag.Int("hosts", 0, "cluster host count for every run (0 = smallest count that fits each run's ranks)")
+		slots      = flag.Int("slots", 0, "ranks per host (0 = machine profile default)")
+		racks      = flag.Int("racks", 0, "rack count; hosts split into contiguous blocks charged at the inter-rack link tier (0 = one rack)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the sweep to this file")
 		blockProf  = flag.String("blockprofile", "", "write a blocking profile of the sweep to this file")
@@ -108,6 +111,13 @@ func main() {
 	opts.CkptBackend = *ckptBack
 	opts.CkptGenerations = *ckptGens
 	opts.CkptAsync = *ckptAsync
+	if *hosts < 0 || *slots < 0 || *racks < 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -hosts, -slots and -racks must be >= 0")
+		os.Exit(2)
+	}
+	opts.Hosts = *hosts
+	opts.SlotsPerHost = *slots
+	opts.Racks = *racks
 	var reg *metrics.Registry
 	if *showMet || *metOut != "" {
 		reg = metrics.New()
@@ -154,6 +164,7 @@ func writeRepresentativeTrace(path string, opts harness.Options) error {
 		Seed:         41,
 		Trace:        rec,
 	}
+	cfg.Hosts, cfg.SlotsPerHost, cfg.Racks = opts.Hosts, opts.SlotsPerHost, opts.Racks
 	if _, err := core.Run(cfg); err != nil {
 		return err
 	}

@@ -48,6 +48,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		real      = fs.Bool("real", false, "kill real processes and reconstruct (default: simulated grid loss)")
 		nodefail  = fs.Bool("nodefail", false, "fail one whole host (requires -real and -spares >= 1)")
 		spares    = fs.Int("spares", 0, "spare hosts appended to the cluster for replacements")
+		hosts     = fs.Int("hosts", 0, "cluster host count (0 = smallest count that fits the ranks)")
+		slots     = fs.Int("slots", 0, "ranks per host (0 = machine profile default)")
+		racks     = fs.Int("racks", 0, "rack count; hosts split into contiguous blocks charged at the inter-rack link tier (0 = one rack)")
 		seed      = fs.Int64("seed", 1, "failure-selection seed")
 		showTrace = fs.Bool("trace", false, "print the virtual-time event timeline")
 		traceOut  = fs.String("trace-out", "", "write the recovery timeline as Chrome trace_event JSON to this file (load in ui.perfetto.dev)")
@@ -86,6 +89,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Seed:         *seed,
 	}
 	cfg.Layout.N, cfg.Layout.L = *n, *level
+	cfg.Hosts, cfg.SlotsPerHost, cfg.Racks = *hosts, *slots, *racks
 	cfg.CheckpointBackend = *ckptBack
 	cfg.CheckpointGenerations = *ckptGens
 	cfg.CheckpointAsync = *ckptAsync

@@ -165,6 +165,17 @@ func FingerprintOf(seed int64, tech core.Technique, stallTimeout time.Duration) 
 	return out.fp, nil
 }
 
+// FingerprintScaled is FingerprintOf on the ScaleWorld configuration.
+func FingerprintScaled(seed int64, tech core.Technique, stallTimeout time.Duration) (Fingerprint, error) {
+	sc := NewScenario(seed)
+	out, err := runOnce(ScaleWorld(sc.ConfigFor(tech)), fmt.Sprintf("scaled seed %d %s", seed, tech),
+		ReproCommand(seed, tech), stallTimeout)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	return out.fp, nil
+}
+
 // Check runs one (seed, technique) cell — the failure-free control, the
 // chaos run, and a same-seed replay — and returns the outcome with any
 // invariant violations.
@@ -175,26 +186,39 @@ func Check(seed int64, tech core.Technique, stallTimeout time.Duration) Outcome 
 // CheckMode is Check with the scenario mode forced (mode 0 draws it from
 // the seed).
 func CheckMode(seed int64, tech core.Technique, mode byte, stallTimeout time.Duration) Outcome {
+	return checkMode(seed, tech, mode, nil, stallTimeout)
+}
+
+// CheckScaled is Check with every run's configuration passed through
+// ScaleWorld, validating repair-under-failure on the 512-rank-class world.
+func CheckScaled(seed int64, tech core.Technique, stallTimeout time.Duration) Outcome {
+	return checkMode(seed, tech, 0, ScaleWorld, stallTimeout)
+}
+
+func checkMode(seed int64, tech core.Technique, mode byte, scale func(core.Config) core.Config, stallTimeout time.Duration) Outcome {
 	sc := NewScenarioMode(seed, mode)
 	o := Outcome{Seed: seed, Technique: tech, Scenario: sc}
 	violate := func(format string, args ...any) {
 		o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
 	}
+	if scale == nil {
+		scale = func(cfg core.Config) core.Config { return cfg }
+	}
 	repro := ReproCommandMode(seed, tech, mode)
 
-	ctl, err := runOnce(sc.Control(tech), fmt.Sprintf("control seed %d %s", seed, tech), repro, stallTimeout)
+	ctl, err := runOnce(scale(sc.Control(tech)), fmt.Sprintf("control seed %d %s", seed, tech), repro, stallTimeout)
 	if err != nil {
 		violate("control run failed: %v", err)
 		return o
 	}
 	o.ControlL1 = ctl.res.L1Error
 
-	run1, err := runOnce(sc.ConfigFor(tech), fmt.Sprintf("chaos seed %d %s", seed, tech), repro, stallTimeout)
+	run1, err := runOnce(scale(sc.ConfigFor(tech)), fmt.Sprintf("chaos seed %d %s", seed, tech), repro, stallTimeout)
 	if err != nil {
 		violate("chaos run failed: %v", err)
 		return o
 	}
-	run2, err := runOnce(sc.ConfigFor(tech), fmt.Sprintf("replay seed %d %s", seed, tech), repro, stallTimeout)
+	run2, err := runOnce(scale(sc.ConfigFor(tech)), fmt.Sprintf("replay seed %d %s", seed, tech), repro, stallTimeout)
 	if err != nil {
 		violate("replay run failed: %v", err)
 		return o

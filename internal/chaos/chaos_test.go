@@ -177,6 +177,53 @@ func TestChaosReplayAcrossGOMAXPROCS(t *testing.T) {
 	}
 }
 
+// TestChaosScale512 runs a seed subset of the campaign on the ScaleWorld
+// configuration — 608 ranks under RC across 152 hosts in 4 racks — so
+// repair-under-failure is validated with the hierarchical collectives and
+// the inter-rack tier engaged, not just at the 19-rank campaign world. One
+// representative seed per injection mode; the full invariant suite applies,
+// including the byte-identical same-seed replay. Fingerprints must also
+// agree between GOMAXPROCS=1 and the full machine.
+func TestChaosScale512(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-rank chaos subset skipped in -short mode")
+	}
+	if got := (core.Config{}).WithDefaults().NumProcs(); got >= 512 {
+		t.Fatalf("default world already has %d ranks; ScaleWorld no longer scales anything", got)
+	}
+	seedFor := map[byte]int64{}
+	for seed := int64(1); len(seedFor) < 6 && seed < 1000; seed++ {
+		m := NewScenario(seed).Mode
+		if _, ok := seedFor[m]; !ok {
+			seedFor[m] = seed
+		}
+	}
+	const tech = core.ResamplingCopying // the only grid set that clears 512 ranks
+	if got := ScaleWorld(NewScenario(1).ConfigFor(tech)).WithDefaults().NumProcs(); got < 512 {
+		t.Fatalf("ScaleWorld world has %d ranks, want >= 512", got)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, mode := range []byte{ModeMultiEvent, ModeNodeFailure, ModeOpKill, ModeKillDuringRecovery, ModeControl, ModeCkptCorrupt} {
+		seed := seedFor[mode]
+		o := CheckScaled(seed, tech, *chaosStall)
+		for _, v := range o.Violations {
+			t.Errorf("scaled %s under %s: %s", o.Scenario, tech, v)
+		}
+		runtime.GOMAXPROCS(1)
+		fp1, err1 := FingerprintScaled(seed, tech, *chaosStall)
+		runtime.GOMAXPROCS(prev)
+		fp2, err2 := FingerprintScaled(seed, tech, *chaosStall)
+		if err1 != nil || err2 != nil {
+			t.Errorf("scaled seed %d: run errors %v / %v", seed, err1, err2)
+			continue
+		}
+		if fp1 != fp2 {
+			t.Errorf("scaled seed %d: fingerprints differ between GOMAXPROCS=1 and %d", seed, prev)
+		}
+	}
+}
+
 // TestChaosCheckpointCorruption forces mode F — seeded storage damage on
 // the checkpoint backend plus a scheduled failure — over a block of seeds
 // under CR, and requires a clean campaign: every run completes, CR's

@@ -130,11 +130,22 @@ func Run(cfg Config) (*Result, error) {
 	}
 	nprocs := cfg.NumProcs()
 
-	// Cluster layout, optionally with spare nodes; placement policy for
-	// replacements (same host by default, spare node when available).
+	// Cluster layout, optionally with an explicit shape (hosts/slots/racks)
+	// and spare nodes; placement policy for replacements (same host by
+	// default, spare node when available).
 	slots := cfg.Machine.SlotsPerHost
+	if cfg.SlotsPerHost > 0 {
+		slots = cfg.SlotsPerHost
+	}
 	baseHosts := (nprocs + slots - 1) / slots
-	rs.cluster = topo.New(baseHosts+cfg.SpareNodes, slots)
+	if cfg.Hosts > 0 {
+		baseHosts = cfg.Hosts
+	}
+	racks := cfg.Racks
+	if racks < 1 {
+		racks = 1
+	}
+	rs.cluster = topo.NewRacked(baseHosts+cfg.SpareNodes, slots, racks)
 	rs.place = recovery.SameHostPlacement
 	if cfg.SpareNodes > 0 {
 		rs.place = recovery.SpareNodePlacement(rs.cluster.Host(baseHosts).Name)

@@ -151,6 +151,18 @@ type Config struct {
 	// replacements are spawned onto the first spare instead of the failed
 	// processes' original hosts.
 	SpareNodes int
+	// Hosts fixes the number of base cluster hosts (spares come on top).
+	// 0 derives the smallest host count that fits the process count at
+	// SlotsPerHost slots each. Together with SlotsPerHost and Racks this
+	// pins the cluster shape the topology-aware collectives see.
+	Hosts int
+	// SlotsPerHost overrides the machine profile's slots-per-host (0 =
+	// use the profile's value).
+	SlotsPerHost int
+	// Racks spreads the hosts (including spares) over this many racks in
+	// contiguous balanced blocks; 0 or 1 keeps the single-rack layout.
+	// Cross-rack links charge the machine's TierXRack cost.
+	Racks int
 	// ExtraLayers is the number of extra coarse layers the Alternate
 	// Combination technique holds (0 = the paper's default of 2; -1 = no
 	// extra layers; more layers tolerate deeper loss cascades at the cost
@@ -273,6 +285,22 @@ func (c Config) Validate() error {
 	}
 	if c.SpareNodes < 0 {
 		return fmt.Errorf("core: SpareNodes must be >= 0")
+	}
+	if c.Hosts < 0 || c.SlotsPerHost < 0 || c.Racks < 0 {
+		return fmt.Errorf("core: Hosts, SlotsPerHost and Racks must be >= 0")
+	}
+	if c.Hosts > 0 {
+		slots := c.SlotsPerHost
+		if slots == 0 && c.Machine != nil {
+			slots = c.Machine.SlotsPerHost
+		}
+		if slots > 0 && c.Hosts*slots < c.NumProcs() {
+			return fmt.Errorf("core: %d hosts x %d slots cannot hold %d processes",
+				c.Hosts, slots, c.NumProcs())
+		}
+	}
+	if c.Racks > 0 && c.Hosts > 0 && c.Racks > c.Hosts+c.SpareNodes {
+		return fmt.Errorf("core: Racks %d exceeds %d hosts", c.Racks, c.Hosts+c.SpareNodes)
 	}
 	if c.ExtraLayers < -1 || c.ExtraLayers > c.Layout.L-2 {
 		return fmt.Errorf("core: ExtraLayers %d outside [-1, %d]", c.ExtraLayers, c.Layout.L-2)

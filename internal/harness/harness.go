@@ -74,6 +74,18 @@ type Options struct {
 	// goroutine. Output stays byte-identical — the virtual clock charges at
 	// enqueue time — only real wall-clock overlap changes.
 	CkptAsync bool
+	// Hosts overrides the simulated host count of every run's cluster
+	// (0 = derive the smallest count that fits the run's process count).
+	// Larger clusters spread the same ranks over more nodes, shifting
+	// traffic from intra-node to inter-node links.
+	Hosts int
+	// SlotsPerHost overrides ranks per host (0 = the machine profile's
+	// value).
+	SlotsPerHost int
+	// Racks partitions hosts into contiguous rack blocks charged at the
+	// inter-rack link tier (0 or 1 = a single rack). Defaults keep output
+	// byte-identical to the pre-topology harness.
+	Racks int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }

@@ -31,6 +31,7 @@ type sched struct {
 	workers int
 	agg     *metrics.Registry
 	ckpt    ckptOpts
+	shape   shapeOpts
 	jobs    []schedJob
 }
 
@@ -54,6 +55,27 @@ func (c ckptOpts) apply(cfg *core.Config) {
 	}
 }
 
+// shapeOpts is the sweep-wide cluster shape applied to every run (harness
+// Options Hosts/SlotsPerHost/Racks). Zero fields keep each run's derived
+// shape, so defaults stay byte-identical to the pre-topology harness.
+type shapeOpts struct {
+	hosts int
+	slots int
+	racks int
+}
+
+func (s shapeOpts) apply(cfg *core.Config) {
+	if s.hosts > 0 {
+		cfg.Hosts = s.hosts
+	}
+	if s.slots > 0 {
+		cfg.SlotsPerHost = s.slots
+	}
+	if s.racks > 0 {
+		cfg.Racks = s.racks
+	}
+}
+
 // newSched returns a scheduler for the Options: o.Workers bounds
 // concurrency (<= 0 selects runtime.GOMAXPROCS(0)); o.Metrics, when
 // non-nil, aggregates instrumentation from every run (each run records into
@@ -71,6 +93,11 @@ func newSched(o Options) *sched {
 			backend:     o.CkptBackend,
 			generations: o.CkptGenerations,
 			async:       o.CkptAsync,
+		},
+		shape: shapeOpts{
+			hosts: o.Hosts,
+			slots: o.SlotsPerHost,
+			racks: o.Racks,
 		},
 	}
 }
@@ -110,6 +137,7 @@ func (s *sched) Run() error {
 	err := ParallelOrdered(s.workers, n, func(i int) error {
 		cfg := jobs[i].cfg
 		s.ckpt.apply(&cfg)
+		s.shape.apply(&cfg)
 		if regs != nil && cfg.Metrics == nil {
 			// Private per-run registry: the run's Result telemetry
 			// stays per-run, and the fixed-order merge below keeps

@@ -55,20 +55,34 @@ func (c *Comm) Barrier() error {
 	if c.IsInter() {
 		return c.fire(fmt.Errorf("mpi: Barrier on intercommunicator: %w", ErrComm))
 	}
-	t0 := opStart(c)
+	t0 := opStart(c, "barrier")
 	tag := internalTag(kindBarrier, c.nextSeq("barrier"))
+	var err error
+	if t := c.hierTopo(); t != nil {
+		err = hierBarrier(c, t, tag)
+	} else {
+		err = flatBarrier(c, tag)
+	}
+	if err != nil {
+		abortCollective(c, tag)
+		return c.fire(err)
+	}
+	opEnd(c, "barrier", t0)
+	return nil
+}
+
+// flatBarrier is the dissemination barrier used on single-host
+// communicators (and as the FlatCollectives reference).
+func flatBarrier(c *Comm, tag int) error {
 	n, me := c.Size(), c.rank
 	for k := 1; k < n; k <<= 1 {
 		if err := sendOwned(c, (me+k)%n, tag, barrierToken); err != nil {
-			abortCollective(c, tag)
-			return c.fire(err)
+			return err
 		}
 		if _, _, err := recvRaw[byte](c, (me-k+n)%n, tag, true); err != nil {
-			abortCollective(c, tag)
-			return c.fire(err)
+			return err
 		}
 	}
-	opEnd(c, "barrier", t0)
 	return nil
 }
 
@@ -79,9 +93,15 @@ func Bcast[T any](c *Comm, root int, data []T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Bcast on intercommunicator: %w", ErrComm))
 	}
-	t0 := opStart(c)
+	t0 := opStart(c, "bcast")
 	tag := internalTag(kindBcast, c.nextSeq("bcast"))
-	buf, err := bcastTree(c, root, tag, data)
+	var buf []T
+	var err error
+	if t := c.hierTopo(); t != nil {
+		buf, err = hierBcast(c, t, tag, root, data)
+	} else {
+		buf, err = bcastTree(c, root, tag, data)
+	}
 	if err != nil {
 		abortCollective(c, tag)
 		return nil, c.fire(err)
@@ -128,9 +148,15 @@ func Reduce[T any](c *Comm, root int, data []T, op func(T, T) T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Reduce on intercommunicator: %w", ErrComm))
 	}
-	t0 := opStart(c)
+	t0 := opStart(c, "reduce")
 	tag := internalTag(kindReduce, c.nextSeq("reduce"))
-	buf, err := reduceTree(c, root, tag, data, op)
+	var buf []T
+	var err error
+	if t := c.hierTopo(); t != nil {
+		buf, err = hierReduce(c, t, tag, root, data, op)
+	} else {
+		buf, err = reduceTree(c, root, tag, data, op)
+	}
 	if err != nil {
 		abortCollective(c, tag)
 		return nil, c.fire(err)
@@ -205,9 +231,15 @@ func ReduceSum[T Number](c *Comm, root int, data []T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Reduce on intercommunicator: %w", ErrComm))
 	}
-	t0 := opStart(c)
+	t0 := opStart(c, "reduce")
 	tag := internalTag(kindReduce, c.nextSeq("reduce"))
-	buf, err := reduceTreeSum(c, root, tag, data)
+	var buf []T
+	var err error
+	if t := c.hierTopo(); t != nil {
+		buf, err = hierReduceSum(c, t, tag, root, data)
+	} else {
+		buf, err = reduceTreeSum(c, root, tag, data)
+	}
 	if err != nil {
 		abortCollective(c, tag)
 		return nil, c.fire(err)
@@ -266,17 +298,29 @@ func reduceTreeSum[T Number](c *Comm, root, tag int, data []T) ([]T, error) {
 }
 
 // Allreduce combines all buffers with op and delivers the result to every
-// member (reduce to rank 0, then broadcast, sharing one internal tag so
-// failure-abort propagation covers both phases).
+// member. Flat: reduce to rank 0, then broadcast, sharing one internal tag
+// so failure-abort propagation covers both phases. Hierarchical: the same
+// two trees over node leaders for small payloads, or a ring
+// reduce-scatter/allgather over leaders past collRingCutover bytes.
 func Allreduce[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Allreduce on intercommunicator: %w", ErrComm))
 	}
-	t0 := opStart(c)
+	t0 := opStart(c, "allreduce")
 	tag := internalTag(kindAllreduce, c.nextSeq("allreduce"))
-	buf, err := reduceTree(c, 0, tag, data, op)
-	if err == nil {
-		buf, err = bcastTree(c, 0, tag, buf)
+	var buf []T
+	var err error
+	if t := c.hierTopo(); t != nil {
+		if useRing(len(data)*elemSize[T](), len(t.leaders)) {
+			buf, err = hierAllreduceRing(c, t, tag, data, op)
+		} else {
+			buf, err = hierAllreduce(c, t, tag, data, op)
+		}
+	} else {
+		buf, err = reduceTree(c, 0, tag, data, op)
+		if err == nil {
+			buf, err = bcastTree(c, 0, tag, buf)
+		}
 	}
 	if err != nil {
 		abortCollective(c, tag)
@@ -292,8 +336,17 @@ func Gather[T any](c *Comm, root int, data []T) ([][]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Gather on intercommunicator: %w", ErrComm))
 	}
-	t0 := opStart(c)
+	t0 := opStart(c, "gather")
 	tag := internalTag(kindGather, c.nextSeq("gather"))
+	if t := c.hierTopo(); t != nil {
+		out, err := hierGather(c, t, tag, root, data)
+		if err != nil {
+			abortCollective(c, tag)
+			return nil, c.fire(err)
+		}
+		opEnd(c, "gather", t0)
+		return out, nil
+	}
 	n := c.Size()
 	if c.rank != root {
 		if err := sendRaw(c, root, tag, data); err != nil {
@@ -326,13 +379,22 @@ func Scatter[T any](c *Comm, root int, parts [][]T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Scatter on intercommunicator: %w", ErrComm))
 	}
-	t0 := opStart(c)
+	t0 := opStart(c, "scatter")
 	tag := internalTag(kindScatter, c.nextSeq("scatter"))
 	n := c.Size()
-	if c.rank == root {
-		if len(parts) != n {
-			return nil, c.fire(fmt.Errorf("mpi: Scatter: %d parts for %d ranks: %w", len(parts), n, ErrType))
+	if c.rank == root && len(parts) != n {
+		return nil, c.fire(fmt.Errorf("mpi: Scatter: %d parts for %d ranks: %w", len(parts), n, ErrType))
+	}
+	if t := c.hierTopo(); t != nil {
+		got, err := hierScatter(c, t, tag, root, parts)
+		if err != nil {
+			abortCollective(c, tag)
+			return nil, c.fire(err)
 		}
+		opEnd(c, "scatter", t0)
+		return got, nil
+	}
+	if c.rank == root {
 		for r := 0; r < n; r++ {
 			if r == root {
 				continue
@@ -361,8 +423,17 @@ func Allgather[T any](c *Comm, data []T) ([][]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Allgather on intercommunicator: %w", ErrComm))
 	}
-	t0 := opStart(c)
+	t0 := opStart(c, "allgather")
 	tag := internalTag(kindAllgather, c.nextSeq("allgather"))
+	if t := c.hierTopo(); t != nil {
+		out, err := hierAllgather(c, t, tag, data)
+		if err != nil {
+			abortCollective(c, tag)
+			return nil, c.fire(err)
+		}
+		opEnd(c, "allgather", t0)
+		return out, nil
+	}
 	n := c.Size()
 	m := len(data)
 	var flat []T

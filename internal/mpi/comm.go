@@ -50,6 +50,11 @@ type commShared struct {
 	// (coll_ftbasic_method = 3), which is what Table I measures; Agree
 	// charges accordingly.
 	repairFor int
+	// hier caches the communicator's node decomposition for the
+	// hierarchical collectives (see coll_hier.go). Built lazily from the
+	// immutable group on first use; the build is deterministic, so racing
+	// members may store equivalent copies, and any of them is valid.
+	hier atomic.Pointer[commTopo]
 }
 
 // Comm is one process's handle on a communicator, mirroring MPI_Comm. The
@@ -93,6 +98,10 @@ func ErrorsAreFatal(c *Comm, err error) {
 // MPI_ERR_REVOKED is the program-order point where this process observes
 // the revocation, so fire also records the quiesce.
 func (c *Comm) fire(err error) error {
+	// Every collective error path returns through fire, so this is where
+	// the hop-attribution mark set by opStart is cleared on failure
+	// (success paths clear it in opEnd).
+	c.p.st.curOp = ""
 	if err != nil {
 		if !c.sawRevoked && errors.Is(err, ErrRevoked) {
 			c.markRevoked()

@@ -10,6 +10,12 @@ import (
 //
 //	counters:   mpi.sent.messages, mpi.sent.bytes, mpi.recv.messages,
 //	            mpi.recv.bytes, mpi.revokes, mpi.spawned
+//	hop splits: mpi.sent.intra / .inter / .xrack — every sent message
+//	            classified by endpoint placement (same host, same rack,
+//	            cross-rack); coll.<op>.intra / .inter / .xrack — the same
+//	            split per collective op (barrier, bcast, reduce, allreduce,
+//	            gather, scatter, allgather), counting the point-to-point
+//	            hops the collective's algorithm generated
 //	vectors:    rank.sent.messages, rank.sent.bytes, rank.recv.messages,
 //	            rank.recv.bytes (indexed by world rank)
 //	histograms: op.<name> — virtual latency of each successful MPI call
@@ -33,6 +39,15 @@ var mpiOps = []string{
 	"gather", "scatter", "allgather",
 	"shrink", "agree", "spawn", "split", "dup", "create", "merge",
 }
+
+// collHopOps is the set of collectives whose message traffic is split by
+// link tier (hop counters), pre-resolved like mpiOps.
+var collHopOps = []string{
+	"barrier", "bcast", "reduce", "allreduce", "gather", "scatter", "allgather",
+}
+
+// tierSuffix maps a vtime.LinkTier to its hop-counter name suffix.
+var tierSuffix = [vtime.NumTiers]string{"intra", "inter", "xrack"}
 
 // costComponents is the fixed set of attribution sinks, pre-resolved like
 // mpiOps.
@@ -61,6 +76,11 @@ type worldMetrics struct {
 	rankRecvMsgs  *metrics.CounterVec
 	rankRecvBytes *metrics.CounterVec
 
+	// sentTier counts every sent message by link tier; opHops splits the
+	// same count per collective op (read-only after construction).
+	sentTier [vtime.NumTiers]*metrics.Counter
+	opHops   map[string]*[vtime.NumTiers]*metrics.Counter
+
 	ops   map[string]*metrics.Histogram // read-only after construction
 	costs map[string]*metrics.TimeSum   // read-only after construction
 }
@@ -83,8 +103,19 @@ func newWorldMetrics(reg *metrics.Registry) *worldMetrics {
 		rankSentBytes: reg.CounterVec("rank.sent.bytes"),
 		rankRecvMsgs:  reg.CounterVec("rank.recv.messages"),
 		rankRecvBytes: reg.CounterVec("rank.recv.bytes"),
+		opHops:        make(map[string]*[vtime.NumTiers]*metrics.Counter, len(collHopOps)),
 		ops:           make(map[string]*metrics.Histogram, len(mpiOps)),
 		costs:         make(map[string]*metrics.TimeSum, len(costComponents)),
+	}
+	for t, suffix := range tierSuffix {
+		m.sentTier[t] = reg.Counter("mpi.sent." + suffix)
+	}
+	for _, op := range collHopOps {
+		var cs [vtime.NumTiers]*metrics.Counter
+		for t, suffix := range tierSuffix {
+			cs[t] = reg.Counter("coll." + op + "." + suffix)
+		}
+		m.opHops[op] = &cs
 	}
 	for _, op := range mpiOps {
 		m.ops[op] = reg.Histogram("op." + op)
@@ -117,6 +148,18 @@ func (m *worldMetrics) countRecv(wrank, bytes int) {
 	m.recvBytes.Add(int64(bytes))
 	m.rankRecvMsgs.At(wrank).Inc()
 	m.rankRecvBytes.At(wrank).Add(int64(bytes))
+}
+
+// countHop classifies one sent message by link tier, both globally and —
+// when the sender is inside a collective (op non-empty) — per op. Called
+// with the nil-check already done by sendEnv's wm guard.
+func (m *worldMetrics) countHop(op string, tier vtime.LinkTier) {
+	m.sentTier[tier].Inc()
+	if op != "" {
+		if cs, ok := m.opHops[op]; ok {
+			cs[tier].Inc()
+		}
+	}
 }
 
 // countRevoke records one OMPI_Comm_revoke call.
@@ -176,14 +219,23 @@ func componentForRendezvousOp(op string) string {
 	}
 }
 
-// opStart samples the caller's virtual clock for an op-latency measurement.
-// Reading one's own clock needs no lock: only the owning goroutine advances
-// it.
-func opStart(c *Comm) float64 { return c.p.st.clock.Now() }
+// opStart samples the caller's virtual clock for an op-latency measurement
+// and marks the process as inside the named collective so sendEnv can
+// attribute its hops (curOp is owner-only, like the clock). Reading one's
+// own clock needs no lock: only the owning goroutine advances it.
+func opStart(c *Comm, op string) float64 {
+	st := c.p.st
+	st.curOp = op
+	return st.clock.Now()
+}
 
-// opEnd records the latency of a successful call that began at t0.
+// opEnd records the latency of a successful call that began at t0 and
+// clears the hop-attribution mark. Collective error paths clear it in
+// Comm.fire instead.
 func opEnd(c *Comm, op string, t0 float64) {
-	if wm := c.p.st.w.wm; wm != nil {
-		wm.observeOp(op, c.p.st.clock.Now()-t0)
+	st := c.p.st
+	st.curOp = ""
+	if wm := st.w.wm; wm != nil {
+		wm.observeOp(op, st.clock.Now()-t0)
 	}
 }

@@ -158,3 +158,48 @@ func BenchmarkRepairDance(b *testing.B) {
 		}
 	}
 }
+
+// benchWeakScaling measures the collective stack at a given cluster scale:
+// per Run, 5 rounds of Barrier + small Allreduce + 64 KiB Allreduce (the
+// ring path) on the machine's default host shape. ns/op is simulator wall
+// cost; the reported vs/op metric is the run's final virtual time, the
+// number the weak-scaling gate in scripts/bench_compare.sh watches — with
+// the hierarchical collectives it should grow ~O(log nodes), not O(n).
+func benchWeakScaling(b *testing.B, machine func() *vtime.Machine, nprocs int) {
+	b.Helper()
+	b.ReportAllocs()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Options{NProcs: nprocs, Machine: machine(), Entry: func(p *Proc) {
+			c := p.World()
+			small := make([]float64, 16)
+			big := make([]float64, 8192) // 64 KiB: past collRingCutover
+			for k := 0; k < 5; k++ {
+				if err := c.Barrier(); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := Allreduce(c, small, Sum[float64]); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := Allreduce(c, big, Sum[float64]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt = rep.MaxVirtualTime
+	}
+	b.ReportMetric(virt, "vs/op")
+}
+
+func BenchmarkWeakScaleOPL64(b *testing.B)      { benchWeakScaling(b, vtime.OPL, 64) }
+func BenchmarkWeakScaleOPL512(b *testing.B)     { benchWeakScaling(b, vtime.OPL, 512) }
+func BenchmarkWeakScaleOPL4096(b *testing.B)    { benchWeakScaling(b, vtime.OPL, 4096) }
+func BenchmarkWeakScaleRaijin64(b *testing.B)   { benchWeakScaling(b, vtime.Raijin, 64) }
+func BenchmarkWeakScaleRaijin512(b *testing.B)  { benchWeakScaling(b, vtime.Raijin, 512) }
+func BenchmarkWeakScaleRaijin4096(b *testing.B) { benchWeakScaling(b, vtime.Raijin, 4096) }

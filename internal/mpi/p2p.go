@@ -92,11 +92,22 @@ func sendEnv[T any](c *Comm, dest, tag int, data []T, owned bool) error {
 	}
 	st.clock.AdvanceAttr(w.machine.SendOverhead, vtime.CompOSend)
 	bytes := len(data) * elemSize[T]()
+	// The LogGP charge depends on where the endpoints sit: same host
+	// (shared memory), same rack (the fabric), or across racks. host and
+	// rack are immutable, so reading the destination's placement is safe
+	// without its lock.
+	dst := w.proc(dw)
+	tier := vtime.TierRack
+	if dst.host == st.host {
+		tier = vtime.TierNode
+	} else if dst.rack != st.rack {
+		tier = vtime.TierXRack
+	}
 	if wm := w.wm; wm != nil {
 		wm.countSend(st.wrank, bytes)
-		alpha, beta := w.machine.PtToPtParts(bytes)
-		wm.ObserveCost(vtime.CompAlpha, alpha)
-		wm.ObserveCost(vtime.CompBeta, beta)
+		wm.countHop(st.curOp, tier)
+		wm.ObserveCost(vtime.CompAlpha, w.linkAlpha[tier])
+		wm.ObserveCost(vtime.CompBeta, float64(bytes)*w.linkBeta[tier])
 		wm.observeOp("send", w.machine.SendOverhead)
 	}
 	// An eager buffered send completes locally even when the destination is
@@ -107,7 +118,6 @@ func sendEnv[T any](c *Comm, dest, tag int, data []T, owned bool) error {
 	// and collectives, whose checks follow the peer's program order. This is
 	// the ULFM contract too: local completion of a buffered send guarantees
 	// nothing about delivery.
-	dst := w.proc(dw)
 	if !dst.alive.Load() {
 		if owned {
 			putBuf(data)
@@ -117,7 +127,7 @@ func sendEnv[T any](c *Comm, dest, tag int, data []T, owned bool) error {
 	env := getEnv()
 	env.commID, env.src, env.tag = c.sh.id, c.rank, tag
 	env.bytes = bytes
-	env.arrival = st.clock.Now() + w.machine.PtToPt(bytes)
+	env.arrival = st.clock.Now() + w.linkAlpha[tier] + float64(bytes)*w.linkBeta[tier]
 	if owned {
 		setPayload(env, data)
 	} else {
@@ -363,6 +373,15 @@ func revokedDeadlock(c *Comm, self int) bool {
 		} else if q.mb.peek(c.sh.id, q.waitSrc, q.waitTag) != nil {
 			dead = false // a matchable message is waiting; it will consume it
 			break
+		} else if pendingRecvVerdict(w, c.sh, q) {
+			// The member's receive already has a failure resolution
+			// recorded (source abort/quiesce/death); the wake is merely in
+			// flight. Counting it as stuck would resolve the group early
+			// at a wall-clock-dependent moment — the member must instead
+			// error out of its collective along the deterministic
+			// program-order chain.
+			dead = false
+			break
 		}
 	}
 	for i := len(locked) - 1; i >= 0; i-- {
@@ -370,6 +389,38 @@ func revokedDeadlock(c *Comm, self int) bool {
 	}
 	w.state.Unlock()
 	return dead
+}
+
+// pendingRecvVerdict reports whether a member parked on a receive already
+// has a failure resolution recorded — a collective abort by its source for
+// its instance tag, its source's quiesce, or its source's death. Such a
+// member is about to be woken and must not be counted as permanently
+// stuck by revokedDeadlock. Wildcard receives are conservatively treated
+// as stuck: their resolution depends on per-handle ack state the detector
+// cannot see, and no collective uses them. Caller holds World.state and
+// q.mu.
+func pendingRecvVerdict(w *World, sh *commShared, q *procState) bool {
+	src := q.waitSrc
+	if src == AnySource {
+		return false
+	}
+	// Resolve the source's world rank: the remote group for an
+	// intercommunicator member, the (only) group otherwise.
+	g := sh.a
+	if sh.b != nil && Group(sh.a).Rank(q.wrank) >= 0 {
+		g = sh.b
+	}
+	if src < 0 || src >= len(g) {
+		return false
+	}
+	pw := g[src]
+	if _, ok := sh.aborts[q.waitTag][pw]; ok {
+		return true
+	}
+	if sh.quiesced[pw] {
+		return true
+	}
+	return !w.alive(pw)
 }
 
 // hasUnacked reports whether the communicator has failed members not yet

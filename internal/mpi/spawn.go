@@ -89,6 +89,7 @@ func (w *World) spawnLocked(parentGroup []int, n int, hosts []string, start floa
 	for i := 0; i < n; i++ {
 		st := &block[i]
 		st.w, st.wrank, st.host = w, len(procs), placements[i]
+		st.rack = w.cluster.RackOfHost(st.host)
 		st.alive.Store(true)
 		st.cond.L = &st.mu
 		st.clock.Set(start)

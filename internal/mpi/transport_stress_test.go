@@ -207,3 +207,185 @@ func TestTransportStressDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// runTransportStress512 is the weak-scaling variant of the stress
+// workload: 512 ranks on the OPL profile (43 hosts), a neighbour ring
+// exchange instead of the quadratic all-to-all, the full two-failure
+// repair dance, and hierarchical collectives before and after the repair.
+func runTransportStress512(t *testing.T) transportStressOutcome {
+	t.Helper()
+	const nprocs = 512
+	const chunk = 32
+
+	ringPhase := func(c *Comm, p *Proc) bool {
+		n := c.Size()
+		me := c.Rank()
+		buf := make([]float64, chunk)
+		for k := range buf {
+			buf[k] = float64(me) + float64(k)/chunk
+		}
+		if err := Send(c, (me+1)%n, 9, buf); err != nil {
+			t.Error(err)
+			return false
+		}
+		got, _, err := Recv[float64](c, (me-1+n)%n, 9)
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		if got[0] != float64((me-1+n)%n) {
+			t.Errorf("ring: rank %d got %v", me, got[0])
+			return false
+		}
+		sum, err := Allreduce(c, []int{me}, Sum[int])
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		if sum[0] != n*(n-1)/2 {
+			t.Errorf("allreduce: %d, want %d", sum[0], n*(n-1)/2)
+			return false
+		}
+		return must512(t, c.Barrier())
+	}
+
+	reg := metrics.New()
+	wd := Watchdog{Timeout: 120 * time.Second}
+	rep, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), Metrics: reg, Watchdog: wd, Entry: func(p *Proc) {
+		if p.Parent() != nil {
+			_, _ = p.Parent().Agree(1)
+			unordered, err := p.Parent().IntercommMerge(true)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			oldRank, _, err := RecvOne[int](unordered, 0, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			repaired, err := unordered.Split(0, oldRank)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ringPhase(repaired, p)
+			return
+		}
+		c := p.World()
+		me := c.Rank()
+		if !ringPhase(c, p) {
+			return
+		}
+
+		if me == 100 || me == 301 {
+			p.Kill()
+		}
+		_ = c.Barrier() // detection point
+		_ = c.Revoke()
+		shrunk, err := c.Shrink()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		failed := c.Group().Difference(shrunk.Group())
+		failedRanks := make([]int, failed.Size())
+		for j := range failedRanks {
+			failedRanks[j] = c.Group().Rank(failed[j])
+		}
+		hosts, err := p.Cluster().SpawnHosts(failedRanks)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		inter, err := shrunk.SpawnMultiple(len(failedRanks), hosts, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		unordered, err := inter.IntercommMerge(false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, _ = inter.Agree(1)
+		if unordered.Rank() == 0 {
+			for j, fr := range failedRanks {
+				if err := SendOne(unordered, shrunk.Size()+j, 5, fr); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		repaired, err := unordered.Split(0, me)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ringPhase(repaired, p)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return transportStressOutcome{
+		maxTime:    rep.MaxVirtualTime,
+		spawned:    rep.Spawned,
+		failed:     rep.Failed,
+		sentMsgs:   reg.Counter("mpi.sent.messages").Value(),
+		sentB:      reg.Counter("mpi.sent.bytes").Value(),
+		recvMsgs:   reg.Counter("mpi.recv.messages").Value(),
+		recvB:      reg.Counter("mpi.recv.bytes").Value(),
+		revokes:    reg.Counter("mpi.revokes").Value(),
+		spawnedCtr: reg.Counter("mpi.spawned").Value(),
+	}
+}
+
+func must512(t *testing.T, err error) bool {
+	if err != nil {
+		t.Error(err)
+		return false
+	}
+	return true
+}
+
+// TestTransportStressDeterminism512 is the 512-rank weak-scaling variant
+// of TestTransportStressDeterminism: serial and fully parallel schedules
+// must produce bit-identical virtual time and traffic counters with the
+// hierarchical collectives engaged (43 OPL hosts).
+func TestTransportStressDeterminism512(t *testing.T) {
+	settings := []int{1, runtime.NumCPU()}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var base transportStressOutcome
+	for i, gmp := range settings {
+		runtime.GOMAXPROCS(gmp)
+		got := runTransportStress512(t)
+		if t.Failed() {
+			return
+		}
+		if i == 0 {
+			base = got
+			if got.spawned != 2 || got.spawnedCtr != 2 || got.revokes == 0 {
+				t.Fatalf("unexpected baseline outcome: %+v", got)
+			}
+			continue
+		}
+		if got.maxTime != base.maxTime {
+			t.Errorf("GOMAXPROCS=%d: MaxVirtualTime %v != %v", gmp, got.maxTime, base.maxTime)
+		}
+		if got.sentMsgs != base.sentMsgs || got.sentB != base.sentB {
+			t.Errorf("GOMAXPROCS=%d: sent %d/%d != %d/%d", gmp, got.sentMsgs, got.sentB, base.sentMsgs, base.sentB)
+		}
+		if got.recvMsgs != base.recvMsgs || got.recvB != base.recvB {
+			t.Errorf("GOMAXPROCS=%d: recv %d/%d != %d/%d", gmp, got.recvMsgs, got.recvB, base.recvMsgs, base.recvB)
+		}
+		if got.revokes != base.revokes || got.spawnedCtr != base.spawnedCtr {
+			t.Errorf("GOMAXPROCS=%d: revokes/spawned %d/%d != %d/%d",
+				gmp, got.revokes, got.spawnedCtr, base.revokes, base.spawnedCtr)
+		}
+		if got.spawned != base.spawned || len(got.failed) != len(base.failed) {
+			t.Errorf("GOMAXPROCS=%d: report %+v != %+v", gmp, got, base)
+		}
+	}
+}

@@ -64,10 +64,12 @@ type procState struct {
 	w      *World
 	wrank  int // world-unique process id (never reused)
 	host   int // index into the cluster's host list
+	rack   int // rack of that host (immutable, like host)
 	alive  atomic.Bool
 	clock  vtime.Clock
 	sl     slab   // eager-copy arena; owner-only (senders copy into their own)
 	opHook OpHook // operation observer; owner-only (see ophook.go)
+	curOp  string // collective in progress; owner-only (hop attribution)
 
 	mu     sync.Mutex
 	cond   sync.Cond // on mu; the owning goroutine is the only waiter
@@ -112,6 +114,17 @@ type World struct {
 	cluster *topo.Cluster
 	entry   func(*Proc)
 	wm      *worldMetrics // nil when instrumentation is disabled
+
+	// linkAlpha/linkBeta are the machine's per-tier LogGP parameters,
+	// resolved once at Run so the send hot path indexes an array instead of
+	// re-applying the zero-value fallbacks per message.
+	linkAlpha [vtime.NumTiers]float64
+	linkBeta  [vtime.NumTiers]float64
+
+	// flatColl forces the flat single-level collective algorithms even on
+	// multi-host clusters (Options.FlatCollectives); the differential tests
+	// use it as the reference implementation.
+	flatColl bool
 
 	// procs is a copy-on-write snapshot of all processes, loaded lock-free
 	// by the hot paths. Entries are never removed or reordered;
@@ -194,6 +207,11 @@ type Options struct {
 	// happens for a full timeout interval (see watchdog.go). The zero value
 	// disables it.
 	Watchdog Watchdog
+	// FlatCollectives disables the topology-aware hierarchical collective
+	// algorithms, running every collective as a flat single-level algorithm
+	// over the whole communicator (the pre-hierarchy behaviour). The
+	// differential tests use it as the reference implementation.
+	FlatCollectives bool
 }
 
 // Report summarises a completed run.
@@ -228,10 +246,14 @@ func Run(o Options) (*Report, error) {
 		return nil, fmt.Errorf("mpi: cluster has %d slots for %d processes", cl.Slots(), o.NProcs)
 	}
 	w := &World{
-		machine: m,
-		cluster: cl,
-		entry:   o.Entry,
-		wm:      newWorldMetrics(o.Metrics),
+		machine:  m,
+		cluster:  cl,
+		entry:    o.Entry,
+		wm:       newWorldMetrics(o.Metrics),
+		flatColl: o.FlatCollectives,
+	}
+	for t := vtime.LinkTier(0); t < vtime.NumTiers; t++ {
+		w.linkAlpha[t], w.linkBeta[t] = m.LinkAlphaBeta(t)
 	}
 
 	// Block-allocate the initial process table, Proc and Comm handles: the
@@ -240,12 +262,12 @@ func Run(o Options) (*Report, error) {
 	procs := make([]*procState, o.NProcs)
 	worldRanks := make([]int, o.NProcs)
 	for r := 0; r < o.NProcs; r++ {
-		host, err := cl.HostIndexOfRank(r)
+		host, rack, err := cl.Placement(r)
 		if err != nil {
 			return nil, err
 		}
 		st := &sts[r]
-		st.w, st.wrank, st.host = w, r, host
+		st.w, st.wrank, st.host, st.rack = w, r, host, rack
 		st.alive.Store(true)
 		st.cond.L = &st.mu
 		if w.wm != nil {

@@ -19,6 +19,10 @@ type Host struct {
 	Name string
 	// Slots is the number of MPI slots (cores) available on the host.
 	Slots int
+	// Rack is the index of the rack (switch group) holding the host. Hosts
+	// in the same rack share a leaf switch; traffic between racks crosses
+	// an extra tier. Synthetic single-rack clusters leave it 0.
+	Rack int
 }
 
 // Cluster is an ordered list of hosts, mirroring a hostfile. Ranks are laid
@@ -28,15 +32,35 @@ type Cluster struct {
 	hosts []Host
 }
 
-// New builds a synthetic cluster of nhosts nodes named node00, node01, ...,
-// each with the given number of slots. It panics on non-positive arguments.
+// New builds a synthetic single-rack cluster of nhosts nodes named node00,
+// node01, ..., each with the given number of slots. The numeric suffix is
+// zero-padded to the width of the largest index (minimum 2), so hostfiles
+// and reports stay lexically sorted at any cluster size. It panics on
+// non-positive arguments.
 func New(nhosts, slotsPerHost int) *Cluster {
-	if nhosts <= 0 || slotsPerHost <= 0 {
-		panic(fmt.Sprintf("topo: invalid cluster %d hosts x %d slots", nhosts, slotsPerHost))
+	return NewRacked(nhosts, slotsPerHost, 1)
+}
+
+// NewRacked builds a synthetic cluster of nhosts nodes spread over nracks
+// racks in contiguous, balanced blocks (rack of host i = i*nracks/nhosts).
+// It panics when the shape is degenerate: non-positive counts or more racks
+// than hosts.
+func NewRacked(nhosts, slotsPerHost, nracks int) *Cluster {
+	if nhosts <= 0 || slotsPerHost <= 0 || nracks <= 0 || nracks > nhosts {
+		panic(fmt.Sprintf("topo: invalid cluster %d hosts x %d slots in %d racks",
+			nhosts, slotsPerHost, nracks))
+	}
+	width := len(strconv.Itoa(nhosts - 1))
+	if width < 2 {
+		width = 2
 	}
 	c := &Cluster{hosts: make([]Host, nhosts)}
 	for i := range c.hosts {
-		c.hosts[i] = Host{Name: fmt.Sprintf("node%02d", i), Slots: slotsPerHost}
+		c.hosts[i] = Host{
+			Name:  fmt.Sprintf("node%0*d", width, i),
+			Slots: slotsPerHost,
+			Rack:  i * nracks / nhosts,
+		}
 	}
 	return c
 }
@@ -83,6 +107,29 @@ func (c *Cluster) HostIndexOfRank(rank int) (int, error) {
 		r -= h.Slots
 	}
 	return 0, fmt.Errorf("topo: rank %d beyond cluster capacity %d", rank, c.Slots())
+}
+
+// NumRacks returns the number of distinct racks in the cluster.
+func (c *Cluster) NumRacks() int {
+	seen := make(map[int]bool)
+	for _, h := range c.hosts {
+		seen[h.Rack] = true
+	}
+	return len(seen)
+}
+
+// RackOfHost returns the rack index of host i.
+func (c *Cluster) RackOfHost(i int) int { return c.hosts[i].Rack }
+
+// Placement resolves a rank to its (host index, rack index) — the two
+// placement tiers the hierarchical collectives and the tiered LogGP cost
+// model key on.
+func (c *Cluster) Placement(rank int) (host, rack int, err error) {
+	host, err = c.HostIndexOfRank(rank)
+	if err != nil {
+		return 0, 0, err
+	}
+	return host, c.hosts[host].Rack, nil
 }
 
 // HostOfRank returns the host that runs the given rank.
@@ -159,9 +206,20 @@ func (c *Cluster) Imbalance(hostOf []int) float64 {
 // WriteHostfile writes the cluster in Open MPI hostfile syntax:
 //
 //	node00 slots=12
+//
+// Multi-rack clusters carry the rack as an extra key=value field
+// ("node00 slots=12 rack=0"), which ParseHostfile round-trips; single-rack
+// clusters keep the plain two-field form so existing files stay identical.
 func (c *Cluster) WriteHostfile(w io.Writer) error {
+	multi := c.NumRacks() > 1
 	for _, h := range c.hosts {
-		if _, err := fmt.Fprintf(w, "%s slots=%d\n", h.Name, h.Slots); err != nil {
+		var err error
+		if multi {
+			_, err = fmt.Fprintf(w, "%s slots=%d rack=%d\n", h.Name, h.Slots, h.Rack)
+		} else {
+			_, err = fmt.Fprintf(w, "%s slots=%d\n", h.Name, h.Slots)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -169,7 +227,8 @@ func (c *Cluster) WriteHostfile(w io.Writer) error {
 }
 
 // ParseHostfile reads an Open MPI-style hostfile. Lines have the form
-// "name [slots=N]"; missing slots default to 1; '#' starts a comment.
+// "name [slots=N] [rack=N]"; missing slots default to 1, missing rack to 0;
+// '#' starts a comment.
 func ParseHostfile(r io.Reader) (*Cluster, error) {
 	c := &Cluster{}
 	sc := bufio.NewScanner(r)
@@ -197,6 +256,12 @@ func ParseHostfile(r io.Reader) (*Cluster, error) {
 					return nil, fmt.Errorf("topo: hostfile line %d: bad slots %q", line, val)
 				}
 				h.Slots = n
+			case "rack":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("topo: hostfile line %d: bad rack %q", line, val)
+				}
+				h.Rack = n
 			case "max_slots", "max-slots":
 				// Accepted and ignored, as by mpirun for our purposes.
 			default:

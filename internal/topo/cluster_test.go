@@ -236,3 +236,119 @@ func TestSameHostRespawnPreservesBalance(t *testing.T) {
 		t.Fatalf("same-host respawn changed balance: before %g, after %g", before, after)
 	}
 }
+
+// TestNamePadWidth checks the host-name suffix widens with the cluster so
+// hostfiles stay lexically sorted past 100 (and 1000) hosts.
+func TestNamePadWidth(t *testing.T) {
+	cases := []struct {
+		nhosts int
+		first  string
+		last   string
+	}{
+		{4, "node00", "node03"},
+		{100, "node00", "node99"},
+		{101, "node000", "node100"},
+		{342, "node000", "node341"},
+		{1000, "node000", "node999"},
+		{1001, "node0000", "node1000"},
+	}
+	for _, cse := range cases {
+		c := New(cse.nhosts, 2)
+		if got := c.Host(0).Name; got != cse.first {
+			t.Errorf("New(%d): Host(0) = %q, want %q", cse.nhosts, got, cse.first)
+		}
+		if got := c.Host(cse.nhosts - 1).Name; got != cse.last {
+			t.Errorf("New(%d): last host = %q, want %q", cse.nhosts, got, cse.last)
+		}
+		for i := 1; i < cse.nhosts; i++ {
+			if !(c.Host(i-1).Name < c.Host(i).Name) {
+				t.Fatalf("New(%d): names not lexically sorted at %d: %q >= %q",
+					cse.nhosts, i, c.Host(i-1).Name, c.Host(i).Name)
+			}
+		}
+	}
+}
+
+// TestNewRacked checks rack assignment is contiguous, balanced and covers
+// every rack, and that Placement agrees with HostIndexOfRank.
+func TestNewRacked(t *testing.T) {
+	c := NewRacked(10, 4, 3)
+	if got := c.NumRacks(); got != 3 {
+		t.Fatalf("NumRacks = %d, want 3", got)
+	}
+	prev := 0
+	counts := make(map[int]int)
+	for i := 0; i < c.NumHosts(); i++ {
+		r := c.RackOfHost(i)
+		if r < prev {
+			t.Fatalf("rack of host %d = %d, decreased from %d (not contiguous)", i, r, prev)
+		}
+		prev = r
+		counts[r]++
+	}
+	for r, n := range counts {
+		if n < 3 || n > 4 {
+			t.Errorf("rack %d holds %d hosts, want 3 or 4", r, n)
+		}
+	}
+	for rank := 0; rank < c.Slots(); rank++ {
+		host, rack, err := c.Placement(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHost, _ := c.HostIndexOfRank(rank)
+		if host != wantHost || rack != c.RackOfHost(host) {
+			t.Fatalf("Placement(%d) = (%d,%d), want (%d,%d)",
+				rank, host, rack, wantHost, c.RackOfHost(wantHost))
+		}
+	}
+	if _, _, err := c.Placement(c.Slots()); err == nil {
+		t.Fatal("Placement past capacity did not error")
+	}
+}
+
+func TestNewRackedDegenerateShapesPanic(t *testing.T) {
+	for _, shape := range [][3]int{{2, 4, 3}, {2, 4, 0}, {0, 4, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRacked(%v) did not panic", shape)
+				}
+			}()
+			NewRacked(shape[0], shape[1], shape[2])
+		}()
+	}
+}
+
+// TestHostfileRackRoundTrip checks rack annotations survive a hostfile
+// write/parse cycle and that single-rack files keep the legacy format.
+func TestHostfileRackRoundTrip(t *testing.T) {
+	c := NewRacked(6, 8, 2)
+	var buf strings.Builder
+	if err := c.WriteHostfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rack=1") {
+		t.Fatalf("multi-rack hostfile missing rack field:\n%s", buf.String())
+	}
+	got, err := ParseHostfile(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.NumHosts(); i++ {
+		if got.Host(i) != c.Host(i) {
+			t.Fatalf("host %d: round-trip %+v != %+v", i, got.Host(i), c.Host(i))
+		}
+	}
+
+	var single strings.Builder
+	if err := New(3, 4).WriteHostfile(&single); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(single.String(), "rack=") {
+		t.Fatalf("single-rack hostfile grew a rack field:\n%s", single.String())
+	}
+	if _, err := ParseHostfile(strings.NewReader("n0 slots=2 rack=x\n")); err == nil {
+		t.Fatal("bad rack value did not error")
+	}
+}

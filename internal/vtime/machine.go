@@ -9,10 +9,24 @@ type Machine struct {
 	// Name identifies the profile in reports.
 	Name string
 
-	// Alpha is the point-to-point message latency in seconds.
+	// Alpha is the point-to-point message latency in seconds for the
+	// default link tier: two hosts in the same rack (the network fabric).
 	Alpha float64
-	// Beta is the transfer cost in seconds per byte.
+	// Beta is the transfer cost in seconds per byte on the same tier.
 	Beta float64
+
+	// IntraAlpha and IntraBeta are the latency and per-byte cost between
+	// two ranks placed on the SAME host (shared-memory BTL). Zero values
+	// fall back to Alpha/Beta, keeping the model flat — old profiles and
+	// the Generic test profile are unchanged.
+	IntraAlpha float64
+	IntraBeta  float64
+
+	// XRackAlpha and XRackBeta are the latency and per-byte cost between
+	// hosts in DIFFERENT racks (an extra switch hop / oversubscribed
+	// uplink). Zero values fall back to Alpha/Beta.
+	XRackAlpha float64
+	XRackBeta  float64
 	// SendOverhead and RecvOverhead are the CPU occupancy per message on
 	// the sending and receiving side (the o of LogGP).
 	SendOverhead float64
@@ -44,6 +58,10 @@ func OPL() *Machine {
 		Name:         "OPL",
 		Alpha:        2.0e-6,
 		Beta:         3.3e-10, // ~3 GB/s effective QDR bandwidth
+		IntraAlpha:   0.6e-6,  // shared-memory BTL latency
+		IntraBeta:    1.0e-10, // ~10 GB/s intra-node copy bandwidth
+		XRackAlpha:   3.0e-6,  // extra leaf-spine switch hop
+		XRackBeta:    5.0e-10, // oversubscribed inter-rack uplink
 		SendOverhead: 0.5e-6,
 		RecvOverhead: 0.5e-6,
 		TIOWrite:     3.52,
@@ -62,6 +80,10 @@ func Raijin() *Machine {
 		Name:         "Raijin",
 		Alpha:        1.3e-6,
 		Beta:         1.8e-10, // ~5.5 GB/s effective FDR bandwidth
+		IntraAlpha:   0.4e-6,  // Sandy Bridge shared-memory latency
+		IntraBeta:    0.6e-10, // ~16 GB/s intra-node copy bandwidth
+		XRackAlpha:   2.0e-6,  // FDR fat-tree upper tier
+		XRackBeta:    2.7e-10,
 		SendOverhead: 0.4e-6,
 		RecvOverhead: 0.4e-6,
 		TIOWrite:     0.03,
@@ -90,7 +112,58 @@ func Generic() *Machine {
 }
 
 // PtToPt returns the virtual one-way transfer time for a message of the
-// given size in bytes: Alpha + bytes*Beta.
+// given size in bytes on the default (same-rack network) tier:
+// Alpha + bytes*Beta.
 func (m *Machine) PtToPt(bytes int) float64 {
 	return m.Alpha + float64(bytes)*m.Beta
+}
+
+// LinkTier classifies a message by the placement of its two endpoints.
+type LinkTier int
+
+const (
+	// TierNode: both endpoints on the same host (shared memory).
+	TierNode LinkTier = iota
+	// TierRack: different hosts in the same rack (the default fabric).
+	TierRack
+	// TierXRack: hosts in different racks.
+	TierXRack
+	// NumTiers is the number of link tiers.
+	NumTiers = 3
+)
+
+// LinkAlphaBeta returns the latency and per-byte cost of the given tier,
+// applying the zero-value fallback to the flat Alpha/Beta.
+func (m *Machine) LinkAlphaBeta(t LinkTier) (alpha, beta float64) {
+	alpha, beta = m.Alpha, m.Beta
+	switch t {
+	case TierNode:
+		if m.IntraAlpha != 0 {
+			alpha = m.IntraAlpha
+		}
+		if m.IntraBeta != 0 {
+			beta = m.IntraBeta
+		}
+	case TierXRack:
+		if m.XRackAlpha != 0 {
+			alpha = m.XRackAlpha
+		}
+		if m.XRackBeta != 0 {
+			beta = m.XRackBeta
+		}
+	}
+	return alpha, beta
+}
+
+// LinkParts returns the two LogGP halves of a transfer on the given tier:
+// the fixed latency and the size-dependent per-byte term.
+func (m *Machine) LinkParts(t LinkTier, bytes int) (alpha, beta float64) {
+	a, b := m.LinkAlphaBeta(t)
+	return a, float64(bytes) * b
+}
+
+// LinkCost returns the one-way transfer time on the given tier.
+func (m *Machine) LinkCost(t LinkTier, bytes int) float64 {
+	a, b := m.LinkAlphaBeta(t)
+	return a + float64(bytes)*b
 }

@@ -121,6 +121,70 @@ func TestPtToPtParts(t *testing.T) {
 	}
 }
 
+func TestLinkTiers(t *testing.T) {
+	m := &Machine{
+		Alpha: 2e-6, Beta: 4e-10,
+		IntraAlpha: 5e-7, IntraBeta: 1e-10,
+		XRackAlpha: 3e-6, XRackBeta: 6e-10,
+	}
+	cases := []struct {
+		tier        LinkTier
+		alpha, beta float64
+	}{
+		{TierNode, 5e-7, 1e-10},
+		{TierRack, 2e-6, 4e-10},
+		{TierXRack, 3e-6, 6e-10},
+	}
+	for _, c := range cases {
+		a, b := m.LinkAlphaBeta(c.tier)
+		if a != c.alpha || b != c.beta {
+			t.Errorf("tier %d: LinkAlphaBeta = %g, %g; want %g, %g", c.tier, a, b, c.alpha, c.beta)
+		}
+		if got, want := m.LinkCost(c.tier, 1000), c.alpha+1000*c.beta; math.Abs(got-want) > 1e-18 {
+			t.Errorf("tier %d: LinkCost(1000) = %g, want %g", c.tier, got, want)
+		}
+		la, lb := m.LinkParts(c.tier, 1000)
+		if la != c.alpha || math.Abs(lb-1000*c.beta) > 1e-18 {
+			t.Errorf("tier %d: LinkParts(1000) = %g, %g", c.tier, la, lb)
+		}
+	}
+	// The same-rack tier must agree with the flat PtToPt model exactly.
+	if got, want := m.LinkCost(TierRack, 4096), m.PtToPt(4096); got != want {
+		t.Fatalf("TierRack cost %g != PtToPt %g", got, want)
+	}
+}
+
+func TestLinkTierZeroFallback(t *testing.T) {
+	// A profile without tier fields (Generic, user-built machines) must
+	// charge the flat Alpha/Beta on every tier.
+	m := &Machine{Alpha: 1e-6, Beta: 1e-9}
+	for tier := TierNode; tier <= TierXRack; tier++ {
+		a, b := m.LinkAlphaBeta(tier)
+		if a != m.Alpha || b != m.Beta {
+			t.Fatalf("tier %d: flat machine gave %g, %g", tier, a, b)
+		}
+	}
+	if g := Generic(); g.IntraAlpha != 0 || g.XRackAlpha != 0 {
+		t.Fatal("Generic profile must stay flat (tests depend on it)")
+	}
+}
+
+func TestTieredProfilesOrdered(t *testing.T) {
+	// On the paper's systems shared memory must be cheaper than the rack
+	// fabric, and the inter-rack tier at least as expensive.
+	for _, m := range []*Machine{OPL(), Raijin()} {
+		na, nb := m.LinkAlphaBeta(TierNode)
+		ra, rb := m.LinkAlphaBeta(TierRack)
+		xa, xb := m.LinkAlphaBeta(TierXRack)
+		if !(na < ra && nb < rb) {
+			t.Errorf("%s: intra-node (%g,%g) not cheaper than rack (%g,%g)", m.Name, na, nb, ra, rb)
+		}
+		if !(xa >= ra && xb >= rb) {
+			t.Errorf("%s: cross-rack (%g,%g) cheaper than rack (%g,%g)", m.Name, xa, xb, ra, rb)
+		}
+	}
+}
+
 func TestMax(t *testing.T) {
 	if got := Max(); got != 0 {
 		t.Fatalf("Max() = %g, want 0", got)

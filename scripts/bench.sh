@@ -4,18 +4,27 @@
 # root, then prints per-benchmark deltas against BENCH_baseline.json so
 # reviewers can see hot-path cost at a glance:
 #
-#   ./scripts/bench.sh                    # full suite -> BENCH_pr5.json
+#   ./scripts/bench.sh                    # full suite -> BENCH_pr6.json
 #   ./scripts/bench.sh ./internal/grid/   # one package
 #   BENCH_OUT=BENCH_baseline.json ./scripts/bench.sh   # refresh the baseline
 #
-# Times are machine-dependent; allocs/op is the stable signal.
+# Times are machine-dependent; allocs/op is the stable signal. The
+# weak-scaling benchmarks additionally report vs/op — the run's virtual
+# time — which is machine-independent and lands in the snapshot as
+# vs_per_op.
+#
+# Snapshot hygiene: single-shot suite runs on small (1-2 CPU) hosts can
+# swing individual ns/op entries by >50% on untouched code. When
+# recording a snapshot that a bench_compare.sh gate will consume, run
+# the suite several times and keep the per-benchmark minimum, and
+# record both sides of the comparison on the same host.
 set -eu
 
 cd "$(dirname "$0")/.."
 pkgs="${1:-./...}"
-out="${BENCH_OUT:-BENCH_pr5.json}"
+out="${BENCH_OUT:-BENCH_pr6.json}"
 baseline="BENCH_baseline.json"
-prev="BENCH_pr3.json"
+prev="BENCH_pr5.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -26,15 +35,17 @@ BEGIN { print "{"; n = 0 }
 /^pkg: / { pkg = $2 }
 /^Benchmark/ {
     name = $1
-    nsop = ""; allocs = ""
+    nsop = ""; allocs = ""; vsop = ""
     for (i = 2; i <= NF; i++) {
         if ($(i) == "ns/op")     nsop = $(i - 1)
         if ($(i) == "allocs/op") allocs = $(i - 1)
+        if ($(i) == "vs/op")     vsop = $(i - 1)
     }
     if (nsop == "") next
     if (n++) printf ",\n"
     printf "  \"%s/%s\": {\"ns_per_op\": %s", pkg, name, nsop
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (vsop != "")   printf ", \"vs_per_op\": %s", vsop
     printf "}"
 }
 END { print "\n}" }
