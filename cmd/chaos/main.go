@@ -8,9 +8,14 @@
 //	chaos -seeds 64 -start 1000   # a different slice of the seed space
 //	chaos -techniques RC,AC       # skip checkpoint/restart
 //	chaos -out summary.txt        # also write the summary table to a file
+//	chaos -serve :9090            # scrape /metrics while the campaign runs
+//	chaos -metrics                # aggregate instrumentation over every run
+//	chaos -trace-out cell.json    # Perfetto timeline of one representative cell
 //
 // Every violation is printed with the one-line `go test` command that
-// replays exactly that cell. Exits non-zero if any invariant was violated.
+// replays exactly that cell, and its chaos run's trace is written next to
+// the campaign as a post-mortem. Exits non-zero if any invariant was
+// violated.
 package main
 
 import (
@@ -18,10 +23,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"ftsg/internal/chaos"
+	"ftsg/internal/metrics"
+	"ftsg/internal/mpi"
+	"ftsg/internal/telemetry"
+	"ftsg/internal/trace"
 )
 
 func main() {
@@ -33,6 +43,11 @@ func main() {
 		workers    = flag.Int("workers", 0, "concurrent cells (0 = one per CPU)")
 		stall      = flag.Duration("stall", chaos.DefaultStallTimeout, "deadlock watchdog timeout per run")
 		out        = flag.String("out", "", "also write the summary to this file")
+		showMet    = flag.Bool("metrics", false, "print the aggregate instrumentation summary over every run of the campaign (controls, chaos runs and replays, merged in submission order)")
+		metOut     = flag.String("metrics-out", "", "write the aggregate instrumentation summary to this file")
+		traceOut   = flag.String("trace-out", "", "write the Chrome trace_event JSON of the first cell's chaos run to this file (load in ui.perfetto.dev)")
+		serve      = flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :9090) while the campaign runs: GET /metrics (aggregate, streaming in per cell), /debug/ranks, /healthz")
+		dumpDir    = flag.String("dump-dir", ".", "directory for per-violation trace post-mortems")
 	)
 	flag.Parse()
 
@@ -51,8 +66,31 @@ func main() {
 		seedList[i] = *start + int64(i)
 	}
 
+	var reg *metrics.Registry
+	if *showMet || *metOut != "" || *serve != "" {
+		reg = metrics.New()
+	}
+	if *serve != "" {
+		srv := &telemetry.Server{Registry: reg, Trace: trace.New(nil), Introspect: &mpi.Introspection{}}
+		addr, stop, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer stop() //nolint:errcheck // process exits right after
+		fmt.Fprintf(os.Stderr, "chaos: telemetry at http://%s/metrics\n", addr)
+	}
+
 	t0 := time.Now()
-	outs := chaos.CampaignMode(seedList, techs, forced, *workers, *stall)
+	outs := chaos.Sweep(chaos.CampaignOpts{
+		Seeds:      seedList,
+		Techniques: techs,
+		Mode:       forced,
+		Workers:    *workers,
+		Stall:      *stall,
+		Metrics:    reg,
+		KeepTraces: true,
+	})
 	elapsed := time.Since(t0)
 
 	violations := 0
@@ -61,6 +99,15 @@ func main() {
 			violations++
 			fmt.Printf("VIOLATION %s under %s: %s\n  replay: %s\n",
 				o.Scenario, o.Technique, v, chaos.ReproCommandMode(o.Seed, o.Technique, forced))
+		}
+		if len(o.Violations) > 0 && o.TraceJSON != "" {
+			path := fmt.Sprintf("%s/chaos-violation-seed%d-%s.trace.json",
+				strings.TrimRight(*dumpDir, "/"), o.Seed, o.Technique)
+			if err := os.WriteFile(path, []byte(o.TraceJSON), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "chaos:", err)
+			} else {
+				fmt.Printf("  trace: %s\n", path)
+			}
 		}
 	}
 
@@ -76,6 +123,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+	}
+	if *showMet {
+		fmt.Println("\naggregate instrumentation summary:")
+		reg.WriteSummary(os.Stdout)
+	}
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		reg.WriteSummary(f)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *traceOut != "" {
+		fp, err := chaos.FingerprintOf(seedList[0], techs[0], *stall)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*traceOut, []byte(fp.Trace), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("chrome trace of seed %d %s written to %s\n", seedList[0], techs[0], *traceOut)
 	}
 	if violations > 0 {
 		os.Exit(1)

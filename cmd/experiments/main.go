@@ -26,6 +26,8 @@ import (
 	"ftsg/internal/core"
 	"ftsg/internal/harness"
 	"ftsg/internal/metrics"
+	"ftsg/internal/mpi"
+	tele "ftsg/internal/telemetry" // the -telemetry flag shadows the package name
 	"ftsg/internal/trace"
 )
 
@@ -49,6 +51,7 @@ func main() {
 		hosts      = flag.Int("hosts", 0, "cluster host count for every run (0 = smallest count that fits each run's ranks)")
 		slots      = flag.Int("slots", 0, "ranks per host (0 = machine profile default)")
 		racks      = flag.Int("racks", 0, "rack count; hosts split into contiguous blocks charged at the inter-rack link tier (0 = one rack)")
+		serve      = flag.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :9090) while the sweep runs: GET /metrics (aggregate registry, growing as batches complete), /debug/ranks (blocked ops of in-flight runs), /healthz")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile of the sweep to this file")
 		blockProf  = flag.String("blockprofile", "", "write a blocking profile of the sweep to this file")
@@ -119,9 +122,21 @@ func main() {
 	opts.SlotsPerHost = *slots
 	opts.Racks = *racks
 	var reg *metrics.Registry
-	if *showMet || *metOut != "" {
+	if *showMet || *metOut != "" || *serve != "" {
 		reg = metrics.New()
 		opts.Metrics = reg
+	}
+	if *serve != "" {
+		intro := &mpi.Introspection{}
+		opts.Introspect = intro
+		srv := &tele.Server{Registry: reg, Trace: trace.New(nil), Introspect: intro}
+		addr, stop, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer stop() //nolint:errcheck // process exits right after
+		fmt.Fprintf(os.Stderr, "experiments: telemetry at http://%s/metrics\n", addr)
 	}
 	if err := run(os.Stdout, *experiment, *format, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

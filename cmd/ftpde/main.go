@@ -13,10 +13,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"ftsg/internal/core"
 	"ftsg/internal/metrics"
+	"ftsg/internal/mpi"
+	"ftsg/internal/telemetry"
 	"ftsg/internal/trace"
 	"ftsg/internal/vtime"
 )
@@ -60,6 +64,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		ckptBack  = fs.String("ckpt-backend", "", "checkpoint storage backend for CR: dir (files under a temp directory, default) | mem (in-memory)")
 		ckptGens  = fs.Int("ckpt-generations", 0, "checkpoint generations retained per rank; recovery falls back through them past corrupt or torn blobs (0 = store default)")
 		ckptAsync = fs.Bool("ckpt-async", false, "write checkpoints on a per-store write-behind goroutine; results are bit-identical, only real I/O overlaps")
+		serve     = fs.String("serve", "", "serve live telemetry over HTTP on this address (e.g. :9090): GET /metrics (Prometheus text), /debug/ranks, /debug/trace, /healthz; the process stays up after the run until interrupted")
+		eventsOut = fs.String("events-out", "", "write the structured failure-handling event journal (detections, repair phases, checkpoint commits/fallbacks) as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,6 +109,33 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		reg = metrics.New()
 		cfg.Metrics = reg
 	}
+	var journal *telemetry.Journal
+	if *eventsOut != "" {
+		journal = telemetry.NewJournal()
+		cfg.Journal = journal
+	}
+	var stopServe func() error
+	if *serve != "" {
+		// Scraping needs live instruments even when the print flags are off.
+		if rec == nil {
+			rec = trace.New(nil)
+			cfg.Trace = rec
+		}
+		if reg == nil {
+			reg = metrics.New()
+			cfg.Metrics = reg
+		}
+		intro := &mpi.Introspection{}
+		cfg.Introspect = intro
+		srv := &telemetry.Server{Registry: reg, Trace: rec, Introspect: intro}
+		addr, stop, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(stderr, "ftpde:", err)
+			return 1
+		}
+		stopServe = stop
+		fmt.Fprintf(stderr, "ftpde: telemetry at http://%s/metrics\n", addr)
+	}
 
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -139,6 +172,27 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ftpde:", err)
 			return 1
 		}
+	}
+	if *eventsOut != "" {
+		err := writeFileWith(*eventsOut, func(w io.Writer) error {
+			return journal.WriteJSONL(w, true)
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "ftpde:", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stdout, "event journal written to %s (%d events)\n", *eventsOut, journal.Len())
+		}
+	}
+	if stopServe != nil {
+		// Keep the endpoints scrapeable after the run; the registry and
+		// trace are complete now, so a scrape sees the whole story.
+		fmt.Fprintln(stderr, "ftpde: run complete; serving telemetry until interrupted (Ctrl-C)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		stopServe() //nolint:errcheck // shutting down anyway
 	}
 	return 0
 }

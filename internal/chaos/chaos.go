@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"ftsg/internal/core"
@@ -49,6 +50,11 @@ type Outcome struct {
 	ControlL1  float64
 	TotalTime  float64
 	Violations []string
+	// TraceJSON is the chaos run's Chrome trace_event export, kept only
+	// when the cell violated an invariant under Sweep's KeepTrace option —
+	// the campaign-level flight recorder: every failed cell leaves a
+	// Perfetto-loadable post-mortem.
+	TraceJSON string
 }
 
 // OK reports whether every invariant held.
@@ -111,6 +117,7 @@ func ParseTechniques(s string) ([]core.Technique, error) {
 type runOut struct {
 	res *core.Result
 	fp  Fingerprint
+	reg *metrics.Registry
 }
 
 // runOnce executes one configuration with full instrumentation attached and
@@ -144,6 +151,7 @@ func runOnce(cfg core.Config, label, repro string, stallTimeout time.Duration) (
 	}
 	return runOut{
 		res: res,
+		reg: reg,
 		fp: Fingerprint{
 			TotalTime: math.Float64bits(res.TotalTime),
 			L1:        math.Float64bits(res.L1Error),
@@ -186,16 +194,24 @@ func Check(seed int64, tech core.Technique, stallTimeout time.Duration) Outcome 
 // CheckMode is Check with the scenario mode forced (mode 0 draws it from
 // the seed).
 func CheckMode(seed int64, tech core.Technique, mode byte, stallTimeout time.Duration) Outcome {
-	return checkMode(seed, tech, mode, nil, stallTimeout)
+	return checkMode(seed, tech, mode, nil, stallTimeout, false).o
 }
 
 // CheckScaled is Check with every run's configuration passed through
 // ScaleWorld, validating repair-under-failure on the 512-rank-class world.
 func CheckScaled(seed int64, tech core.Technique, stallTimeout time.Duration) Outcome {
-	return checkMode(seed, tech, 0, ScaleWorld, stallTimeout)
+	return checkMode(seed, tech, 0, ScaleWorld, stallTimeout, false).o
 }
 
-func checkMode(seed int64, tech core.Technique, mode byte, scale func(core.Config) core.Config, stallTimeout time.Duration) Outcome {
+// cellOut is one cell's outcome plus its merged instrumentation: the
+// control, chaos and replay registries folded into one in that fixed order,
+// so a campaign aggregate is independent of worker scheduling.
+type cellOut struct {
+	o   Outcome
+	reg *metrics.Registry
+}
+
+func checkMode(seed int64, tech core.Technique, mode byte, scale func(core.Config) core.Config, stallTimeout time.Duration, keepTrace bool) cellOut {
 	sc := NewScenarioMode(seed, mode)
 	o := Outcome{Seed: seed, Technique: tech, Scenario: sc}
 	violate := func(format string, args ...any) {
@@ -206,23 +222,35 @@ func checkMode(seed int64, tech core.Technique, mode byte, scale func(core.Confi
 	}
 	repro := ReproCommandMode(seed, tech, mode)
 
+	cell := metrics.New()
+	fold := func(r runOut) { cell.Merge(r.reg) }
+	finish := func(run1 runOut) cellOut {
+		if keepTrace && len(o.Violations) > 0 {
+			o.TraceJSON = run1.fp.Trace
+		}
+		return cellOut{o: o, reg: cell}
+	}
+
 	ctl, err := runOnce(scale(sc.Control(tech)), fmt.Sprintf("control seed %d %s", seed, tech), repro, stallTimeout)
 	if err != nil {
 		violate("control run failed: %v", err)
-		return o
+		return finish(runOut{})
 	}
+	fold(ctl)
 	o.ControlL1 = ctl.res.L1Error
 
 	run1, err := runOnce(scale(sc.ConfigFor(tech)), fmt.Sprintf("chaos seed %d %s", seed, tech), repro, stallTimeout)
 	if err != nil {
 		violate("chaos run failed: %v", err)
-		return o
+		return finish(runOut{})
 	}
+	fold(run1)
 	run2, err := runOnce(scale(sc.ConfigFor(tech)), fmt.Sprintf("replay seed %d %s", seed, tech), repro, stallTimeout)
 	if err != nil {
 		violate("replay run failed: %v", err)
-		return o
+		return finish(run1)
 	}
+	fold(run2)
 
 	res := run1.res
 	o.Spawned = res.Spawned
@@ -295,7 +323,7 @@ func checkMode(seed int64, tech core.Technique, mode byte, scale func(core.Confi
 				tech, res.L1Error, bound, ctl.res.L1Error)
 		}
 	}
-	return o
+	return finish(run1)
 }
 
 // Campaign checks every (seed, technique) cell on a bounded worker pool and
@@ -308,11 +336,61 @@ func Campaign(seeds []int64, techs []core.Technique, workers int, stallTimeout t
 // CampaignMode is Campaign with the scenario mode forced for every seed
 // (mode 0 draws it per seed).
 func CampaignMode(seeds []int64, techs []core.Technique, mode byte, workers int, stallTimeout time.Duration) []Outcome {
-	outs := make([]Outcome, len(seeds)*len(techs))
-	// CheckMode never returns an error — violations land in the outcome —
+	return Sweep(CampaignOpts{Seeds: seeds, Techniques: techs, Mode: mode, Workers: workers, Stall: stallTimeout})
+}
+
+// CampaignOpts configures an instrumented campaign sweep.
+type CampaignOpts struct {
+	Seeds      []int64
+	Techniques []core.Technique
+	Mode       byte          // forced scenario mode; 0 draws per seed
+	Workers    int           // <= 0 selects GOMAXPROCS
+	Stall      time.Duration // per-run watchdog timeout; <= 0 selects DefaultStallTimeout
+
+	// Metrics, when non-nil, receives every cell's merged registry
+	// (control, chaos run, replay — in that order) folded in strictly in
+	// cell submission order, regardless of which worker finishes first.
+	// That makes the aggregate's summary a pure function of the seed list,
+	// and because cells stream in as they complete, a live /metrics scrape
+	// shows campaign progress without perturbing the result.
+	Metrics *metrics.Registry
+	// KeepTraces retains the chaos run's Chrome-trace export in
+	// Outcome.TraceJSON for every violated cell — the post-mortem a
+	// violation report points at.
+	KeepTraces bool
+}
+
+// Sweep checks every (seed, technique) cell on a bounded worker pool and
+// returns the outcomes in deterministic (seed-major) order, optionally
+// streaming per-cell metrics into an aggregate registry.
+func Sweep(opt CampaignOpts) []Outcome {
+	n := len(opt.Seeds) * len(opt.Techniques)
+	outs := make([]Outcome, n)
+	var (
+		mu    sync.Mutex
+		cells = make([]*metrics.Registry, n)
+		next  int
+	)
+	// checkMode never returns an error — violations land in the outcome —
 	// so ParallelOrdered's error is always nil.
-	_ = harness.ParallelOrdered(workers, len(outs), func(i int) error {
-		outs[i] = CheckMode(seeds[i/len(techs)], techs[i%len(techs)], mode, stallTimeout)
+	_ = harness.ParallelOrdered(opt.Workers, n, func(i int) error {
+		c := checkMode(opt.Seeds[i/len(opt.Techniques)], opt.Techniques[i%len(opt.Techniques)],
+			opt.Mode, nil, opt.Stall, opt.KeepTraces)
+		outs[i] = c.o
+		if opt.Metrics == nil {
+			return nil
+		}
+		// Advance the merge frontier only while the next cell in submission
+		// order is done; out-of-order finishers park their registry and the
+		// in-order one drains the backlog.
+		mu.Lock()
+		cells[i] = c.reg
+		for next < n && cells[next] != nil {
+			opt.Metrics.Merge(cells[next])
+			cells[next] = nil
+			next++
+		}
+		mu.Unlock()
 		return nil
 	})
 	return outs

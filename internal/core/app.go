@@ -3,9 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ftsg/internal/checkpoint"
 	"ftsg/internal/combine"
@@ -17,6 +20,7 @@ import (
 	"ftsg/internal/pde"
 	"ftsg/internal/recovery"
 	"ftsg/internal/topo"
+	"ftsg/internal/trace"
 )
 
 // nominalSteps is the paper's timestep count (2^13); together with
@@ -44,9 +48,35 @@ type runState struct {
 	simLost []int
 	cluster *topo.Cluster
 	place   recovery.Placement
+	reg     *metrics.Registry
+
+	flightOnce sync.Once
 
 	mu  sync.Mutex
 	res Result
+}
+
+// flightSeq numbers automatic flight-recorder dump files within a process.
+var flightSeq atomic.Int64
+
+// dumpFlight writes the run's trace recorder (the always-on flight recorder
+// unless the caller attached a full one) to a post-mortem file, once per
+// run. reason names the trigger in the stderr note; failures to write are
+// reported but never mask the original abort.
+func (rs *runState) dumpFlight(reason string) {
+	rs.flightOnce.Do(func() {
+		dir := rs.cfg.FlightDumpDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		path := filepath.Join(dir, fmt.Sprintf("ftsg-flight-%d-%d.trace.json",
+			os.Getpid(), flightSeq.Add(1)))
+		if err := rs.cfg.Trace.DumpChromeTrace(path); err != nil {
+			fmt.Fprintf(os.Stderr, "core: %s: flight recorder dump failed: %v\n", reason, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "core: %s: flight recorder dumped to %s\n", reason, path)
+	})
 }
 
 // Run executes the fault-tolerant application and returns its metrics.
@@ -55,7 +85,26 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Every run carries a trace recorder: an explicit one from the caller,
+	// or the bounded always-on flight recorder, so an abort or watchdog fire
+	// can leave a Perfetto-loadable post-mortem without -trace-out.
+	if cfg.Trace == nil {
+		cfg.Trace = trace.NewFlight(0)
+	}
 	rs := &runState{cfg: cfg, grids: cfg.Grids()}
+	// A watchdog fire means the run is lost: dump the flight recorder before
+	// the configured stall handling (panic when OnStall is nil, abort
+	// otherwise) so the deadlock leaves a timeline, not just the text dump.
+	if cfg.Watchdog.Timeout > 0 {
+		inner := cfg.Watchdog.OnStall
+		rs.cfg.Watchdog.OnStall = func(dump string) {
+			rs.dumpFlight("watchdog stall")
+			if inner == nil {
+				panic(dump)
+			}
+			inner(dump)
+		}
+	}
 	rs.prob, rs.dt = cfg.Problem()
 	for _, g := range rs.grids {
 		if err := pde.CheckStable(g.Lv, rs.prob, rs.dt); err != nil {
@@ -243,13 +292,15 @@ func Run(cfg Config) (*Result, error) {
 		TIOWrite:       cfg.Machine.TIOWrite,
 	}
 
+	rs.reg = reg
 	rep, err := mpi.Run(mpi.Options{
-		NProcs:   nprocs,
-		Machine:  cfg.Machine,
-		Cluster:  rs.cluster,
-		Entry:    rs.entry,
-		Metrics:  reg,
-		Watchdog: cfg.Watchdog,
+		NProcs:     nprocs,
+		Machine:    cfg.Machine,
+		Cluster:    rs.cluster,
+		Entry:      rs.entry,
+		Metrics:    reg,
+		Watchdog:   rs.cfg.Watchdog,
+		Introspect: cfg.Introspect,
 	})
 	if err != nil {
 		return nil, err
@@ -288,6 +339,9 @@ func (rs *runState) entry(p *mpi.Proc) {
 			// Exiting cleanly is the whole of its job.
 			return
 		}
+		// The run is about to abort: leave the flight-recorder post-mortem
+		// before panicking out of the simulated process.
+		rs.dumpFlight(fmt.Sprintf("rank %d abort", p.WorldRank()))
 		panic(fmt.Sprintf("core: world rank %d: %v", p.WorldRank(), err))
 	}
 }
@@ -297,19 +351,34 @@ func (rs *runState) entry(p *mpi.Proc) {
 func (rs *runState) rank(p *mpi.Proc) error {
 	cfg := rs.cfg
 	charge := func(cells int) { p.ComputeCells(cells, cfg.ComputeScale) }
+	journal := cfg.Journal
+
+	// Recovery-overlap accounting: per-rank virtual time blocked in the
+	// detect/repair window vs advancing the solve. Nil-safe throughout; the
+	// non-blocking-recovery work uses these as its before/after yardstick.
+	repairVec := rs.reg.TimeSumVec("rank.vtime.repair")
+	advanceVec := rs.reg.TimeSumVec("rank.vtime.advance")
 
 	var world *mpi.Comm
 	var rank, cur int
 	var failedList []int
 	replacement := p.Parent() != nil
-	myStats := recovery.Stats{Trace: cfg.Trace}
+	// epoch counts the communicator repairs this process has lived through —
+	// the journal's "which incarnation of the world" stamp. A replacement is
+	// born out of repair round one (or a later one; it cannot tell, and the
+	// stamp only needs to order events on one rank's timeline).
+	epoch := 0
+	myStats := recovery.Stats{Trace: cfg.Trace, Metrics: rs.reg}
 
 	if replacement {
+		tAttach := p.Now()
 		w, r, err := recovery.ReconstructPlaced(p, nil, p.Parent(), &myStats, rs.place)
 		if err != nil {
 			return err
 		}
 		world, rank = w, r
+		epoch = 1
+		repairVec.At(rank).Add(p.Now() - tAttach)
 	} else {
 		world = p.World()
 		rank = world.Rank()
@@ -357,12 +426,14 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		cfg.Trace.Emit(p.Now(), rank, "respawn",
 			"replacement world id %d attached on host %d, rejoining at step %d",
 			p.WorldRank(), p.Host(), cur)
+		journal.Emit(p.Now(), rank, epoch, "respawn",
+			slog.Int("step", cur), slog.Int("world_id", p.WorldRank()), slog.Int("host", p.Host()))
 		gcomm, solver, err = build(world)
 		if err != nil {
 			return err
 		}
 		rs.flushCheckpoints(p, rank, cur)
-		if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, cur); err != nil {
+		if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, cur, epoch); err != nil {
 			return err
 		}
 		rs.mergeStats(&myStats, failedList)
@@ -394,9 +465,15 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		if opHook != nil {
 			p.SetOpHook(opHook)
 		}
-		solveSpan := cfg.Trace.BeginSpan(p.Now(), rank, "solve", "steps %d..%d", cur+1, dp)
+		tSolve := p.Now()
+		solveSpan := cfg.Trace.BeginSpan(tSolve, rank, "solve", "steps %d..%d", cur+1, dp)
 		for s := cur + 1; s <= dp; s++ {
 			if !replacement && rs.plan != nil {
+				if journal != nil {
+					if at, ok := rs.plan.DeathStep(rank); ok && at == s {
+						journal.Emit(p.Now(), rank, epoch, "fault-inject", slog.Int("step", s))
+					}
+				}
 				rs.plan.Poll(p, rank, s)
 			}
 			if !gridLost {
@@ -413,9 +490,11 @@ func (rs *runState) rank(p *mpi.Proc) error {
 			}
 		}
 		solveSpan.End(p.Now())
+		advanceVec.At(rank).Add(p.Now() - tSolve)
 		cur = dp
 
-		st := recovery.Stats{Trace: cfg.Trace}
+		tRepair := p.Now()
+		st := recovery.Stats{Trace: cfg.Trace, Metrics: rs.reg}
 		newWorld, newRank, err := recovery.ReconstructPlaced(p, world, nil, &st, rs.place)
 		if opHook != nil {
 			p.SetOpHook(nil)
@@ -423,6 +502,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		if err != nil {
 			return err
 		}
+		repairVec.At(rank).Add(p.Now() - tRepair)
 		if st.ReconstructTime > 0 {
 			// A failure was repaired: re-derive everything that hung off
 			// the old communicator — after checking the protocol's core
@@ -447,7 +527,24 @@ func (rs *runState) rank(p *mpi.Proc) error {
 				cfg.Trace.Emit(p.Now(), rank, "repair",
 					"failed ranks %v repaired at step %d (shrink %.2fs, spawn %.2fs, merge %.3fs, agree %.2fs, split %.3fs)",
 					failedList, dp, st.ShrinkTime, st.SpawnTime, st.MergeTime, st.AgreeTime, st.SplitTime)
+				if journal != nil {
+					journal.Emit(p.Now(), rank, epoch, "failure-detected",
+						slog.Int("step", dp), slog.String("failed", fmt.Sprint(failedList)))
+					for _, ph := range []struct {
+						name    string
+						seconds float64
+					}{
+						{"detect", st.ListTime}, {"shrink", st.ShrinkTime},
+						{"spawn", st.SpawnTime}, {"merge", st.MergeTime},
+						{"agree", st.AgreeTime}, {"split", st.SplitTime},
+					} {
+						journal.Emit(p.Now(), rank, epoch, "repair-phase",
+							slog.String("phase", ph.name), slog.Float64("seconds", ph.seconds),
+							slog.Int("step", dp))
+					}
+				}
 			}
+			epoch++
 			oldState, oldStep := solver.State(), solver.Steps()
 			gcomm, solver, err = build(world)
 			if err != nil {
@@ -459,7 +556,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 				}
 			}
 			rs.flushCheckpoints(p, rank, dp)
-			if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, dp); err != nil {
+			if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, dp, epoch); err != nil {
 				return err
 			}
 			rs.mergeStats(&st, failedList)
@@ -479,6 +576,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 					rs.res.CheckpointWrites++
 					rs.mu.Unlock()
 					cfg.Trace.Emit(p.Now(), rank, "checkpoint", "checkpoint written at step %d", dp)
+					journal.Emit(p.Now(), rank, epoch, "checkpoint-commit", slog.Int("step", dp))
 				}
 			}
 		}
@@ -487,7 +585,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 	// Simulated failures (the paper's Figs. 9/10 mode): whole grids are
 	// assumed lost at the end, without killing processes.
 	if !cfg.RealFailures && len(rs.simLost) > 0 {
-		if err := rs.recoverData(p, world, gcomm, solver, mine, nil, cfg.Steps); err != nil {
+		if err := rs.recoverData(p, world, gcomm, solver, mine, nil, cfg.Steps, epoch); err != nil {
 			return err
 		}
 	}
@@ -613,7 +711,7 @@ func removeStep(cand []int, step int) []int {
 // the configured technique. Every process of the communicator calls it with
 // the same arguments; only members of the lost grids and their recovery
 // partners communicate.
-func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, failedRanks []int, atStep int) error {
+func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, failedRanks []int, atStep, epoch int) error {
 	lost := rs.lostGridIDs(failedRanks)
 	if len(lost) == 0 {
 		return nil
@@ -662,6 +760,10 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 				return fmt.Errorf("core: CR restore: %w", err)
 			}
 			if step == 0 {
+				if gcomm.Rank() == 0 {
+					rs.cfg.Journal.Emit(p.Now(), world.Rank(), epoch, "checkpoint-restore",
+						slog.Int("grid", mine.ID), slog.Int("step", 0))
+				}
 				ic := grid.NewPooled(mine.Lv)
 				ic.Fill(rs.prob.U0)
 				rerr := solver.SetFromGrid(ic, 0)
@@ -684,6 +786,10 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 				return fmt.Errorf("core: CR restore: %w", aerr)
 			}
 			if allOK[0] == 1 {
+				if gcomm.Rank() == 0 {
+					rs.cfg.Journal.Emit(p.Now(), world.Rank(), epoch, "checkpoint-restore",
+						slog.Int("grid", mine.ID), slog.Int("step", step))
+				}
 				if err := solver.Restore(step, data); err != nil {
 					return err
 				}
@@ -691,6 +797,10 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 			}
 			// The full read exposed damage the header peek missed on at
 			// least one rank: drop the step everywhere and renegotiate.
+			if gcomm.Rank() == 0 {
+				rs.cfg.Journal.Emit(p.Now(), world.Rank(), epoch, "checkpoint-fallback",
+					slog.Int("grid", mine.ID), slog.Int("step", step))
+			}
 			cand = removeStep(cand, step)
 		}
 		if err := solver.Run(atStep - solver.Steps()); err != nil {

@@ -16,6 +16,7 @@ import (
 	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
 	"ftsg/internal/pde"
+	"ftsg/internal/telemetry"
 	"ftsg/internal/trace"
 	"ftsg/internal/vtime"
 )
@@ -190,6 +191,21 @@ type Config struct {
 	// checkpoint I/O bytes) are populated — the harness uses this to add
 	// deterministic per-cell telemetry columns.
 	Telemetry bool
+	// Journal, when non-nil, receives the run's structured failure-handling
+	// events (failure detection, repair-phase transitions, checkpoint
+	// commit/fallback/restore, fault injections), each stamped with virtual
+	// time, rank and communicator epoch. nil disables journaling at zero
+	// cost.
+	Journal *telemetry.Journal
+	// Introspect, when non-nil, registers the run's MPI world for the
+	// duration of the job so the telemetry server's /debug/ranks endpoint
+	// can take on-demand per-rank blocked-op snapshots.
+	Introspect *mpi.Introspection
+	// FlightDumpDir is where automatic flight-recorder post-mortems land
+	// when a run aborts or the watchdog fires ("" = the OS temp directory).
+	// When Trace is nil, Run attaches a bounded flight recorder to every run
+	// so such a dump always exists; an explicit Trace is dumped as-is.
+	FlightDumpDir string
 	// CheckpointDir overrides the checkpoint directory (default: a fresh
 	// temporary directory, removed after the run). Only meaningful with
 	// the "dir" backend.

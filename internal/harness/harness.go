@@ -15,6 +15,7 @@ import (
 
 	"ftsg/internal/core"
 	"ftsg/internal/metrics"
+	"ftsg/internal/mpi"
 	"ftsg/internal/vtime"
 )
 
@@ -86,6 +87,11 @@ type Options struct {
 	// inter-rack link tier (0 or 1 = a single rack). Defaults keep output
 	// byte-identical to the pre-topology harness.
 	Racks int
+	// Introspect, when non-nil, registers every run's simulated World with
+	// the introspection hub while it executes, so a telemetry server's
+	// /debug/ranks endpoint can dump per-rank blocked operations of the
+	// in-flight sweep. Read-only; output is unaffected.
+	Introspect *mpi.Introspection
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }

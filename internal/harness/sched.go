@@ -5,6 +5,7 @@ import (
 
 	"ftsg/internal/core"
 	"ftsg/internal/metrics"
+	"ftsg/internal/mpi"
 )
 
 // The experiment matrix — cores × technique × failures × trials — is a set
@@ -30,6 +31,7 @@ type schedJob struct {
 type sched struct {
 	workers int
 	agg     *metrics.Registry
+	intro   *mpi.Introspection
 	ckpt    ckptOpts
 	shape   shapeOpts
 	jobs    []schedJob
@@ -89,6 +91,7 @@ func newSched(o Options) *sched {
 	return &sched{
 		workers: workers,
 		agg:     o.Metrics,
+		intro:   o.Introspect,
 		ckpt: ckptOpts{
 			backend:     o.CkptBackend,
 			generations: o.CkptGenerations,
@@ -138,6 +141,9 @@ func (s *sched) Run() error {
 		cfg := jobs[i].cfg
 		s.ckpt.apply(&cfg)
 		s.shape.apply(&cfg)
+		if s.intro != nil && cfg.Introspect == nil {
+			cfg.Introspect = s.intro
+		}
 		if regs != nil && cfg.Metrics == nil {
 			// Private per-run registry: the run's Result telemetry
 			// stays per-run, and the fixed-order merge below keeps

@@ -253,6 +253,54 @@ func (v *CounterVec) Len() int {
 	return 0
 }
 
+// TimeSumVec is a growable vector of virtual-time accumulators indexed by a
+// small integer — per-rank cost attribution (e.g. blocked-in-repair vs
+// advancing). Same growth discipline as CounterVec: steady-state access is a
+// bounds check plus an atomic pointer load.
+type TimeSumVec struct {
+	mu sync.Mutex
+	ts atomic.Pointer[[]*TimeSum]
+}
+
+// At returns the accumulator at index i (growing the vector as needed), or
+// nil for a nil vector or negative index.
+func (v *TimeSumVec) At(i int) *TimeSum {
+	if v == nil || i < 0 {
+		return nil
+	}
+	if ts := v.ts.Load(); ts != nil && i < len(*ts) {
+		return (*ts)[i]
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ts := v.ts.Load()
+	var cur []*TimeSum
+	if ts != nil {
+		cur = *ts
+	}
+	if i < len(cur) {
+		return cur[i]
+	}
+	grown := make([]*TimeSum, i+1)
+	copy(grown, cur)
+	for j := len(cur); j <= i; j++ {
+		grown[j] = new(TimeSum)
+	}
+	v.ts.Store(&grown)
+	return grown[i]
+}
+
+// Len returns the current vector length.
+func (v *TimeSumVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	if ts := v.ts.Load(); ts != nil {
+		return len(*ts)
+	}
+	return 0
+}
+
 // Registry owns all instruments of one run (or one aggregated sweep).
 // A nil *Registry is the disabled state: every accessor returns nil and the
 // nil instruments are no-ops.
@@ -263,6 +311,7 @@ type Registry struct {
 	tss   map[string]*TimeSum
 	hists map[string]*Histogram
 	vecs  map[string]*CounterVec
+	tvs   map[string]*TimeSumVec
 }
 
 // New returns an empty enabled registry.
@@ -273,6 +322,7 @@ func New() *Registry {
 		tss:   make(map[string]*TimeSum),
 		hists: make(map[string]*Histogram),
 		vecs:  make(map[string]*CounterVec),
+		tvs:   make(map[string]*TimeSumVec),
 	}
 }
 
@@ -356,6 +406,22 @@ func (r *Registry) CounterVec(name string) *CounterVec {
 	return v
 }
 
+// TimeSumVec returns the named virtual-time vector, creating it on first
+// use.
+func (r *Registry) TimeSumVec(name string) *TimeSumVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.tvs[name]
+	if !ok {
+		v = new(TimeSumVec)
+		r.tvs[name] = v
+	}
+	return v
+}
+
 // merge folds src's observations into h.
 func (h *Histogram) merge(src *Histogram) {
 	h.count.Add(src.count.Load())
@@ -409,6 +475,10 @@ func (r *Registry) Merge(src *Registry) {
 	for k, v := range src.vecs {
 		vecs[k] = v
 	}
+	tvs := make(map[string]*TimeSumVec, len(src.tvs))
+	for k, v := range src.tvs {
+		tvs[k] = v
+	}
 	src.mu.Unlock()
 
 	for _, k := range sortedKeys(cts) {
@@ -426,6 +496,13 @@ func (r *Registry) Merge(src *Registry) {
 	for _, k := range sortedKeys(vecs) {
 		sv := vecs[k]
 		dv := r.CounterVec(k)
+		for i := 0; i < sv.Len(); i++ {
+			dv.At(i).Add(sv.At(i).Value())
+		}
+	}
+	for _, k := range sortedKeys(tvs) {
+		sv := tvs[k]
+		dv := r.TimeSumVec(k)
 		for i := 0; i < sv.Len(); i++ {
 			dv.At(i).Add(sv.At(i).Value())
 		}
@@ -491,6 +568,20 @@ func (r *Registry) WriteSummary(w io.Writer) {
 					b.WriteByte(' ')
 				}
 				fmt.Fprintf(&b, "%d", v.At(i).Value())
+			}
+			fmt.Fprintf(w, "  %-40s [%s]\n", k, b.String())
+		}
+	}
+	if len(r.tvs) > 0 {
+		fmt.Fprintln(w, "per-index virtual time (s):")
+		for _, k := range sortedKeys(r.tvs) {
+			v := r.tvs[k]
+			var b strings.Builder
+			for i := 0; i < v.Len(); i++ {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%.6f", v.At(i).Value())
 			}
 			fmt.Fprintf(w, "  %-40s [%s]\n", k, b.String())
 		}

@@ -1,0 +1,102 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ftsg/internal/vtime"
+)
+
+// TestSnapshotOnDemand checks a live world's blocked-op state is observable
+// via Introspection without any watchdog configured — the dump no longer
+// requires the timeout path to fire. Rank 0 parks in a receive while rank 1
+// holds at a plain channel; the test polls snapshots until it sees the
+// blocked receive, then releases rank 1 and the run finishes cleanly.
+func TestSnapshotOnDemand(t *testing.T) {
+	intro := &Introspection{}
+	seen := make(chan WorldSnapshot, 1)
+	release := make(chan struct{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(Options{
+			NProcs:     2,
+			Machine:    vtime.OPL(),
+			Introspect: intro,
+			Entry: func(p *Proc) {
+				c := p.World()
+				if c.Rank() == 0 {
+					v, _, err := RecvOne[int](c, 1, 9)
+					if err != nil || v != 77 {
+						t.Errorf("rank 0 recv: v=%d err=%v", v, err)
+					}
+					return
+				}
+				// Rank 1 waits outside MPI until the test has snapshotted
+				// rank 0's blocked receive, then unblocks it.
+				<-release
+				if err := SendOne(c, 0, 9, 77); err != nil {
+					t.Errorf("rank 1 send: %v", err)
+				}
+			},
+		})
+		done <- err
+	}()
+
+	go func() {
+		deadline := time.After(5 * time.Second)
+		for {
+			for _, ws := range intro.Snapshots() {
+				for _, r := range ws.Ranks {
+					if r.WorldRank == 0 && strings.Contains(r.Blocked, "recv comm=0 src=1 tag=9") {
+						select {
+						case seen <- ws:
+						default:
+						}
+						return
+					}
+				}
+			}
+			select {
+			case <-deadline:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+
+	select {
+	case ws := <-seen:
+		if len(ws.Ranks) != 2 {
+			t.Errorf("snapshot has %d ranks, want 2", len(ws.Ranks))
+		}
+		for _, r := range ws.Ranks {
+			if !r.Alive {
+				t.Errorf("rank %d reported dead in a healthy run", r.WorldRank)
+			}
+		}
+		if len(ws.Failed) != 0 {
+			t.Errorf("snapshot reports failed ranks %v in a healthy run", ws.Failed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("never observed rank 0 blocked in its receive")
+	}
+	close(release)
+
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The run is over: the world must have detached.
+	if n := len(intro.Snapshots()); n != 0 {
+		t.Errorf("%d worlds still attached after Run returned", n)
+	}
+}
+
+// TestSnapshotNilIntrospection checks the nil receiver contract.
+func TestSnapshotNilIntrospection(t *testing.T) {
+	var in *Introspection
+	if got := in.Snapshots(); got == nil || len(got) != 0 {
+		t.Errorf("nil Introspection.Snapshots() = %v, want empty non-nil", got)
+	}
+}

@@ -96,69 +96,24 @@ func equalEpochs(a, b []uint64) bool {
 
 // stallDump renders the per-rank blocked-operation and mailbox state plus
 // every unresolved rendezvous — the evidence needed to diagnose a deadlock.
-// It takes World.state and then each process's mutex one at a time,
-// respecting the lock hierarchy.
+// The state itself comes from World.Snapshot (introspect.go), which the
+// /debug/ranks endpoint also serves; this is just its text rendering.
 func (w *World) stallDump(timeout time.Duration) string {
+	snap := w.Snapshot()
 	var b strings.Builder
 	fmt.Fprintf(&b, "mpi: watchdog: no transport progress for %v\n", timeout)
-
-	w.state.RLock()
-	failed := append([]int(nil), w.failed...)
-	spawned := w.spawned
-	type rvzLine struct {
-		key     rvzKey
-		arrived int
-		members int
-	}
-	var pending []rvzLine
-	for key, r := range w.rvzTable {
-		if !r.done {
-			pending = append(pending, rvzLine{key, len(r.arrived), len(r.members)})
-		}
-	}
-	w.state.RUnlock()
-
-	fmt.Fprintf(&b, "failed (world ranks, in order): %v; spawned: %d\n", failed, spawned)
-	sort.Slice(pending, func(i, j int) bool {
-		a, c := pending[i].key, pending[j].key
-		if a.comm != c.comm {
-			return a.comm < c.comm
-		}
-		if a.op != c.op {
-			return a.op < c.op
-		}
-		return a.seq < c.seq
-	})
-	for _, r := range pending {
+	fmt.Fprintf(&b, "failed (world ranks, in order): %v; spawned: %d\n", snap.Failed, snap.Spawned)
+	for _, r := range snap.Pending {
 		fmt.Fprintf(&b, "rendezvous comm=%d op=%s seq=%d: %d/%d arrived\n",
-			r.key.comm, r.key.op, r.key.seq, r.arrived, r.members)
+			r.Comm, r.Op, r.Seq, r.Arrived, r.Members)
 	}
-
-	for _, st := range w.snapshot() {
-		st.mu.Lock()
-		alive := st.alive.Load()
-		var blocked string
-		switch {
-		case st.waitSh != nil && st.waitReq != nil:
-			blocked = fmt.Sprintf("Wait on posted recv, comm=%d", st.waitSh.id)
-		case st.waitSh != nil:
-			blocked = fmt.Sprintf("recv comm=%d src=%d tag=%d", st.waitSh.id, st.waitSrc, st.waitTag)
-		default:
-			blocked = "none recorded (running, parked in a rendezvous, or exited)"
-		}
-		var sigs []string
-		total := 0
-		for k, q := range st.mb.q {
-			n := 0
-			for e := q.head; e != nil; e = e.next {
-				n++
-			}
-			total += n
-			sigs = append(sigs, fmt.Sprintf("comm=%d src=%d tag=%d x%d", k.comm, k.src, k.tag, n))
+	for _, rs := range snap.Ranks {
+		sigs := make([]string, 0, len(rs.Queues))
+		for _, q := range rs.Queues {
+			sigs = append(sigs, fmt.Sprintf("comm=%d src=%d tag=%d x%d", q.Comm, q.Src, q.Tag, q.Depth))
 		}
 		sort.Strings(sigs)
-		st.mu.Unlock()
-		fmt.Fprintf(&b, "world rank %3d alive=%-5v blocked=%s mailbox=%d", st.wrank, alive, blocked, total)
+		fmt.Fprintf(&b, "world rank %3d alive=%-5v blocked=%s mailbox=%d", rs.WorldRank, rs.Alive, rs.Blocked, rs.Mailbox)
 		if len(sigs) > 0 {
 			fmt.Fprintf(&b, " [%s]", strings.Join(sigs, "; "))
 		}

@@ -207,6 +207,10 @@ type Options struct {
 	// happens for a full timeout interval (see watchdog.go). The zero value
 	// disables it.
 	Watchdog Watchdog
+	// Introspect, when non-nil, registers the World for the duration of the
+	// run so external observers (the telemetry server's /debug/ranks) can
+	// take on-demand blocked-op snapshots. See introspect.go.
+	Introspect *Introspection
 	// FlatCollectives disables the topology-aware hierarchical collective
 	// algorithms, running every collective as a flat single-level algorithm
 	// over the whole communicator (the pre-hierarchy behaviour). The
@@ -291,6 +295,10 @@ func Run(o Options) (*Report, error) {
 		go w.runProc(p)
 	}
 
+	if o.Introspect != nil {
+		o.Introspect.attach(w)
+		defer o.Introspect.detach(w)
+	}
 	if o.Watchdog.Timeout > 0 {
 		done := make(chan struct{})
 		defer close(done)

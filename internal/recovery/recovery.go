@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
 	"ftsg/internal/trace"
 )
@@ -76,12 +77,21 @@ type Stats struct {
 	// so exporters can render the recovery as a structured timeline. A nil
 	// recorder drops everything.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, additionally charges each phase's virtual-time
+	// cost to a recovery.phase.<name> TimeSum — the per-phase breakdown the
+	// telemetry plane serves at /metrics. A nil registry drops everything.
+	Metrics *metrics.Registry
 }
 
 // span opens a protocol-phase span on the stats' recorder; the returned
 // handle is nil-safe.
 func (st *Stats) span(t float64, rank int, phase, format string, args ...any) *trace.SpanHandle {
 	return st.Trace.BeginSpan(t, rank, phase, format, args...)
+}
+
+// charge adds one phase execution's virtual-time cost to the registry.
+func (st *Stats) charge(phase string, seconds float64) {
+	st.Metrics.TimeSum("recovery.phase." + phase).Add(seconds)
 }
 
 // ErrorHandler returns the Fig. 4 error handler: on a process-failure
@@ -184,11 +194,13 @@ func RepairComm(p *mpi.Proc, broken *mpi.Comm, st *Stats) (*mpi.Comm, error) {
 // policy.
 func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement) (*mpi.Comm, error) {
 	me := broken.Rank()
-	sp := st.span(p.Now(), me, "revoke", "")
+	t0 := p.Now()
+	sp := st.span(t0, me, "revoke", "")
 	_ = broken.Revoke()
 	sp.End(p.Now())
+	st.charge("revoke", p.Now()-t0)
 
-	t0 := p.Now()
+	t0 = p.Now()
 	sp = st.span(t0, me, "shrink", "")
 	shrunk, err := broken.Shrink()
 	sp.End(p.Now())
@@ -196,6 +208,7 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 		return nil, fmt.Errorf("recovery: shrink: %w", err)
 	}
 	st.ShrinkTime += p.Now() - t0
+	st.charge("shrink", p.Now()-t0)
 
 	t0 = p.Now()
 	failedRanks := FailedProcsList(broken, shrunk)
@@ -219,6 +232,7 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 		return nil, fmt.Errorf("recovery: spawn: %w", err)
 	}
 	st.SpawnTime += p.Now() - t0
+	st.charge("spawn", p.Now()-t0)
 
 	t0 = p.Now()
 	sp = st.span(t0, me, "merge", "")
@@ -228,6 +242,7 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 		return nil, fmt.Errorf("recovery: merge: %w", err)
 	}
 	st.MergeTime += p.Now() - t0
+	st.charge("merge", p.Now()-t0)
 
 	// From here on the freshly spawned children are blocked inside their own
 	// ChildAttach (agree, then a receive of their old rank on the merged
@@ -249,6 +264,7 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 		return nil, abandon(fmt.Errorf("recovery: agree: %w", err))
 	}
 	st.AgreeTime += p.Now() - t0
+	st.charge("agree", p.Now()-t0)
 
 	// Rank 0 of the merged communicator tells each child its old rank
 	// (children occupy the highest ranks after the high merge).
@@ -271,6 +287,7 @@ func RepairCommPlaced(p *mpi.Proc, broken *mpi.Comm, st *Stats, place Placement)
 		return nil, abandon(fmt.Errorf("recovery: split: %w", err))
 	}
 	st.SplitTime += p.Now() - t0
+	st.charge("split", p.Now()-t0)
 	return repaired, nil
 }
 
@@ -289,6 +306,7 @@ func ChildAttach(p *mpi.Proc, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, erro
 	_, agreeErr := parent.Agree(1)
 	sp.End(p.Now())
 	st.AgreeTime += p.Now() - t0
+	st.charge("agree", p.Now()-t0)
 	if agreeErr != nil {
 		// The agreement over the spawn intercommunicator covers exactly this
 		// repair round's participants (survivors + children), so a failure
@@ -306,6 +324,7 @@ func ChildAttach(p *mpi.Proc, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, erro
 		return nil, -1, fmt.Errorf("recovery: child merge: %w", err)
 	}
 	st.MergeTime += p.Now() - t0
+	st.charge("merge", p.Now()-t0)
 
 	oldRank, _, err := mpi.RecvOne[int](unordered, 0, MergeTag)
 	if err != nil {
@@ -329,6 +348,7 @@ func ChildAttach(p *mpi.Proc, parent *mpi.Comm, st *Stats) (*mpi.Comm, int, erro
 		return nil, -1, fmt.Errorf("recovery: child split: %w", err)
 	}
 	st.SplitTime += p.Now() - t0
+	st.charge("split", p.Now()-t0)
 	return ordered, oldRank, nil
 }
 
@@ -372,6 +392,7 @@ func ReconstructPlaced(p *mpi.Proc, myWorld *mpi.Comm, parent *mpi.Comm, st *Sta
 			_, agreeErr := reconstructed.Agree(1)
 			sp.End(p.Now())
 			st.ListTime += p.Now() - t0
+			st.charge("detect", p.Now()-t0)
 
 			if agreeErr == nil && barrierErr == nil {
 				if replaced != nil {

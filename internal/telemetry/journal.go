@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Journal is the structured event log of failure handling: one entry per
+// failure detection, repair-phase transition, checkpoint commit/fallback or
+// fault injection, each stamped with the emitting rank's virtual time, rank,
+// communicator epoch (repairs that rank has lived through) and the wall
+// clock. Entries are buffered and rendered on demand as JSONL via
+// log/slog's JSONHandler.
+//
+// Determinism contract: everything except the wall timestamp is a
+// program-order function of the run — the same seed yields byte-identical
+// canonical output (WriteJSONL with includeWall=false) at any GOMAXPROCS.
+// That works because entries are sorted by (virtual time, rank, per-rank
+// emission order) before rendering: per-rank order is program order, and
+// virtual time is already pinned by the determinism campaign. The live
+// rendering (includeWall=true) adds a "wall" field for correlating with
+// real-world logs and is not expected to be reproducible.
+//
+// A nil *Journal is the disabled state: Emit is a no-op, so call sites need
+// no guards, mirroring the nil-Registry contract.
+type Journal struct {
+	mu      sync.Mutex
+	entries []JournalEntry
+	seq     map[int]int
+}
+
+// JournalEntry is one buffered event.
+type JournalEntry struct {
+	VT    float64 // virtual seconds on the emitting rank's clock
+	Rank  int
+	Epoch int // communicator repairs this rank has completed
+	Kind  string
+	Wall  time.Time
+	Attrs []slog.Attr
+	seq   int // per-rank emission index, the deterministic tiebreaker
+}
+
+// NewJournal returns an empty enabled journal.
+func NewJournal() *Journal {
+	return &Journal{seq: make(map[int]int)}
+}
+
+// Emit buffers one event at virtual time vt on rank's timeline. Extra
+// attributes land after the standard vt/rank/epoch fields in the rendered
+// line. No-op on a nil journal.
+func (j *Journal) Emit(vt float64, rank, epoch int, kind string, attrs ...slog.Attr) {
+	if j == nil {
+		return
+	}
+	wall := time.Now()
+	j.mu.Lock()
+	j.entries = append(j.entries, JournalEntry{
+		VT: vt, Rank: rank, Epoch: epoch, Kind: kind, Wall: wall,
+		Attrs: attrs, seq: j.seq[rank],
+	})
+	j.seq[rank]++
+	j.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Entries returns a copy of the buffered events in canonical order.
+func (j *Journal) Entries() []JournalEntry {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	out := append([]JournalEntry(nil), j.entries...)
+	j.mu.Unlock()
+	sort.SliceStable(out, func(i, k int) bool {
+		if out[i].VT != out[k].VT {
+			return out[i].VT < out[k].VT
+		}
+		if out[i].Rank != out[k].Rank {
+			return out[i].Rank < out[k].Rank
+		}
+		return out[i].seq < out[k].seq
+	})
+	return out
+}
+
+// WriteJSONL renders the journal as one JSON object per line, in canonical
+// order. Each line carries msg (the event kind), vt, rank, epoch and the
+// event's extra attributes; includeWall adds the wall timestamp as "wall".
+// With includeWall=false the output is byte-identical across schedules for
+// a deterministic run.
+func (j *Journal) WriteJSONL(w io.Writer, includeWall bool) error {
+	if j == nil {
+		return nil
+	}
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.LevelKey {
+				return slog.Attr{}
+			}
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				a.Key = "wall"
+			}
+			return a
+		},
+	})
+	for _, e := range j.Entries() {
+		var t time.Time
+		if includeWall {
+			t = e.Wall // zero time elides the field entirely
+		}
+		rec := slog.NewRecord(t, slog.LevelInfo, e.Kind, 0)
+		rec.AddAttrs(slog.Float64("vt", e.VT), slog.Int("rank", e.Rank), slog.Int("epoch", e.Epoch))
+		rec.AddAttrs(e.Attrs...)
+		if err := h.Handle(context.Background(), rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

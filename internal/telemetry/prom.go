@@ -1,0 +1,131 @@
+// Package telemetry is the live observability plane of the simulated
+// system: a Prometheus text-format exposition writer over the metrics
+// registry, an HTTP server exposing /metrics, /debug/ranks, /debug/trace
+// and /healthz, and a structured JSONL event journal for failure handling.
+// Everything here reads the same instruments the end-of-run summaries
+// render, so a scrape mid-run and WriteSummary at the end agree by
+// construction.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"ftsg/internal/metrics"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). The mapping from our instrument kinds:
+//
+//   - Counter        -> counter, value as-is
+//   - Gauge          -> gauge
+//   - TimeSum        -> counter in (virtual) seconds
+//   - Histogram      -> histogram: cumulative _bucket{le="..."} series over
+//     the power-of-two-nanosecond buckets (trailing empty buckets elided),
+//     plus _sum and _count
+//   - CounterVec     -> counter with an index="N" label per element
+//   - TimeSumVec     -> counter in seconds with an index="N" label
+//
+// Metric names are the registry names with every non-[a-zA-Z0-9_] byte
+// mapped to '_' (mpi.sent.messages -> mpi_sent_messages). Families are
+// name-sorted within each kind and kinds render in a fixed order, so the
+// output is deterministic for a given set of values — tests diff it, and
+// merging per-run registries in a fixed order yields a byte-identical
+// exposition. A nil registry writes an empty body (a valid scrape of zero
+// families).
+func WritePrometheus(w io.Writer, r *metrics.Registry) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	b := &strings.Builder{}
+
+	for _, c := range snap.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(b, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(g.Value))
+	}
+	for _, t := range snap.TimeSums {
+		name := promName(t.Name) + "_seconds"
+		fmt.Fprintf(b, "# TYPE %s counter\n%s %s\n", name, name, promFloat(t.Seconds))
+	}
+	for _, h := range snap.Histograms {
+		name := promName(h.Name) + "_seconds"
+		fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+		last := -1
+		for i, n := range h.Buckets {
+			if n != 0 {
+				last = i
+			}
+		}
+		var cum int64
+		for i := 0; i <= last; i++ {
+			cum += h.Buckets[i]
+			le := metrics.BucketUpperBound(i)
+			if math.IsInf(le, 1) {
+				break // the catch-all bucket is the +Inf line below
+			}
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, promFloat(le), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
+	}
+	for _, v := range snap.CounterVecs {
+		name := promName(v.Name)
+		fmt.Fprintf(b, "# TYPE %s counter\n", name)
+		for i, n := range v.Values {
+			fmt.Fprintf(b, "%s{index=\"%d\"} %d\n", name, i, n)
+		}
+	}
+	for _, v := range snap.TimeSumVecs {
+		name := promName(v.Name) + "_seconds"
+		fmt.Fprintf(b, "# TYPE %s counter\n", name)
+		for i, s := range v.Seconds {
+			fmt.Fprintf(b, "%s{index=\"%d\"} %s\n", name, i, promFloat(s))
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a registry instrument name to a valid Prometheus metric
+// name: every byte outside [a-zA-Z0-9_] becomes '_', and a leading digit is
+// prefixed with '_' (no registry name starts with one today).
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		if i == 0 && '0' <= c && c <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus client libraries do: shortest
+// round-trip representation, deterministic for a given bit pattern.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 )
@@ -123,4 +124,20 @@ func (r *Recorder) ExportChromeTrace(w io.Writer) error {
 
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// DumpChromeTrace writes the timeline to path as Chrome trace_event JSON,
+// creating or truncating the file. It is the flight-recorder post-mortem
+// sink: cheap enough to call from an abort path, and the produced file loads
+// directly in ui.perfetto.dev.
+func (r *Recorder) DumpChromeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.ExportChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

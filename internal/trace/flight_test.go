@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlightRingWraparound checks the flight recorder retains exactly the
+// last N closed spans per rank and counts what it evicted.
+func TestFlightRingWraparound(t *testing.T) {
+	r := NewFlight(4)
+	if got := r.FlightDepth(); got != 4 {
+		t.Fatalf("FlightDepth = %d, want 4", got)
+	}
+	for i := 0; i < 10; i++ {
+		sp := r.BeginSpan(float64(i), 0, "solve", "step %d", i)
+		sp.End(float64(i) + 0.5)
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		wantStart := float64(6 + i) // steps 6..9 survive
+		if s.Start != wantStart || !s.Closed {
+			t.Errorf("span %d: start %v closed %v, want start %v closed", i, s.Start, s.Closed, wantStart)
+		}
+	}
+	ds, de := r.Dropped()
+	if ds != 6 || de != 0 {
+		t.Errorf("Dropped = (%d, %d), want (6, 0)", ds, de)
+	}
+}
+
+// TestFlightEventsWraparound is the same contract for point events.
+func TestFlightEventsWraparound(t *testing.T) {
+	r := NewFlight(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(float64(i), 1, "tick", "%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	if evs[0].T != 2 || evs[2].T != 4 {
+		t.Errorf("retained window [%v..%v], want [2..4]", evs[0].T, evs[2].T)
+	}
+	if _, de := r.Dropped(); de != 2 {
+		t.Errorf("dropped events = %d, want 2", de)
+	}
+}
+
+// TestFlightMultiRankOrder checks the dump orders ranks ascending so the
+// export is deterministic.
+func TestFlightMultiRankOrder(t *testing.T) {
+	r := NewFlight(8)
+	for _, rank := range []int{5, 1, 3} {
+		sp := r.BeginSpan(float64(rank), rank, "solve", "")
+		sp.End(float64(rank) + 1)
+	}
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i, want := range []int{1, 3, 5} {
+		if spans[i].Rank != want {
+			t.Errorf("span %d on rank %d, want %d", i, spans[i].Rank, want)
+		}
+	}
+}
+
+// TestFlightOpenSpansSurvive checks spans still open at dump time are
+// reported unclosed — an aborted run's in-flight phase stays visible.
+func TestFlightOpenSpansSurvive(t *testing.T) {
+	r := NewFlight(4)
+	r.BeginSpan(1, 0, "repair", "stuck here")
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].Closed {
+		t.Fatalf("open span not reported: %+v", spans)
+	}
+	var b strings.Builder
+	if err := r.ExportChromeTrace(&b); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if !strings.Contains(b.String(), "repair") {
+		t.Errorf("export missing open span:\n%s", b.String())
+	}
+}
+
+// TestFlightNesting checks depth bookkeeping matches the full recorder's:
+// a child span open under a parent records depth 1.
+func TestFlightNesting(t *testing.T) {
+	r := NewFlight(8)
+	outer := r.BeginSpan(0, 0, "outer", "")
+	inner := r.BeginSpan(1, 0, "inner", "")
+	inner.End(2)
+	outer.End(3)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byPhase := map[string]Span{}
+	for _, s := range spans {
+		byPhase[s.Phase] = s
+	}
+	if byPhase["outer"].Depth != 0 || byPhase["inner"].Depth != 1 {
+		t.Errorf("depths outer=%d inner=%d, want 0 and 1", byPhase["outer"].Depth, byPhase["inner"].Depth)
+	}
+}

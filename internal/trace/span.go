@@ -27,7 +27,8 @@ func (s Span) String() string {
 // inert, mirroring the nil-Recorder contract.
 type SpanHandle struct {
 	r   *Recorder
-	idx int
+	idx int   // full mode: index into r.spans
+	sp  *Span // flight mode: the open span itself (ring indices move)
 }
 
 // BeginSpan opens a span at virtual time t on the given rank's timeline and
@@ -39,6 +40,9 @@ func (r *Recorder) BeginSpan(t float64, rank int, phase, format string, args ...
 	s := Span{Rank: rank, Phase: phase, Detail: fmt.Sprintf(format, args...), Start: t}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.fl != nil {
+		return &SpanHandle{r: r, sp: r.fl.begin(s)}
+	}
 	if r.open == nil {
 		r.open = make(map[int][]int)
 	}
@@ -58,7 +62,10 @@ func (h *SpanHandle) End(t float64) {
 	r := h.r
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := &r.spans[h.idx]
+	s := h.sp
+	if s == nil {
+		s = &r.spans[h.idx]
+	}
 	if s.Closed {
 		return
 	}
@@ -66,6 +73,10 @@ func (h *SpanHandle) End(t float64) {
 	s.End = t
 	if s.End < s.Start {
 		s.End = s.Start
+	}
+	if h.sp != nil {
+		r.fl.end(h.sp)
+		return
 	}
 	stack := r.open[s.Rank]
 	for i := len(stack) - 1; i >= 0; i-- {
@@ -84,7 +95,12 @@ func (r *Recorder) Spans() []Span {
 		return nil
 	}
 	r.mu.Lock()
-	out := append([]Span(nil), r.spans...)
+	var out []Span
+	if r.fl != nil {
+		out = r.fl.allSpans()
+	} else {
+		out = append([]Span(nil), r.spans...)
+	}
 	r.mu.Unlock()
 	sortSpans(out)
 	return out

@@ -31,12 +31,17 @@ func (e Event) String() string {
 
 // Recorder collects events and spans from many simulated processes. A nil
 // Recorder is valid and drops everything, so call sites need no guards.
+//
+// A Recorder runs in one of two modes: full (New) retains everything, flight
+// (NewFlight) retains a bounded per-rank ring of recent history — see
+// flight.go. Both modes serve the same read API.
 type Recorder struct {
 	mu     sync.Mutex
 	w      io.Writer
 	events []Event
 	spans  []Span
 	open   map[int][]int // rank -> stack of open span indices
+	fl     *flightState  // non-nil in flight mode; events/spans/open unused
 }
 
 // sortSpans orders spans by start time, ties by rank, preserving creation
@@ -64,7 +69,11 @@ func (r *Recorder) Emit(t float64, rank int, phase, format string, args ...any) 
 	}
 	e := Event{T: t, Rank: rank, Phase: phase, Detail: fmt.Sprintf(format, args...)}
 	r.mu.Lock()
-	r.events = append(r.events, e)
+	if r.fl != nil {
+		r.fl.emit(e)
+	} else {
+		r.events = append(r.events, e)
+	}
 	if r.w != nil {
 		fmt.Fprintln(r.w, e)
 	}
@@ -78,7 +87,12 @@ func (r *Recorder) Events() []Event {
 		return nil
 	}
 	r.mu.Lock()
-	out := append([]Event(nil), r.events...)
+	var out []Event
+	if r.fl != nil {
+		out = r.fl.allEvents()
+	} else {
+		out = append([]Event(nil), r.events...)
+	}
 	r.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].T != out[j].T {
