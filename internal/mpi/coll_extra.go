@@ -6,7 +6,11 @@ import "fmt"
 // needs: Alltoall, Scan, Exscan and ReduceScatterBlock. They follow the
 // same construction as coll.go — real message-passing algorithms over the
 // p2p layer, with failure-abort propagation so a dead member cannot deadlock the
-// operation.
+// operation. These are blocking-path only so far: the event-driven path
+// (event.go) has CPS twins for the core set (Barrier, Allreduce, the
+// bcast/reduce trees and the agree rendezvous); a fiber program needing
+// one of these would grow its twin there under the same
+// parity-by-construction rules.
 
 const (
 	kindAlltoall = iota + 8

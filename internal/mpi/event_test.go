@@ -1,0 +1,454 @@
+package mpi
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ftsg/internal/metrics"
+	"ftsg/internal/vtime"
+)
+
+// The event-path contract, tested three ways: (1) a fiber program produces
+// byte-identical virtual time and traffic counters to its blocking twin,
+// with and without failures; (2) the fingerprint is schedule-independent
+// across GOMAXPROCS and executor pool sizes; (3) a 512-rank world parked
+// mid-Barrier holds O(workers) goroutines, not O(ranks).
+
+// eventOutcome extracts the determinism fingerprint shared with the
+// transport stress tests. GoroutinesPeak is deliberately excluded: it is
+// wall-clock scheduling noise, not part of the contract.
+func eventOutcome(rep *Report, reg *metrics.Registry) transportStressOutcome {
+	return transportStressOutcome{
+		maxTime:    rep.MaxVirtualTime,
+		spawned:    rep.Spawned,
+		failed:     rep.Failed,
+		sentMsgs:   reg.Counter("mpi.sent.messages").Value(),
+		sentB:      reg.Counter("mpi.sent.bytes").Value(),
+		recvMsgs:   reg.Counter("mpi.recv.messages").Value(),
+		recvB:      reg.Counter("mpi.recv.bytes").Value(),
+		revokes:    reg.Counter("mpi.revokes").Value(),
+		spawnedCtr: reg.Counter("mpi.spawned").Value(),
+	}
+}
+
+// parityRounds is the shared workload of the parity tests: a neighbour
+// ring exchange, a barrier, a small allreduce and a 64 KiB allreduce (past
+// the ring cutover on hierarchical topologies), repeated three times.
+const parityRounds = 3
+
+func parityBlockingEntry(t *testing.T, p *Proc) {
+	c := p.World()
+	n, me := c.Size(), c.Rank()
+	ring := make([]float64, 32)
+	small := make([]float64, 16)
+	big := make([]float64, 8192)
+	for i := range ring {
+		ring[i] = float64(me) + float64(i)/32
+	}
+	for k := 0; k < parityRounds; k++ {
+		if err := Send(c, (me+1)%n, 7, ring); err != nil {
+			t.Error(err)
+			return
+		}
+		got, _, err := Recv[float64](c, (me-1+n)%n, 7)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got[0] != float64((me-1+n)%n) {
+			t.Errorf("rank %d round %d: ring got %v", me, k, got[0])
+			return
+		}
+		if err := c.Barrier(); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := Allreduce(c, small, Sum[float64]); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := Allreduce(c, big, Sum[float64]); err != nil {
+			t.Error(err)
+			return
+		}
+	}
+}
+
+func parityEventEntry(t *testing.T, p *Proc, f *Fiber) {
+	c := p.World()
+	n, me := c.Size(), c.Rank()
+	ring := make([]float64, 32)
+	small := make([]float64, 16)
+	big := make([]float64, 8192)
+	for i := range ring {
+		ring[i] = float64(me) + float64(i)/32
+	}
+	var round func(k int)
+	round = func(k int) {
+		if k == parityRounds {
+			return
+		}
+		if err := Send(c, (me+1)%n, 7, ring); err != nil {
+			t.Error(err)
+			return
+		}
+		FiberRecv(f, c, (me-1+n)%n, 7, func(got []float64, _ Status, err error) {
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got[0] != float64((me-1+n)%n) {
+				t.Errorf("rank %d round %d: ring got %v", me, k, got[0])
+				return
+			}
+			FiberBarrier(f, c, func(err error) {
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				FiberAllreduce(f, c, small, Sum[float64], func(_ []float64, err error) {
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					FiberAllreduce(f, c, big, Sum[float64], func(_ []float64, err error) {
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						round(k + 1)
+					})
+				})
+			})
+		})
+	}
+	round(0)
+}
+
+// TestEventVirtualTimeParity runs the same failure-free workload once with
+// goroutine-per-rank blocking calls and once as fibers, over both the flat
+// and the hierarchical (tree + leader-ring) collective algorithms, and
+// demands a bit-identical virtual time and identical traffic counters.
+func TestEventVirtualTimeParity(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		nprocs int
+		flat   bool
+	}{
+		{"flat32", 32, true},
+		{"hier128", 128, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wd := Watchdog{Timeout: 60 * time.Second}
+			regB := metrics.New()
+			repB, err := Run(Options{NProcs: tc.nprocs, Machine: vtime.OPL(), FlatCollectives: tc.flat,
+				Metrics: regB, Watchdog: wd,
+				Entry: func(p *Proc) { parityBlockingEntry(t, p) }})
+			if err != nil {
+				t.Fatal(err)
+			}
+			regE := metrics.New()
+			repE, err := Run(Options{NProcs: tc.nprocs, Machine: vtime.OPL(), FlatCollectives: tc.flat,
+				Metrics: regE, Watchdog: wd,
+				EventEntry: func(p *Proc, f *Fiber) { parityEventEntry(t, p, f) }})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if t.Failed() {
+				return
+			}
+			b, e := eventOutcome(repB, regB), eventOutcome(repE, regE)
+			if e.maxTime != b.maxTime {
+				t.Errorf("MaxVirtualTime: event %v != blocking %v", e.maxTime, b.maxTime)
+			}
+			if e.sentMsgs != b.sentMsgs || e.sentB != b.sentB || e.recvMsgs != b.recvMsgs || e.recvB != b.recvB {
+				t.Errorf("traffic: event %+v != blocking %+v", e, b)
+			}
+			if repE.GoroutinesPeak == 0 {
+				t.Error("event run reported no goroutine peak sample")
+			}
+		})
+	}
+}
+
+// TestEventFailureParity kills two ranks and runs the paper's
+// detect/revoke/agree sequence in both modes: the failure verdicts, the
+// revoked-communicator semantics and the agree cost model must leave both
+// paths at the same virtual time with the same counters and failed set.
+func TestEventFailureParity(t *testing.T) {
+	const nprocs = 64
+	wd := Watchdog{Timeout: 60 * time.Second}
+	dead := func(me int) bool { return me == 9 || me == 23 }
+
+	check := func(flag int, err error) {
+		if flag != 1 {
+			t.Errorf("Agree: flag %d, want 1", flag)
+		}
+		if err == nil {
+			t.Error("Agree after failures: want MPI_ERR_PROC_FAILED, got nil")
+		}
+	}
+
+	regB := metrics.New()
+	repB, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), Metrics: regB, Watchdog: wd,
+		Entry: func(p *Proc) {
+			c := p.World()
+			if dead(c.Rank()) {
+				p.Kill()
+			}
+			_ = c.Barrier() // detection point; non-uniform outcome is fine
+			_ = c.Revoke()
+			check(c.Agree(1))
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regE := metrics.New()
+	repE, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), Metrics: regE, Watchdog: wd,
+		EventEntry: func(p *Proc, f *Fiber) {
+			c := p.World()
+			if dead(c.Rank()) {
+				p.Kill()
+			}
+			FiberBarrier(f, c, func(error) {
+				_ = c.Revoke()
+				FiberAgree(f, c, 1, func(flag int, err error) { check(flag, err) })
+			})
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		return
+	}
+	b, e := eventOutcome(repB, regB), eventOutcome(repE, regE)
+	if e.maxTime != b.maxTime {
+		t.Errorf("MaxVirtualTime: event %v != blocking %v", e.maxTime, b.maxTime)
+	}
+	if len(e.failed) != 2 || len(b.failed) != 2 {
+		t.Errorf("failed sets: event %v, blocking %v", e.failed, b.failed)
+	}
+	if e.sentMsgs != b.sentMsgs || e.sentB != b.sentB || e.recvMsgs != b.recvMsgs || e.recvB != b.recvB ||
+		e.revokes != b.revokes {
+		t.Errorf("counters: event %+v != blocking %+v", e, b)
+	}
+}
+
+// runEventStress512 is the event-path analogue of runTransportStress512:
+// 512 ranks on the OPL profile, a ring exchange, hierarchical collectives,
+// two mid-run failures and the detect/revoke/agree sequence — all as
+// fibers on a bounded executor.
+func runEventStress512(t *testing.T, workers int) transportStressOutcome {
+	t.Helper()
+	const nprocs = 512
+	reg := metrics.New()
+	wd := Watchdog{Timeout: 120 * time.Second}
+	rep, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), Metrics: reg, Watchdog: wd,
+		EventWorkers: workers,
+		EventEntry: func(p *Proc, f *Fiber) {
+			c := p.World()
+			n, me := c.Size(), c.Rank()
+			buf := make([]float64, 32)
+			for i := range buf {
+				buf[i] = float64(me) + float64(i)/32
+			}
+			if err := Send(c, (me+1)%n, 9, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			FiberRecv(f, c, (me-1+n)%n, 9, func(got []float64, _ Status, err error) {
+				if !must512(t, err) {
+					return
+				}
+				if got[0] != float64((me-1+n)%n) {
+					t.Errorf("rank %d: ring got %v", me, got[0])
+					return
+				}
+				FiberAllreduce(f, c, []int{me}, Sum[int], func(sum []int, err error) {
+					if !must512(t, err) {
+						return
+					}
+					if sum[0] != n*(n-1)/2 {
+						t.Errorf("allreduce: %d, want %d", sum[0], n*(n-1)/2)
+						return
+					}
+					FiberBarrier(f, c, func(err error) {
+						if !must512(t, err) {
+							return
+						}
+						if me == 100 || me == 301 {
+							p.Kill()
+						}
+						FiberBarrier(f, c, func(error) { // detection point
+							_ = c.Revoke()
+							FiberAgree(f, c, 1, func(flag int, err error) {
+								if flag != 1 {
+									t.Errorf("Agree: flag %d, want 1", flag)
+								}
+								if err == nil {
+									t.Error("Agree after failures: want error, got nil")
+								}
+							})
+						})
+					})
+				})
+			})
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eventOutcome(rep, reg)
+}
+
+// TestEventTransportDeterminism512 sweeps the two schedule dimensions the
+// event path adds — GOMAXPROCS and the executor pool size (1 worker runs
+// fully inline; 0 means per-CPU) — and demands the bit-identical
+// fingerprint the goroutine-path determinism tests demand.
+func TestEventTransportDeterminism512(t *testing.T) {
+	settings := []struct{ gmp, workers int }{
+		{1, 1},
+		{runtime.NumCPU(), 0},
+		{runtime.NumCPU(), 3},
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var base transportStressOutcome
+	for i, s := range settings {
+		runtime.GOMAXPROCS(s.gmp)
+		got := runEventStress512(t, s.workers)
+		if t.Failed() {
+			return
+		}
+		if i == 0 {
+			base = got
+			if len(got.failed) != 2 || got.revokes == 0 {
+				t.Fatalf("unexpected baseline outcome: %+v", got)
+			}
+			continue
+		}
+		if got.maxTime != base.maxTime {
+			t.Errorf("GOMAXPROCS=%d workers=%d: MaxVirtualTime %v != %v", s.gmp, s.workers, got.maxTime, base.maxTime)
+		}
+		if got.sentMsgs != base.sentMsgs || got.sentB != base.sentB {
+			t.Errorf("GOMAXPROCS=%d workers=%d: sent %d/%d != %d/%d", s.gmp, s.workers, got.sentMsgs, got.sentB, base.sentMsgs, base.sentB)
+		}
+		if got.recvMsgs != base.recvMsgs || got.recvB != base.recvB {
+			t.Errorf("GOMAXPROCS=%d workers=%d: recv %d/%d != %d/%d", s.gmp, s.workers, got.recvMsgs, got.recvB, base.recvMsgs, base.recvB)
+		}
+		if got.revokes != base.revokes || len(got.failed) != len(base.failed) {
+			t.Errorf("GOMAXPROCS=%d workers=%d: %+v != %+v", s.gmp, s.workers, got, base)
+		}
+	}
+}
+
+// TestEventGoroutineCeiling holds a 512-rank event world mid-Barrier (rank
+// 0 waits on an external release flag; every other rank is parked inside
+// FiberBarrier) and asserts the process holds O(workers) goroutines — the
+// point of the event path. The goroutine-per-rank path would hold >512
+// here.
+func TestEventGoroutineCeiling(t *testing.T) {
+	const nprocs = 512
+	const workers = 4
+	var release atomic.Bool
+	in := &Introspection{}
+	type result struct {
+		rep *Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), EventWorkers: workers,
+			Introspect: in, Watchdog: Watchdog{Timeout: 120 * time.Second},
+			EventEntry: func(p *Proc, f *Fiber) {
+				c := p.World()
+				barrier := func() {
+					FiberBarrier(f, c, func(err error) {
+						if err != nil {
+							t.Error(err)
+						}
+					})
+				}
+				if c.Rank() != 0 {
+					barrier()
+					return
+				}
+				// A custom await on an external condition: the poll must
+				// start the barrier itself before resolving, or the fiber
+				// would finish with nothing armed.
+				f.await(nil, 0, 0, func() bool {
+					if !release.Load() {
+						return false
+					}
+					barrier()
+					return true
+				})
+			}})
+		done <- result{rep, err}
+	}()
+
+	// Wait until every rank but rank 0 is parked inside the barrier (rank 0
+	// may be parked on its release await or not yet dispatched).
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		snaps := in.Snapshots()
+		if len(snaps) == 1 && snaps[0].RanksParked >= nprocs-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for ranks to park")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ng := runtime.NumGoroutine(); ng >= nprocs/4 {
+		t.Errorf("mid-Barrier NumGoroutine = %d: event path must hold O(workers), not O(ranks)", ng)
+	}
+
+	// Snapshot must render parked fibers the way it renders blocked
+	// goroutines: a rank parked in the barrier's internal receive shows the
+	// recv descriptor; all parked ranks are flagged.
+	snap := in.Snapshots()[0]
+	parked := 0
+	for _, rs := range snap.Ranks {
+		if rs.Parked {
+			parked++
+		}
+	}
+	if parked < nprocs-1 {
+		t.Errorf("snapshot shows %d parked ranks, want >= %d", parked, nprocs-1)
+	}
+
+	release.Store(true)
+	in.mu.Lock()
+	w := in.worlds[0]
+	in.mu.Unlock()
+	w.proc(0).wake()
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if t.Failed() {
+		return
+	}
+	if res.rep.GoroutinesPeak == 0 || res.rep.GoroutinesPeak >= nprocs/4 {
+		t.Errorf("GoroutinesPeak = %d: want a small non-zero O(workers) value", res.rep.GoroutinesPeak)
+	}
+}
+
+// TestEventSpawnUnsupported pins the event-path guard: dynamic process
+// management needs a goroutine entry to run children with, so
+// SpawnMultiple on an event world reports ErrComm instead of spawning.
+func TestEventSpawnUnsupported(t *testing.T) {
+	_, err := Run(Options{NProcs: 1, EventEntry: func(p *Proc, f *Fiber) {
+		// Sole member: the spawn rendezvous completes inline, no park.
+		if _, err := p.World().SpawnMultiple(1, nil, 0); err == nil {
+			t.Error("SpawnMultiple on the event path: want error, got nil")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,10 @@
 package mpi
 
 import (
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ftsg/internal/vtime"
 )
@@ -159,16 +162,58 @@ func BenchmarkRepairDance(b *testing.B) {
 	}
 }
 
+// stackSampler samples runtime.MemStats.StackInuse on a short period and
+// keeps the maximum, quantifying the stack footprint of goroutine-per-rank
+// versus parked continuations. ReadMemStats is a brief stop-the-world, so
+// the period is coarse; the number is indicative, not a gate.
+type stackSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func startStackSampler() *stackSampler {
+	s := &stackSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.StackInuse > s.peak.Load() {
+				s.peak.Store(ms.StackInuse)
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return s
+}
+
+func (s *stackSampler) peakKiB() float64 {
+	close(s.stop)
+	<-s.done
+	return float64(s.peak.Load()) / 1024
+}
+
 // benchWeakScaling measures the collective stack at a given cluster scale:
 // per Run, 5 rounds of Barrier + small Allreduce + 64 KiB Allreduce (the
 // ring path) on the machine's default host shape. ns/op is simulator wall
 // cost; the reported vs/op metric is the run's final virtual time, the
 // number the weak-scaling gate in scripts/bench_compare.sh watches — with
 // the hierarchical collectives it should grow ~O(log nodes), not O(n).
+// peak-goroutines and peak-stack-KiB quantify the blocking model's memory
+// footprint against the event-driven path (benchWeakScalingEvent).
 func benchWeakScaling(b *testing.B, machine func() *vtime.Machine, nprocs int) {
 	b.Helper()
 	b.ReportAllocs()
 	var virt float64
+	var peak int
+	ss := startStackSampler()
 	for i := 0; i < b.N; i++ {
 		rep, err := Run(Options{NProcs: nprocs, Machine: machine(), Entry: func(p *Proc) {
 			c := p.World()
@@ -193,13 +238,77 @@ func benchWeakScaling(b *testing.B, machine func() *vtime.Machine, nprocs int) {
 			b.Fatal(err)
 		}
 		virt = rep.MaxVirtualTime
+		peak = rep.GoroutinesPeak
 	}
+	b.ReportMetric(ss.peakKiB(), "peak-stack-KiB")
 	b.ReportMetric(virt, "vs/op")
+	b.ReportMetric(float64(peak), "peak-goroutines")
+}
+
+// benchWeakScalingEvent is benchWeakScaling's exact workload on the
+// event-driven path: same rounds, same algorithms, same tags — by the
+// parity contract (TestEventVirtualTimeParity) vs/op is bit-identical to
+// the blocking variant at the same scale, while peak-goroutines drops from
+// O(ranks) to O(workers).
+func benchWeakScalingEvent(b *testing.B, machine func() *vtime.Machine, nprocs int) {
+	b.Helper()
+	b.ReportAllocs()
+	var virt float64
+	var peak int
+	ss := startStackSampler()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Options{NProcs: nprocs, Machine: machine(), EventEntry: func(p *Proc, f *Fiber) {
+			c := p.World()
+			small := make([]float64, 16)
+			big := make([]float64, 8192) // 64 KiB: past collRingCutover
+			var round func(k int)
+			round = func(k int) {
+				if k == 5 {
+					return
+				}
+				FiberBarrier(f, c, func(err error) {
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					FiberAllreduce(f, c, small, Sum[float64], func(_ []float64, err error) {
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						FiberAllreduce(f, c, big, Sum[float64], func(_ []float64, err error) {
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							round(k + 1)
+						})
+					})
+				})
+			}
+			round(0)
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt = rep.MaxVirtualTime
+		peak = rep.GoroutinesPeak
+	}
+	b.ReportMetric(ss.peakKiB(), "peak-stack-KiB")
+	b.ReportMetric(virt, "vs/op")
+	b.ReportMetric(float64(peak), "peak-goroutines")
 }
 
 func BenchmarkWeakScaleOPL64(b *testing.B)      { benchWeakScaling(b, vtime.OPL, 64) }
 func BenchmarkWeakScaleOPL512(b *testing.B)     { benchWeakScaling(b, vtime.OPL, 512) }
 func BenchmarkWeakScaleOPL4096(b *testing.B)    { benchWeakScaling(b, vtime.OPL, 4096) }
+func BenchmarkWeakScaleOPL8192(b *testing.B)    { benchWeakScaling(b, vtime.OPL, 8192) }
 func BenchmarkWeakScaleRaijin64(b *testing.B)   { benchWeakScaling(b, vtime.Raijin, 64) }
 func BenchmarkWeakScaleRaijin512(b *testing.B)  { benchWeakScaling(b, vtime.Raijin, 512) }
 func BenchmarkWeakScaleRaijin4096(b *testing.B) { benchWeakScaling(b, vtime.Raijin, 4096) }
+func BenchmarkWeakScaleRaijin8192(b *testing.B) { benchWeakScaling(b, vtime.Raijin, 8192) }
+
+func BenchmarkWeakScaleEventOPL4096(b *testing.B)    { benchWeakScalingEvent(b, vtime.OPL, 4096) }
+func BenchmarkWeakScaleEventOPL8192(b *testing.B)    { benchWeakScalingEvent(b, vtime.OPL, 8192) }
+func BenchmarkWeakScaleEventRaijin4096(b *testing.B) { benchWeakScalingEvent(b, vtime.Raijin, 4096) }
+func BenchmarkWeakScaleEventRaijin8192(b *testing.B) { benchWeakScalingEvent(b, vtime.Raijin, 8192) }

@@ -139,8 +139,7 @@ func sendEnv[T any](c *Comm, dest, tag int, data []T, owned bool) error {
 	} else {
 		dst.mb.push(env)
 	}
-	dst.epoch++
-	dst.cond.Signal()
+	dst.notifyLocked()
 	dst.mu.Unlock()
 	return nil
 }

@@ -82,14 +82,20 @@ func (r *rendezvous) aliveArrived(w *World) (complete, anyDead bool) {
 // returns the result plus the modelled cost of the operation in seconds.
 type buildFunc func(w *World, r *rendezvous) (any, float64)
 
-// runRendezvous executes one instance of a rendezvous collective for the
-// calling process: register input, wait for the group, have exactly one
-// participant build the shared result, and synchronise virtual clocks to
-// completion time (max of alive arrivals plus the modelled cost).
+// The rendezvous protocol is split into three steps — enter, poll, finish —
+// so the blocking path (runRendezvous: poll in an epoch-gated condvar loop)
+// and the event-driven path (event.go's FiberAgree: poll as a parked
+// continuation's wakeup condition) share one implementation of registration,
+// completion and cost accounting.
+
+// rvzEnter registers the calling process in the rendezvous instance,
+// creating it on first arrival. Returns the instance (its pointer stays
+// valid for the life of the World — entries are never deleted) and the
+// caller's clock at entry for op-latency measurement.
 //
 // allowRevoked must be true for the ULFM calls that operate on revoked
 // communicators (shrink, agree).
-func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input any, build buildFunc) (any, error) {
+func rvzEnter(c *Comm, op string, allowRevoked bool, input any) (*rendezvous, float64, error) {
 	st := c.p.st
 	w := st.w
 	st.hookOp(op)
@@ -100,7 +106,7 @@ func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input an
 	// revocation only once the caller itself has observed it; the
 	// shrink/agree family sets allowRevoked and proceeds regardless.
 	if c.sawRevoked && !allowRevoked {
-		return nil, ErrRevoked
+		return nil, t0, ErrRevoked
 	}
 	w.state.Lock()
 	if w.rvzTable == nil {
@@ -122,55 +128,64 @@ func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input an
 	}
 	r.arrived[st.wrank] = st.clock.Now()
 	r.inputs[st.wrank] = input
-
-	for !r.done {
-		complete, anyDead := r.aliveArrived(w)
-		switch {
-		case complete && anyDead && mode == failOnDeath:
-			// Abort only once every alive member has arrived, exactly like
-			// the completion path. Aborting on the first observation of a
-			// death would stamp r.t with the max over whichever members
-			// happened to have arrived in real time — a timestamp (and thus
-			// per-rank clocks) dependent on goroutine scheduling. Waiting
-			// makes the abort time a pure function of program order, which
-			// the seed-replay determinism contract requires; every alive
-			// member provably arrives, since the callers of failOnDeath
-			// collectives pair them with reportDeath operations over the
-			// same member sets, which have always had wait-for-all-alive
-			// semantics.
-			r.err = failedErr(-1, -1)
-			r.t = r.maxArrival(w)
-			r.done = true
-		case complete:
-			result, cost := build(w, r)
-			r.result = result
-			r.cost = cost
-			r.t = r.maxArrival(w) + cost
-			if anyDead && mode == reportDeath {
-				r.err = failedErr(-1, -1)
-			}
-			r.done = true
-		default:
-			// Park until something rendezvous-relevant happens: a member
-			// arriving and resolving (it wakes the group below) or a death
-			// (markFailed wakes everyone). Epoch-gated so a wake that
-			// lands between releasing state and parking is never lost —
-			// wakers bump the epoch only under state, which we still hold
-			// when reading it.
-			e := st.epochNow()
-			w.state.Unlock()
-			st.mu.Lock()
-			if st.epoch == e {
-				st.cond.Wait()
-			}
-			st.mu.Unlock()
-			w.state.Lock()
-			continue
-		}
-		w.wakeRanks(r.members)
-	}
-	result, err, t, cost := r.result, r.err, r.t, r.cost
 	w.state.Unlock()
+	return r, t0, nil
+}
+
+// rvzPoll evaluates the rendezvous once and reports whether it is resolved.
+// The caller that observes the group complete builds the shared result (or
+// the deterministic abort) and wakes every member. Park-safe in both
+// blocking models: wakeRanks bumps member epochs under their mu, so an
+// epoch read taken before this poll detects any resolution that races with
+// a subsequent park.
+func rvzPoll(c *Comm, r *rendezvous, mode rvzMode, build buildFunc) bool {
+	w := c.p.st.w
+	w.state.Lock()
+	defer w.state.Unlock()
+	if r.done {
+		return true
+	}
+	complete, anyDead := r.aliveArrived(w)
+	switch {
+	case complete && anyDead && mode == failOnDeath:
+		// Abort only once every alive member has arrived, exactly like
+		// the completion path. Aborting on the first observation of a
+		// death would stamp r.t with the max over whichever members
+		// happened to have arrived in real time — a timestamp (and thus
+		// per-rank clocks) dependent on goroutine scheduling. Waiting
+		// makes the abort time a pure function of program order, which
+		// the seed-replay determinism contract requires; every alive
+		// member provably arrives, since the callers of failOnDeath
+		// collectives pair them with reportDeath operations over the
+		// same member sets, which have always had wait-for-all-alive
+		// semantics.
+		r.err = failedErr(-1, -1)
+		r.t = r.maxArrival(w)
+		r.done = true
+	case complete:
+		result, cost := build(w, r)
+		r.result = result
+		r.cost = cost
+		r.t = r.maxArrival(w) + cost
+		if anyDead && mode == reportDeath {
+			r.err = failedErr(-1, -1)
+		}
+		r.done = true
+	default:
+		return false
+	}
+	w.wakeRanks(r.members)
+	return true
+}
+
+// rvzFinish synchronises the caller's clock to the resolved rendezvous and
+// attributes its cost. Caller must have observed r.done via rvzPoll; the
+// result fields are written once, under the same state lock that published
+// done, so they are read here without it.
+func rvzFinish(c *Comm, r *rendezvous, op string, t0 float64) (any, error) {
+	st := c.p.st
+	w := st.w
+	result, err, t, cost := r.result, r.err, r.t, r.cost
 
 	st.clock.SyncTo(t)
 	// Attribute the op's modelled cost once per participating member and
@@ -183,4 +198,32 @@ func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input an
 		wm.observeOp(op, st.clock.Now()-t0)
 	}
 	return result, err
+}
+
+// runRendezvous executes one instance of a rendezvous collective for the
+// calling process: register input, wait for the group, have exactly one
+// participant build the shared result, and synchronise virtual clocks to
+// completion time (max of alive arrivals plus the modelled cost).
+func runRendezvous(c *Comm, op string, mode rvzMode, allowRevoked bool, input any, build buildFunc) (any, error) {
+	st := c.p.st
+	r, t0, err := rvzEnter(c, op, allowRevoked, input)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// Epoch-gated park, exactly like recvRaw: resolution wakes the
+		// group (rvzPoll's wakeRanks, or markFailed's wakeAll on a death),
+		// bumping the epoch, so a wake landing between the read and the
+		// park is never lost.
+		e := st.epochNow()
+		if rvzPoll(c, r, mode, build) {
+			break
+		}
+		st.mu.Lock()
+		if st.epoch == e {
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
+	}
+	return rvzFinish(c, r, op, t0)
 }

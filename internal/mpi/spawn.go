@@ -66,6 +66,12 @@ func (c *Comm) SpawnMultiple(n int, hosts []string, root int) (*Comm, error) {
 // copy-on-write snapshot before any child can run. Each child starts with
 // its clock at start seconds.
 func (w *World) spawnLocked(parentGroup []int, n int, hosts []string, start float64) (*commShared, error) {
+	if w.entry == nil {
+		// Event-driven worlds have no goroutine entry to run children with;
+		// dynamic process management stays on the goroutine path until
+		// fiber respawn exists.
+		return nil, fmt.Errorf("mpi: SpawnMultiple is not supported on the event-driven path: %w", ErrComm)
+	}
 	placements := make([]int, n)
 	for i := 0; i < n; i++ {
 		if i < len(hosts) && hosts[i] != "" {

@@ -69,25 +69,32 @@ func (c *Comm) Shrink() (*Comm, error) {
 // child sides). If any member of the communicator has failed, the agreed
 // flag is still returned together with MPI_ERR_PROC_FAILED.
 func (c *Comm) Agree(flag int) (int, error) {
-	res, err := runRendezvous(c, "agree", reportDeath, true, flag,
-		func(w *World, r *rendezvous) (any, float64) {
-			agreed := -1 // all bits set
-			for wr, in := range r.inputs {
-				if w.alive(wr) {
-					agreed &= in.(int)
-				}
-			}
-			members := c.allMembers()
-			nfailed := len(w.failedOf(members))
-			if c.sh.repairFor > nfailed {
-				nfailed = c.sh.repairFor
-			}
-			return agreed, w.machine.ULFM.AgreeCost(len(members), nfailed)
-		})
+	res, err := runRendezvous(c, "agree", reportDeath, true, flag, agreeBuild(c))
 	if res == nil {
 		return 0, c.fire(err)
 	}
 	return res.(int), c.fire(err)
+}
+
+// agreeBuild is Agree's shared-result builder: bitwise AND over the inputs
+// of surviving members, costed by the beta-ULFM agreement model. Shared by
+// the blocking Agree and the event-driven FiberAgree so both paths meet in
+// the same rendezvous instance with identical results and costs.
+func agreeBuild(c *Comm) buildFunc {
+	return func(w *World, r *rendezvous) (any, float64) {
+		agreed := -1 // all bits set
+		for wr, in := range r.inputs {
+			if w.alive(wr) {
+				agreed &= in.(int)
+			}
+		}
+		members := c.allMembers()
+		nfailed := len(w.failedOf(members))
+		if c.sh.repairFor > nfailed {
+			nfailed = c.sh.repairFor
+		}
+		return agreed, w.machine.ULFM.AgreeCost(len(members), nfailed)
+	}
 }
 
 // FailureAck acknowledges all currently known failures on the communicator

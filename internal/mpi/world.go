@@ -41,6 +41,13 @@
 // and signals its condvar. A parker re-checks its wake conditions, then
 // parks only if the epoch is unchanged since before the checks — so a wake
 // that races with the checks is never lost.
+//
+// Every wake site funnels through procState.notifyLocked, which serves two
+// blocking disciplines behind one protocol: a goroutine-per-rank process
+// sleeping on its condvar (Options.Entry), and a parked continuation on the
+// event-driven path (Options.EventEntry; see event.go and exec.go), which
+// notifyLocked hands back to the bounded executor instead. See DESIGN.md
+// §13 for the continuation protocol.
 package mpi
 
 import (
@@ -87,14 +94,36 @@ type procState struct {
 	waitSrc int
 	waitTag int
 	waitReq *Request
+	// cont is the rank's parked continuation on the event-driven path
+	// (nil while runnable, queued, or on the goroutine path). A fiber is
+	// published here only by its own park in World.driveFiber; notifyLocked
+	// unparks it by handing it to the executor, so a fiber is never queued
+	// twice. See event.go.
+	cont *Fiber
 }
 
-// wake bumps the process's epoch and signals it. One goroutine owns each
-// process, so there is at most one waiter and Signal suffices.
-func (st *procState) wake() {
-	st.mu.Lock()
+// notifyLocked is the single wake primitive behind every unblock-capable
+// event: it bumps the epoch, signals the condvar (goroutine path — one
+// goroutine owns each process, so there is at most one waiter and Signal
+// suffices), and hands a parked continuation back to the executor (event
+// path). Caller holds st.mu; the executor queue lock nests strictly inside
+// every transport lock.
+func (st *procState) notifyLocked() {
 	st.epoch++
 	st.cond.Signal()
+	if f := st.cont; f != nil {
+		st.cont = nil
+		st.waitSh = nil
+		st.w.noteParked(-1)
+		st.w.exec.ready(f)
+	}
+}
+
+// wake bumps the process's epoch and wakes it (condvar or parked
+// continuation) under its own lock.
+func (st *procState) wake() {
+	st.mu.Lock()
+	st.notifyLocked()
 	st.mu.Unlock()
 }
 
@@ -130,6 +159,15 @@ type World struct {
 	// by the hot paths. Entries are never removed or reordered;
 	// SpawnMultiple publishes a grown copy while holding state.
 	procs atomic.Pointer[[]*procState]
+
+	// exec is the bounded continuation executor of the event-driven path
+	// (nil on the goroutine path). goroPeak tracks the high-water mark of
+	// runtime.NumGoroutine() over the run; parkedNow counts ranks currently
+	// parked as continuations. Both feed the mpi.goroutines.peak and
+	// mpi.ranks.parked gauges and the introspection snapshot.
+	exec      *executor
+	goroPeak  atomic.Int64
+	parkedNow atomic.Int64
 
 	state      sync.RWMutex
 	nextCommID int
@@ -194,8 +232,22 @@ type Options struct {
 	Cluster *topo.Cluster
 	// Entry is the program run by every process, including re-spawned
 	// ones (which see a non-nil Proc.Parent, like a process started by
-	// MPI_Comm_spawn_multiple).
+	// MPI_Comm_spawn_multiple). Exactly one of Entry and EventEntry must
+	// be set.
 	Entry func(*Proc)
+	// EventEntry selects the event-driven path: instead of one goroutine
+	// per rank, every rank is a continuation-passing fiber driven by a
+	// bounded executor pool, and blocking operations park the rank as a
+	// registered completion rather than a sleeping goroutine stack. The
+	// program uses the Fiber* operations for anything that blocks
+	// (FiberRecv, FiberBarrier, FiberAllreduce, FiberAgree, ...); sends
+	// and compute charges never block and work unchanged. See event.go.
+	EventEntry func(*Proc, *Fiber)
+	// EventWorkers bounds the executor pool of the event-driven path;
+	// <= 0 selects runtime.GOMAXPROCS(0) (the harness.ParallelOrdered
+	// discipline — one worker runs inline on the caller, so a
+	// single-worker run spawns no extra goroutines).
+	EventWorkers int
 	// Metrics, when non-nil, attaches instrumentation: message/byte
 	// counters, per-rank totals, per-op virtual-latency histograms and
 	// cost attribution per model component (see internal/mpi/metrics.go
@@ -227,16 +279,26 @@ type Report struct {
 	Failed []int
 	// Spawned counts processes created by SpawnMultiple.
 	Spawned int
+	// GoroutinesPeak is the high-water mark of runtime.NumGoroutine()
+	// sampled over the run — the goroutine-per-rank path holds O(ranks),
+	// the event-driven path O(EventWorkers). Wall-clock-dependent;
+	// excluded from every determinism fingerprint.
+	GoroutinesPeak int
 }
 
-// Run executes Entry on NProcs simulated processes and blocks until every
-// process (including spawned replacements) has returned or died.
+// Run executes Entry (one goroutine per rank) or EventEntry (the
+// event-driven continuation path) on NProcs simulated processes and blocks
+// until every process (including spawned replacements) has returned or
+// died.
 func Run(o Options) (*Report, error) {
 	if o.NProcs <= 0 {
 		return nil, fmt.Errorf("mpi: NProcs must be positive, got %d", o.NProcs)
 	}
-	if o.Entry == nil {
-		return nil, fmt.Errorf("mpi: Entry must not be nil")
+	if o.Entry == nil && o.EventEntry == nil {
+		return nil, fmt.Errorf("mpi: one of Entry and EventEntry must be set")
+	}
+	if o.Entry != nil && o.EventEntry != nil {
+		return nil, fmt.Errorf("mpi: Entry and EventEntry are mutually exclusive")
 	}
 	m := o.Machine
 	if m == nil {
@@ -291,8 +353,6 @@ func Run(o Options) (*Report, error) {
 		c := &comms[r]
 		c.sh, c.rank, c.p = worldComm, r, p
 		p.st, p.world = procs[r], c
-		w.wg.Add(1)
-		go w.runProc(p)
 	}
 
 	if o.Introspect != nil {
@@ -304,7 +364,18 @@ func Run(o Options) (*Report, error) {
 		defer close(done)
 		go w.watch(o.Watchdog, done)
 	}
-	w.wg.Wait()
+
+	if o.EventEntry != nil {
+		w.runEvent(o, hands)
+	} else {
+		for r := range hands {
+			w.wg.Add(1)
+			go w.runProc(&hands[r])
+		}
+		w.noteGoroutines()
+		w.wg.Wait()
+	}
+	w.noteGoroutines()
 
 	w.state.Lock()
 	defer w.state.Unlock()
@@ -312,6 +383,7 @@ func Run(o Options) (*Report, error) {
 		MaxVirtualTime: w.maxTime,
 		Failed:         append([]int(nil), w.failed...),
 		Spawned:        w.spawned,
+		GoroutinesPeak: int(w.goroPeak.Load()),
 	}, nil
 }
 
