@@ -22,11 +22,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"ftsg/internal/core"
 	"ftsg/internal/harness"
 	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
+	"ftsg/internal/recovery"
 	tele "ftsg/internal/telemetry" // the -telemetry flag shadows the package name
 	"ftsg/internal/trace"
 )
@@ -42,6 +44,7 @@ func main() {
 		format     = flag.String("format", "table", "table | csv")
 		verbose    = flag.Bool("v", false, "log progress per configuration")
 		telemetry  = flag.Bool("telemetry", false, "add per-cell telemetry columns (solve/repair time, MPI messages/bytes, checkpoint I/O) to tables and CSVs")
+		recModes   = flag.String("recovery-modes", "", "comma-separated recovery modes Fig. 11 sweeps (spawn | shrink | substitute | norepair), or 'all'; empty = spawn only")
 		showMet    = flag.Bool("metrics", false, "print the aggregate instrumentation summary over every run of the sweep")
 		metOut     = flag.String("metrics-out", "", "write the aggregate instrumentation summary to this file")
 		traceOut   = flag.String("trace-out", "", "write the Chrome trace_event JSON of one representative fault-injected run (2 failures, RC, largest core count of the sweep) to this file")
@@ -121,6 +124,14 @@ func main() {
 	opts.Hosts = *hosts
 	opts.SlotsPerHost = *slots
 	opts.Racks = *racks
+	if *recModes != "" {
+		modes, err := parseRecoveryModes(*recModes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		opts.RecoveryModes = modes
+	}
 	var reg *metrics.Registry
 	if *showMet || *metOut != "" || *serve != "" {
 		reg = metrics.New()
@@ -166,6 +177,23 @@ func main() {
 // writeRepresentativeTrace runs one fault-injected RC configuration at the
 // sweep's largest core count and exports its recovery timeline as Chrome
 // trace_event JSON — the per-rank view the aggregate tables cannot show.
+// parseRecoveryModes parses the -recovery-modes list ("all" = every mode in
+// presentation order).
+func parseRecoveryModes(s string) ([]recovery.Mode, error) {
+	if s == "all" {
+		return recovery.Modes, nil
+	}
+	var modes []recovery.Mode
+	for _, part := range strings.Split(s, ",") {
+		m, err := recovery.ParseMode(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, m)
+	}
+	return modes, nil
+}
+
 func writeRepresentativeTrace(path string, opts harness.Options) error {
 	opts = opts.WithDefaults()
 	dp := opts.DiagProcsList[len(opts.DiagProcsList)-1]

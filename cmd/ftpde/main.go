@@ -20,6 +20,7 @@ import (
 	"ftsg/internal/core"
 	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
+	"ftsg/internal/recovery"
 	"ftsg/internal/telemetry"
 	"ftsg/internal/trace"
 	"ftsg/internal/vtime"
@@ -50,6 +51,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		failures  = fs.Int("failures", 0, "number of failures to inject")
 		failStep  = fs.Int("failstep", 0, "step at which victims die (default steps/2)")
 		real      = fs.Bool("real", false, "kill real processes and reconstruct (default: simulated grid loss)")
+		recMode   = fs.String("recovery-mode", "spawn", "repair protocol for real failures: spawn (replacements spawned, paper Fig. 3) | shrink (survivors carry on smaller, holed grids redistribute) | substitute (pre-allocated spare ranks join instead of spawn) | norepair (shrink and keep computing unaffected grids — the measured do-nothing baseline)")
+		spareRk   = fs.Int("spare-ranks", 0, "pre-allocated spare processes parked for -recovery-mode substitute (0 = default pool)")
 		nodefail  = fs.Bool("nodefail", false, "fail one whole host (requires -real and -spares >= 1)")
 		spares    = fs.Int("spares", 0, "spare hosts appended to the cluster for replacements")
 		hosts     = fs.Int("hosts", 0, "cluster host count (0 = smallest count that fits the ranks)")
@@ -81,6 +84,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ftpde:", err)
 		return 2
 	}
+	rmode, err := recovery.ParseMode(*recMode)
+	if err != nil {
+		fmt.Fprintln(stderr, "ftpde:", err)
+		return 2
+	}
 
 	cfg := core.Config{
 		Technique:    tech,
@@ -92,6 +100,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		RealFailures: *real,
 		NodeFailure:  *nodefail,
 		SpareNodes:   *spares,
+		RecoveryMode: rmode,
+		SpareRanks:   *spareRk,
 		Seed:         *seed,
 	}
 	cfg.Layout.N, cfg.Layout.L = *n, *level
@@ -201,6 +211,19 @@ func printResult(w io.Writer, res *core.Result) {
 	fmt.Fprintf(w, "technique            %s on %s\n", res.Technique, res.Machine)
 	fmt.Fprintf(w, "processes            %d across %d sub-grids (%d re-spawned)\n",
 		res.Procs, res.GridCount, res.Spawned)
+	if res.Mode != "spawn" {
+		fmt.Fprintf(w, "recovery mode        %s (final communicator %d", res.Mode, res.FinalProcs)
+		if res.SparesUsed > 0 {
+			fmt.Fprintf(w, ", %d spares claimed", res.SparesUsed)
+		}
+		if res.RepairFallbacks > 0 {
+			fmt.Fprintf(w, ", %d rounds fell back to shrink", res.RepairFallbacks)
+		}
+		fmt.Fprintln(w, ")")
+		if len(res.AbandonedGrids) > 0 {
+			fmt.Fprintf(w, "abandoned sub-grids  %v\n", res.AbandonedGrids)
+		}
+	}
 	fmt.Fprintf(w, "steps                %d\n", res.Steps)
 	fmt.Fprintf(w, "total virtual time   %.2f s\n", res.TotalTime)
 	if len(res.FailedRanks) > 0 {

@@ -10,9 +10,11 @@ import (
 	"time"
 
 	"ftsg/internal/core"
+	"ftsg/internal/ftcomb"
 	"ftsg/internal/harness"
 	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
+	"ftsg/internal/recovery"
 	"ftsg/internal/trace"
 )
 
@@ -42,6 +44,7 @@ type Fingerprint struct {
 type Outcome struct {
 	Seed      int64
 	Technique core.Technique
+	Recovery  recovery.Mode
 	Scenario  Scenario
 	// Spawned/L1/TotalTime describe the chaos run; ControlL1 the
 	// failure-free twin.
@@ -68,9 +71,18 @@ func ReproCommand(seed int64, tech core.Technique) string {
 // ReproCommandMode is ReproCommand for a cell run under a forced scenario
 // mode.
 func ReproCommandMode(seed int64, tech core.Technique, mode byte) string {
+	return ReproCommandRecovery(seed, tech, mode, recovery.ModeSpawn)
+}
+
+// ReproCommandRecovery is the full repro line: seed, technique, forced
+// scenario mode (0 draws from the seed) and forced recovery mode.
+func ReproCommandRecovery(seed int64, tech core.Technique, mode byte, rmode recovery.Mode) string {
 	cmd := fmt.Sprintf("go test ./internal/chaos -run TestChaos -chaos.seed=%d -chaos.technique=%s", seed, tech)
 	if mode != 0 {
 		cmd += fmt.Sprintf(" -chaos.mode=%c", mode)
+	}
+	if rmode != recovery.ModeSpawn {
+		cmd += fmt.Sprintf(" -chaos.recovery=%s", rmode)
 	}
 	return cmd
 }
@@ -194,13 +206,20 @@ func Check(seed int64, tech core.Technique, stallTimeout time.Duration) Outcome 
 // CheckMode is Check with the scenario mode forced (mode 0 draws it from
 // the seed).
 func CheckMode(seed int64, tech core.Technique, mode byte, stallTimeout time.Duration) Outcome {
-	return checkMode(seed, tech, mode, nil, stallTimeout, false).o
+	return checkMode(seed, tech, mode, recovery.ModeSpawn, nil, stallTimeout, false).o
+}
+
+// CheckRecovery is Check with the recovery mode forced: the chaos run (and
+// its replay) repairs by shrink, substitute or no-repair instead of spawn,
+// and the invariant table switches to that mode's structural promises.
+func CheckRecovery(seed int64, tech core.Technique, rmode recovery.Mode, stallTimeout time.Duration) Outcome {
+	return checkMode(seed, tech, 0, rmode, nil, stallTimeout, false).o
 }
 
 // CheckScaled is Check with every run's configuration passed through
 // ScaleWorld, validating repair-under-failure on the 512-rank-class world.
 func CheckScaled(seed int64, tech core.Technique, stallTimeout time.Duration) Outcome {
-	return checkMode(seed, tech, 0, ScaleWorld, stallTimeout, false).o
+	return checkMode(seed, tech, 0, recovery.ModeSpawn, ScaleWorld, stallTimeout, false).o
 }
 
 // cellOut is one cell's outcome plus its merged instrumentation: the
@@ -211,16 +230,16 @@ type cellOut struct {
 	reg *metrics.Registry
 }
 
-func checkMode(seed int64, tech core.Technique, mode byte, scale func(core.Config) core.Config, stallTimeout time.Duration, keepTrace bool) cellOut {
+func checkMode(seed int64, tech core.Technique, mode byte, rmode recovery.Mode, scale func(core.Config) core.Config, stallTimeout time.Duration, keepTrace bool) cellOut {
 	sc := NewScenarioMode(seed, mode)
-	o := Outcome{Seed: seed, Technique: tech, Scenario: sc}
+	o := Outcome{Seed: seed, Technique: tech, Recovery: rmode, Scenario: sc}
 	violate := func(format string, args ...any) {
 		o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
 	}
 	if scale == nil {
 		scale = func(cfg core.Config) core.Config { return cfg }
 	}
-	repro := ReproCommandMode(seed, tech, mode)
+	repro := ReproCommandRecovery(seed, tech, mode, rmode)
 
 	cell := metrics.New()
 	fold := func(r runOut) { cell.Merge(r.reg) }
@@ -239,13 +258,13 @@ func checkMode(seed int64, tech core.Technique, mode byte, scale func(core.Confi
 	fold(ctl)
 	o.ControlL1 = ctl.res.L1Error
 
-	run1, err := runOnce(scale(sc.ConfigFor(tech)), fmt.Sprintf("chaos seed %d %s", seed, tech), repro, stallTimeout)
+	run1, err := runOnce(scale(sc.ConfigForRecovery(tech, rmode)), fmt.Sprintf("chaos seed %d %s/%s", seed, tech, rmode), repro, stallTimeout)
 	if err != nil {
 		violate("chaos run failed: %v", err)
 		return finish(runOut{})
 	}
 	fold(run1)
-	run2, err := runOnce(scale(sc.ConfigFor(tech)), fmt.Sprintf("replay seed %d %s", seed, tech), repro, stallTimeout)
+	run2, err := runOnce(scale(sc.ConfigForRecovery(tech, rmode)), fmt.Sprintf("replay seed %d %s/%s", seed, tech, rmode), repro, stallTimeout)
 	if err != nil {
 		violate("replay run failed: %v", err)
 		return finish(run1)
@@ -276,7 +295,12 @@ func checkMode(seed int64, tech core.Technique, mode byte, scale func(core.Confi
 
 	// Invariant: the failure report is sane. Rank 0 is never a victim (the
 	// generators protect it), every replacement corresponds to a reported
-	// failure, and every scheduled death actually produced a replacement.
+	// failure, and every scheduled death is accounted for in the mode's own
+	// currency — a spawned replacement under spawn, a failed original rank
+	// under shrink/no-repair (no replacement, so a rank dies at most once
+	// and the union matches the schedule), at least one reported failure
+	// under substitute (a substituted position can be re-killed, collapsing
+	// the union).
 	for _, r := range res.FailedRanks {
 		if r == 0 {
 			violate("rank 0 reported as failed: %v", res.FailedRanks)
@@ -288,33 +312,98 @@ func checkMode(seed int64, tech core.Technique, mode byte, scale func(core.Confi
 	if res.Spawned > 0 && len(res.FailedRanks) == 0 {
 		violate("spawned %d replacements but reported no failed ranks", res.Spawned)
 	}
-	if min := sc.MinSpawned(tech); res.Spawned < min {
-		violate("spawned %d replacements, scenario schedules at least %d deaths", res.Spawned, min)
+	min := sc.MinSpawned(tech)
+	switch rmode {
+	case recovery.ModeSpawn:
+		if res.Spawned < min {
+			violate("spawned %d replacements, scenario schedules at least %d deaths", res.Spawned, min)
+		}
+	case recovery.ModeSubstitute:
+		if res.Spawned != 0 {
+			violate("spawned %d replacements under substitute", res.Spawned)
+		}
+		if min > 0 && len(res.FailedRanks) == 0 {
+			violate("scenario schedules at least %d deaths, none reported", min)
+		}
+		if res.RepairFallbacks != 0 {
+			violate("substitute fell back to shrink %d times with a %d-spare pool",
+				res.RepairFallbacks, SubstituteSpares)
+		}
+		if res.FinalProcs != res.Procs {
+			violate("substitute final size %d, want restored %d", res.FinalProcs, res.Procs)
+		}
+		if res.SparesUsed < len(res.FailedRanks) {
+			violate("substitute consumed %d spares for %d failures", res.SparesUsed, len(res.FailedRanks))
+		}
+	default: // shrink, no-repair
+		if res.Spawned != 0 || res.SparesUsed != 0 {
+			violate("%s run replaced processes: spawned %d, spares %d", rmode, res.Spawned, res.SparesUsed)
+		}
+		if len(res.FailedRanks) < min {
+			violate("reported %d failed ranks, scenario schedules at least %d deaths", len(res.FailedRanks), min)
+		}
+		if res.FinalProcs != res.Procs-len(res.FailedRanks) {
+			violate("%s final size %d, want %d minus %d failed", rmode, res.FinalProcs, res.Procs, len(res.FailedRanks))
+		}
+		if len(res.Survivors) != res.FinalProcs {
+			violate("%s reports %d survivors for a size-%d communicator", rmode, len(res.Survivors), res.FinalProcs)
+		}
+	}
+	if rmode == recovery.ModeNoRepair {
+		if res.DataRecoveryTime != 0 {
+			violate("no-repair run recovered data (%.3fs)", res.DataRecoveryTime)
+		}
+		if res.CheckpointBytesIn != 0 {
+			violate("no-repair run read %d checkpoint bytes", res.CheckpointBytesIn)
+		}
 	}
 	if res.Procs != ctl.res.Procs {
 		violate("communicator size %d after recovery, control has %d", res.Procs, ctl.res.Procs)
 	}
 
 	// Invariant: solution quality against the failure-free control. A run
-	// where nobody died must be bit-identical to the control. CR recovers
-	// the exact pre-failure state, so it must match the control bitwise even
-	// after failures. RC and AC recover approximately; their error must stay
-	// finite, non-degenerate and within a technique bound of the control.
+	// where nobody died must be bit-identical to the control, whatever the
+	// recovery mode. CR recovers the exact pre-failure state — from
+	// checkpoints when the group survives intact (spawn, substitute), by
+	// recomputing from the initial condition when it shrank — so it must
+	// match the control bitwise unless a sub-grid was abandoned outright.
+	// One carve-out: a substitute repair that consumed spares moves the
+	// replacement rank onto the spare node (spares are parked there), so
+	// the host-aware hierarchical reduction re-associates the combine sum
+	// and the recovered value can drift by a few ulps — exactly as real
+	// MPI reductions do when the process map changes hosts. Those runs are
+	// held to a 1e-12 relative band instead of bit equality (the observed
+	// drift is ~2e-15 relative; the recovered STATE is still exact, only
+	// the reduction order differs). RC and AC recover approximately; their
+	// error must stay finite, non-degenerate and within a technique bound
+	// of the control, loosened to the documented hole-tolerant bound once
+	// grids are abandoned and their coefficients redistributed.
+	exactOrReassoc := func(what string) {
+		if run1.fp.L1 == ctl.fp.L1 {
+			return
+		}
+		if rmode == recovery.ModeSubstitute && res.SparesUsed > 0 {
+			if rel := math.Abs(res.L1Error-ctl.res.L1Error) / math.Abs(ctl.res.L1Error); rel <= 1e-12 {
+				return
+			}
+		}
+		violate("%s: l1 %v vs control %v", what, res.L1Error, ctl.res.L1Error)
+	}
 	switch {
-	case res.Spawned == 0:
+	case res.Spawned == 0 && len(res.FailedRanks) == 0:
 		if run1.fp.L1 != ctl.fp.L1 {
 			violate("no process died but solution differs from control: l1 %v vs %v",
 				res.L1Error, ctl.res.L1Error)
 		}
-	case tech == core.CheckpointRestart:
-		if run1.fp.L1 != ctl.fp.L1 {
-			violate("CR recovered an inexact solution: l1 %v vs control %v",
-				res.L1Error, ctl.res.L1Error)
-		}
+	case tech == core.CheckpointRestart && len(res.AbandonedGrids) == 0:
+		exactOrReassoc("CR recovered an inexact solution")
 	default:
 		bound := 100.0
 		if tech == core.AlternateCombination {
 			bound = 1000.0
+		}
+		if len(res.AbandonedGrids) > 0 {
+			bound = ftcomb.DegradedErrorFactor
 		}
 		if math.IsNaN(res.L1Error) || math.IsInf(res.L1Error, 0) || res.L1Error <= 0 {
 			violate("%s recovered a degenerate solution: l1 %v", tech, res.L1Error)
@@ -344,6 +433,7 @@ type CampaignOpts struct {
 	Seeds      []int64
 	Techniques []core.Technique
 	Mode       byte          // forced scenario mode; 0 draws per seed
+	Recovery   recovery.Mode // forced recovery mode; zero value is spawn
 	Workers    int           // <= 0 selects GOMAXPROCS
 	Stall      time.Duration // per-run watchdog timeout; <= 0 selects DefaultStallTimeout
 
@@ -375,7 +465,7 @@ func Sweep(opt CampaignOpts) []Outcome {
 	// so ParallelOrdered's error is always nil.
 	_ = harness.ParallelOrdered(opt.Workers, n, func(i int) error {
 		c := checkMode(opt.Seeds[i/len(opt.Techniques)], opt.Techniques[i%len(opt.Techniques)],
-			opt.Mode, nil, opt.Stall, opt.KeepTraces)
+			opt.Mode, opt.Recovery, nil, opt.Stall, opt.KeepTraces)
 		outs[i] = c.o
 		if opt.Metrics == nil {
 			return nil

@@ -9,6 +9,7 @@ import (
 
 	"ftsg/internal/core"
 	"ftsg/internal/metrics"
+	"ftsg/internal/recovery"
 )
 
 var (
@@ -24,6 +25,8 @@ var (
 		"deadlock watchdog timeout per run")
 	chaosModeFlag = flag.String("chaos.mode", "",
 		"force one scenario mode (A..F) for every seed instead of drawing it")
+	chaosRecovery = flag.String("chaos.recovery", "spawn",
+		"recovery mode for every chaos run: spawn, shrink, substitute or norepair")
 )
 
 // TestChaos sweeps seeded random failure scenarios through every recovery
@@ -52,7 +55,11 @@ func TestChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs := CampaignMode(seeds, techs, mode, 0, *chaosStall)
+	rmode, err := recovery.ParseMode(*chaosRecovery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := Sweep(CampaignOpts{Seeds: seeds, Techniques: techs, Mode: mode, Recovery: rmode, Stall: *chaosStall})
 	violations := 0
 	for _, o := range outs {
 		if o.OK() {
@@ -60,12 +67,46 @@ func TestChaos(t *testing.T) {
 		}
 		violations += len(o.Violations)
 		for _, v := range o.Violations {
-			t.Errorf("%s under %s: %s\n  replay: %s",
-				o.Scenario, o.Technique, v, ReproCommandMode(o.Seed, o.Technique, mode))
+			t.Errorf("%s under %s/%s: %s\n  replay: %s",
+				o.Scenario, o.Technique, rmode, v, ReproCommandRecovery(o.Seed, o.Technique, mode, rmode))
 		}
 	}
-	t.Logf("chaos: %d seeds x %d techniques, %d violations",
-		len(seeds), len(techs), violations)
+	t.Logf("chaos: %d seeds x %d techniques under %s, %d violations",
+		len(seeds), len(techs), rmode, violations)
+}
+
+// TestChaosRecoveryModes sweeps a seed block through every technique under
+// each non-spawn recovery mode, enforcing the per-mode invariant table:
+//
+//	shrink      Spawned==0, SparesUsed==0, FinalProcs==Procs-|FailedRanks|,
+//	            survivors listed in original order
+//	substitute  FinalProcs==Procs, SparesUsed>=|FailedRanks|,
+//	            RepairFallbacks==0 (the pool is sized to never run dry)
+//	norepair    shrink's promises plus DataRecoveryTime==0 and zero
+//	            checkpoint reads; L1 within the documented degraded bound
+//
+// plus the mode-independent suite (byte-identical same-seed replay, sane
+// failure reports, bounded solution error). CI runs the same sweeps wider —
+// 64 seeds per mode under -race — via
+//
+//	go test -race ./internal/chaos -run TestChaos -chaos.seeds=64 -chaos.recovery=shrink
+func TestChaosRecoveryModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign skipped in -short mode")
+	}
+	seeds := make([]int64, 8)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	for _, rmode := range []recovery.Mode{recovery.ModeShrink, recovery.ModeSubstitute, recovery.ModeNoRepair} {
+		outs := Sweep(CampaignOpts{Seeds: seeds, Techniques: Techniques, Recovery: rmode, Stall: *chaosStall})
+		for _, o := range outs {
+			for _, v := range o.Violations {
+				t.Errorf("%s under %s/%s: %s\n  replay: %s",
+					o.Scenario, o.Technique, rmode, v, ReproCommandRecovery(o.Seed, o.Technique, 0, rmode))
+			}
+		}
+	}
 }
 
 // TestScenarioDeterminism checks that scenario generation is a pure

@@ -22,6 +22,7 @@ import (
 	"ftsg/internal/combine"
 	"ftsg/internal/core"
 	"ftsg/internal/faultgen"
+	"ftsg/internal/recovery"
 	"ftsg/internal/vtime"
 )
 
@@ -251,6 +252,25 @@ func (sc Scenario) ConfigFor(tech core.Technique) core.Config {
 		// Storage damage rides only on the chaos run, never the control;
 		// it is inert outside CR (no checkpoint store exists).
 		cfg.CheckpointFaults = sc.CkptFaults
+	}
+	return cfg
+}
+
+// SubstituteSpares is the spare-rank pool a chaos substitute run carries:
+// comfortably above the worst scheduled death count (a whole four-slot node
+// plus retries that orphan claimed spares), so a clean campaign never
+// exhausts it and RepairFallbacks stays zero.
+const SubstituteSpares = 12
+
+// ConfigForRecovery is ConfigFor with a forced recovery mode on the chaos
+// run: shrink, substitute (with the SubstituteSpares pool) or no-repair
+// instead of the default spawn protocol. The control stays a plain
+// failure-free spawn run — the baseline is mode-independent.
+func (sc Scenario) ConfigForRecovery(tech core.Technique, rmode recovery.Mode) core.Config {
+	cfg := sc.ConfigFor(tech)
+	cfg.RecoveryMode = rmode
+	if rmode == recovery.ModeSubstitute {
+		cfg.SpareRanks = SubstituteSpares
 	}
 	return cfg
 }

@@ -290,6 +290,16 @@ func Run(cfg Config) (*Result, error) {
 		CheckpointPlan: rs.ckPlan,
 		LostGrids:      append([]int(nil), rs.simLost...),
 		TIOWrite:       cfg.Machine.TIOWrite,
+		Mode:           cfg.RecoveryMode.String(),
+		FinalProcs:     nprocs, // non-spawn modes overwrite at the end of the run
+	}
+
+	// Substitute mode parks its spare processes on the spare node (the same
+	// place spawn-mode replacements land when SpareNodes is configured);
+	// WithDefaults guarantees a spare node exists whenever SpareRanks > 0.
+	var spareHosts []string
+	if cfg.SpareRanks > 0 {
+		spareHosts = []string{rs.cluster.Host(baseHosts).Name}
 	}
 
 	rs.reg = reg
@@ -301,12 +311,15 @@ func Run(cfg Config) (*Result, error) {
 		Metrics:    reg,
 		Watchdog:   rs.cfg.Watchdog,
 		Introspect: cfg.Introspect,
+		SpareRanks: cfg.SpareRanks,
+		SpareHosts: spareHosts,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rs.res.TotalTime = rep.MaxVirtualTime
 	rs.res.Spawned = rep.Spawned
+	rs.res.SparesUsed = rep.SparesUsed
 	if reg != nil {
 		// With a shared registry these are cumulative across the runs
 		// recorded so far, not per-run.
@@ -370,13 +383,43 @@ func (rs *runState) rank(p *mpi.Proc) error {
 	epoch := 0
 	myStats := recovery.Stats{Trace: cfg.Trace, Metrics: rs.reg}
 
+	// Non-spawn recovery modes carry per-rank mode state (position mapping,
+	// holes, abandoned grids); spawn leaves mc nil and every spawn code path
+	// byte-identical. `rank` always holds this process's ORIGINAL rank — the
+	// stable identity behind grid assignment, fault plans, and metric labels —
+	// while communicator positions shift under shrinks.
+	var mc *modeCtx
+	if cfg.RecoveryMode != recovery.ModeSpawn {
+		mc = newModeCtx(cfg.RecoveryMode, cfg.NumProcs())
+		myStats.ModeLabel = cfg.RecoveryMode.String()
+	}
+
 	if replacement {
 		tAttach := p.Now()
-		w, r, err := recovery.ReconstructPlaced(p, nil, p.Parent(), &myStats, rs.place)
-		if err != nil {
-			return err
+		if mc == nil {
+			w, r, err := recovery.ReconstructPlaced(p, nil, p.Parent(), &myStats, rs.place)
+			if err != nil {
+				return err
+			}
+			world, rank = w, r
+		} else {
+			// A claimed spare (substitute mode): attach through the mode-aware
+			// protocol, then learn everything else — including which original
+			// rank it replaces — from rank 0's broadcast.
+			mr, err := recovery.ReconstructMode(p, nil, p.Parent(), &myStats, rs.place, cfg.RecoveryMode, nil)
+			if err != nil {
+				return err
+			}
+			world = mr.Comm
+			var aband, origOf []int
+			var serr error
+			cur, failedList, aband, origOf, serr = syncRecoveryInfoMode(world, 0, nil, nil, nil)
+			if serr != nil {
+				return serr
+			}
+			mc.adopt(origOf, aband, failedList)
+			rank = mc.origOf[world.Rank()]
 		}
-		world, rank = w, r
 		epoch = 1
 		repairVec.At(rank).Add(p.Now() - tAttach)
 	} else {
@@ -413,13 +456,16 @@ func (rs *runState) rank(p *mpi.Proc) error {
 	if replacement {
 		// Rejoin the survivors: learn the detection step and failed ranks,
 		// rebuild the group communicator, and take part in data recovery
-		// (same sequence as the survivors' failure branch below).
-		cur, failedList, err = syncRecoveryInfo(world, 0, nil)
-		if err != nil {
-			return err
+		// (same sequence as the survivors' failure branch below). Substitute
+		// children already ran their broadcast above, alongside the attach.
+		if mc == nil {
+			cur, failedList, err = syncRecoveryInfo(world, 0, nil)
+			if err != nil {
+				return err
+			}
 		}
-		// Invariant: this replacement adopted its predecessor's rank, so
-		// that rank must be in the failed list rank 0 announced.
+		// Invariant: this replacement adopted its predecessor's (original)
+		// rank, so that rank must be in the failed list rank 0 announced.
 		if !containsInt(failedList, rank) {
 			return fmt.Errorf("core: replacement adopted rank %d but rank 0 announced failed ranks %v", rank, failedList)
 		}
@@ -433,7 +479,7 @@ func (rs *runState) rank(p *mpi.Proc) error {
 			return err
 		}
 		rs.flushCheckpoints(p, rank, cur)
-		if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, cur, epoch); err != nil {
+		if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, cur, epoch, mc, rs.activeRecoverIDs(mc, failedList)); err != nil {
 			return err
 		}
 		rs.mergeStats(&myStats, failedList)
@@ -455,7 +501,12 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		opHook = rs.opPlan.Hook(p, rank)
 	}
 
-	gridLost := false
+	// gridLost marks this rank's sub-grid as dead: set transiently when a
+	// group member dies mid-solve (cleared once recovery restores the data),
+	// and persistently when a non-spawn mode abandons the grid — the rank
+	// then stops stepping and checkpointing but keeps taking part in
+	// detection and the final combination (with coefficient zero).
+	gridLost := mc != nil && mc.abandoned[mine.ID]
 	var detectOverhead float64
 	var stateBuf []float64 // persistent checkpoint-encode scratch, reused across writes
 	for _, dp := range rs.detectionPoints() {
@@ -494,8 +545,18 @@ func (rs *runState) rank(p *mpi.Proc) error {
 		cur = dp
 
 		tRepair := p.Now()
-		st := recovery.Stats{Trace: cfg.Trace, Metrics: rs.reg}
-		newWorld, newRank, err := recovery.ReconstructPlaced(p, world, nil, &st, rs.place)
+		st := recovery.Stats{Trace: cfg.Trace, Metrics: rs.reg, ModeLabel: myStats.ModeLabel}
+		var newWorld *mpi.Comm
+		var newRank int
+		var mr *recovery.ModeResult
+		if mc == nil {
+			newWorld, newRank, err = recovery.ReconstructPlaced(p, world, nil, &st, rs.place)
+		} else {
+			mr, err = recovery.ReconstructMode(p, world, nil, &st, rs.place, cfg.RecoveryMode, mc.origOf)
+			if err == nil {
+				newWorld, newRank = mr.Comm, mr.Rank
+			}
+		}
 		if opHook != nil {
 			p.SetOpHook(nil)
 		}
@@ -503,25 +564,66 @@ func (rs *runState) rank(p *mpi.Proc) error {
 			return err
 		}
 		repairVec.At(rank).Add(p.Now() - tRepair)
+		var recoverIDs []int
 		if st.ReconstructTime > 0 {
 			// A failure was repaired: re-derive everything that hung off
 			// the old communicator — after checking the protocol's core
-			// promises (paper Fig. 3): same size, same rank order.
-			if newRank != rank {
-				return fmt.Errorf("core: repaired communicator moved rank %d to %d", rank, newRank)
-			}
-			if newWorld.Size() != world.Size() {
-				return fmt.Errorf("core: repaired communicator size %d, want %d", newWorld.Size(), world.Size())
-			}
-			world, rank = newWorld, newRank
-			_, failedList, err = syncRecoveryInfo(world, dp, st.FailedRanks)
-			if err != nil {
-				return err
-			}
-			// Invariant: every survivor derived the failed-rank list locally
-			// (Fig. 6 group algebra); it must agree with rank 0's broadcast.
-			if !equalInts(failedList, st.FailedRanks) {
-				return fmt.Errorf("core: rank %d derived failed ranks %v but rank 0 announced %v", rank, st.FailedRanks, failedList)
+			// promises. Spawn (paper Fig. 3) promises same size, same rank
+			// order; the other modes promise that every survivor keeps its
+			// original identity while the size shrinks (shrink/no-repair,
+			// or a substitute round that fell back) or is restored from
+			// spares (substitute).
+			if mc == nil {
+				if newRank != rank {
+					return fmt.Errorf("core: repaired communicator moved rank %d to %d", rank, newRank)
+				}
+				if newWorld.Size() != world.Size() {
+					return fmt.Errorf("core: repaired communicator size %d, want %d", newWorld.Size(), world.Size())
+				}
+				world, rank = newWorld, newRank
+				_, failedList, err = syncRecoveryInfo(world, dp, st.FailedRanks)
+				if err != nil {
+					return err
+				}
+				// Invariant: every survivor derived the failed-rank list locally
+				// (Fig. 6 group algebra); it must agree with rank 0's broadcast.
+				if !equalInts(failedList, st.FailedRanks) {
+					return fmt.Errorf("core: rank %d derived failed ranks %v but rank 0 announced %v", rank, st.FailedRanks, failedList)
+				}
+			} else {
+				if newWorld.Size() != len(mr.OrigOf) {
+					return fmt.Errorf("core: repaired communicator size %d but position map covers %d", newWorld.Size(), len(mr.OrigOf))
+				}
+				if mr.OrigOf[newRank] != rank {
+					return fmt.Errorf("core: repaired communicator position %d holds original rank %d, want %d", newRank, mr.OrigOf[newRank], rank)
+				}
+				if cfg.RecoveryMode == recovery.ModeSubstitute && mr.Fallbacks == 0 {
+					if newWorld.Size() != world.Size() {
+						return fmt.Errorf("core: substitute repair changed communicator size %d -> %d", world.Size(), newWorld.Size())
+					}
+				} else if newWorld.Size() >= world.Size() {
+					return fmt.Errorf("core: %v repair did not shrink the communicator (%d -> %d)", cfg.RecoveryMode, world.Size(), newWorld.Size())
+				}
+				world = newWorld // rank keeps its original identity
+				mc.fallbacks += mr.Fallbacks
+				recoverIDs = rs.applyEvent(mc, mr.OrigOf, st.FailedRanks)
+				var aband, origOf []int
+				_, failedList, aband, origOf, err = syncRecoveryInfoMode(world, dp, st.FailedRanks, mc.abandonedList(), mc.origOf)
+				if err != nil {
+					return err
+				}
+				// Invariants: the locally derived failed list, position map and
+				// abandoned set must all agree with rank 0's broadcast — every
+				// survivor folded the same event into the same prior state.
+				if !equalInts(failedList, st.FailedRanks) {
+					return fmt.Errorf("core: rank %d derived failed ranks %v but rank 0 announced %v", rank, st.FailedRanks, failedList)
+				}
+				if !equalInts(origOf, mc.origOf) {
+					return fmt.Errorf("core: rank %d derived position map %v but rank 0 announced %v", rank, mc.origOf, origOf)
+				}
+				if !equalInts(aband, mc.abandonedList()) {
+					return fmt.Errorf("core: rank %d derived abandoned grids %v but rank 0 announced %v", rank, mc.abandonedList(), aband)
+				}
 			}
 			if rank == 0 {
 				cfg.Trace.Emit(p.Now(), rank, "repair",
@@ -550,20 +652,30 @@ func (rs *runState) rank(p *mpi.Proc) error {
 			if err != nil {
 				return err
 			}
-			if !gridLost {
+			// Carry the pre-repair state into the rebuilt solver. Spawn uses
+			// the local mid-solve signal (gridLost); the other modes decide
+			// from the broadcast-agreed damage so all members of a grid act
+			// identically: a damaged grid's state is rebuilt by recoverData
+			// (or the grid is abandoned), and restoring would either be
+			// redundant or shape-mismatched after a shrink.
+			restorable := !gridLost
+			if mc != nil {
+				restorable = !containsInt(rs.lostGridIDs(failedList), mine.ID) && !mc.abandoned[mine.ID]
+			}
+			if restorable {
 				if err := solver.Restore(oldStep, oldState); err != nil {
 					return err
 				}
 			}
 			rs.flushCheckpoints(p, rank, dp)
-			if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, dp, epoch); err != nil {
+			if err := rs.recoverData(p, world, gcomm, solver, mine, failedList, dp, epoch, mc, recoverIDs); err != nil {
 				return err
 			}
 			rs.mergeStats(&st, failedList)
-			gridLost = false
+			gridLost = mc != nil && mc.abandoned[mine.ID]
 		} else {
 			detectOverhead += st.ListTime
-			if cfg.Technique == CheckpointRestart && dp < cfg.Steps {
+			if cfg.Technique == CheckpointRestart && dp < cfg.Steps && !gridLost {
 				stateBuf = pde.AppendState(solver, stateBuf[:0])
 				ckSpan := cfg.Trace.BeginSpan(p.Now(), rank, "checkpoint", "write step %d", dp)
 				err := rs.store.Write(p, mine.ID, gcomm.Rank(), dp, stateBuf)
@@ -583,9 +695,10 @@ func (rs *runState) rank(p *mpi.Proc) error {
 	}
 
 	// Simulated failures (the paper's Figs. 9/10 mode): whole grids are
-	// assumed lost at the end, without killing processes.
+	// assumed lost at the end, without killing processes. Spawn-only
+	// (Config.Validate), so mc is always nil here.
 	if !cfg.RealFailures && len(rs.simLost) > 0 {
-		if err := rs.recoverData(p, world, gcomm, solver, mine, nil, cfg.Steps, epoch); err != nil {
+		if err := rs.recoverData(p, world, gcomm, solver, mine, nil, cfg.Steps, epoch, nil, nil); err != nil {
 			return err
 		}
 	}
@@ -596,7 +709,25 @@ func (rs *runState) rank(p *mpi.Proc) error {
 	}
 	rs.mu.Unlock()
 
-	return rs.combinePhase(p, world, gcomm, solver, mine, rs.lostGridIDs(failedList))
+	// Non-spawn modes report their final communicator shape: the current
+	// root records the size, the surviving original ranks in communicator
+	// order, the fallback count, the abandoned grids, and the failure
+	// history — unioned across every event, unlike the spawn path's
+	// first-event report from mergeStats.
+	if mc != nil && world.Rank() == 0 {
+		rs.mu.Lock()
+		rs.res.FinalProcs = world.Size()
+		rs.res.Survivors = append([]int(nil), mc.origOf...)
+		rs.res.RepairFallbacks = mc.fallbacks
+		rs.res.AbandonedGrids = mc.abandonedList()
+		if fr := mc.failedRanks(); len(fr) > 0 {
+			rs.res.FailedRanks = fr
+			rs.res.LostGrids = rs.lostGridIDs(fr)
+		}
+		rs.mu.Unlock()
+	}
+
+	return rs.combinePhase(p, world, gcomm, solver, mine, rs.lostGridIDs(failedList), mc)
 }
 
 // syncRecoveryInfo broadcasts rank 0's failure information — the detection
@@ -710,9 +841,14 @@ func removeStep(cand []int, step int) []int {
 // recoverData restores the data of lost sub-grids at the given step using
 // the configured technique. Every process of the communicator calls it with
 // the same arguments; only members of the lost grids and their recovery
-// partners communicate.
-func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, failedRanks []int, atStep, epoch int) error {
+// partners communicate. Under a non-spawn mode (mc != nil) the caller passes
+// the broadcast-agreed active set (damaged minus abandoned) as recoverIDs
+// and the sub-grid addressing is translated through the position map.
+func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, failedRanks []int, atStep, epoch int, mc *modeCtx, recoverIDs []int) error {
 	lost := rs.lostGridIDs(failedRanks)
+	if mc != nil {
+		lost = recoverIDs
+	}
 	if len(lost) == 0 {
 		return nil
 	}
@@ -721,7 +857,7 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 			rs.cfg.Technique, lost, atStep)
 	}
 	t0 := p.Now()
-	sp := rs.cfg.Trace.BeginSpan(t0, world.Rank(), "recover-data", "%v, sub-grids %v", rs.cfg.Technique, lost)
+	sp := rs.cfg.Trace.BeginSpan(t0, traceRank(world, mc), "recover-data", "%v, sub-grids %v", rs.cfg.Technique, lost)
 	defer func() {
 		sp.End(p.Now())
 		rs.mu.Lock()
@@ -737,6 +873,28 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 	switch rs.cfg.Technique {
 	case CheckpointRestart:
 		if !containsInt(lost, mine.ID) {
+			return nil
+		}
+		if mc != nil && mc.holed(mine) {
+			// A shrunken group: the surviving checkpoints were written under
+			// the pre-shrink group ranks and decomposition, so they cannot be
+			// read back into the smaller solver. Recompute from the initial
+			// condition — the full prefix is the measured price of losing a
+			// rank without replacement.
+			if gcomm.Rank() == 0 {
+				rs.cfg.Journal.Emit(p.Now(), world.Rank(), epoch, "checkpoint-restore",
+					slog.Int("grid", mine.ID), slog.Int("step", 0))
+			}
+			ic := grid.NewPooled(mine.Lv)
+			ic.Fill(rs.prob.U0)
+			rerr := solver.SetFromGrid(ic, 0)
+			ic.Free()
+			if rerr != nil {
+				return rerr
+			}
+			if err := solver.Run(atStep - solver.Steps()); err != nil {
+				return fmt.Errorf("core: CR recompute: %w", err)
+			}
 			return nil
 		}
 		// Restart from the newest checkpoint step the whole process group
@@ -781,6 +939,12 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 				}
 				ok = 0
 			}
+			if rerr == nil && mc != nil && len(data) != len(solver.State()) {
+				// A checkpoint written under a different group shape (possible
+				// once communicators shrink and regrow): treat it like damage
+				// and let the group fall back to an older common step.
+				ok = 0
+			}
 			allOK, aerr := mpi.Allreduce(gcomm, []int64{ok}, mpi.MinOp)
 			if aerr != nil {
 				return fmt.Errorf("core: CR restore: %w", aerr)
@@ -818,6 +982,22 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 			if containsInt(lost, src.ID) {
 				return fmt.Errorf("core: RC cannot recover grid %d: partner %d also lost", lg, src.ID)
 			}
+			// World addresses of the two group roots. With the original
+			// numbering intact these are the grids' first ranks; under a
+			// non-spawn mode a group's root is its lowest SURVIVING original
+			// rank (Split orders by original rank), translated to its current
+			// communicator position.
+			srcRoot, dstRoot := src.FirstRank, lostGrid.FirstRank
+			if mc != nil {
+				if mc.abandoned[src.ID] || mc.holed(src) {
+					return fmt.Errorf("core: RC cannot recover grid %d: partner %d unusable after shrink", lg, src.ID)
+				}
+				srcRoot = mc.commRankOf(mc.liveRootOf(src))
+				dstRoot = mc.commRankOf(mc.liveRootOf(lostGrid))
+				if srcRoot < 0 || dstRoot < 0 {
+					return fmt.Errorf("core: RC recovery of grid %d: no surviving group root", lg)
+				}
+			}
 			if mine.ID == src.ID {
 				g, err := solver.Gather(0)
 				if err != nil {
@@ -834,7 +1014,7 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 							return err
 						}
 					}
-					err := mpi.Send(world, lostGrid.FirstRank, tagRecoverBase+lg, send.V)
+					err := mpi.Send(world, dstRoot, tagRecoverBase+lg, send.V)
 					if resample {
 						send.Free()
 					}
@@ -847,7 +1027,7 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 				var vals []float64
 				if gcomm.Rank() == 0 {
 					var err error
-					vals, _, err = mpi.Recv[float64](world, src.FirstRank, tagRecoverBase+lg)
+					vals, _, err = mpi.Recv[float64](world, srcRoot, tagRecoverBase+lg)
 					if err != nil {
 						return err
 					}
@@ -882,8 +1062,32 @@ func (rs *runState) recoverData(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.
 // +1/-1 coefficients, or — under Alternate Combination with losses — the
 // recovered GCP coefficients over the surviving grids. Every rank computes
 // it deterministically; timeIt (rank 0) records the coefficient
-// recomputation as the AC data-recovery cost.
-func (rs *runState) computeScheme(p *mpi.Proc, lost []int, timeIt bool) (combine.Scheme, error) {
+// recomputation as the AC data-recovery cost. Non-spawn modes (mc != nil)
+// combine over whatever survived abandonment, whichever the technique: the
+// hole-tolerant survivor scheme replaces the classic coefficients.
+func (rs *runState) computeScheme(p *mpi.Proc, lost []int, timeIt bool, mc *modeCtx) (combine.Scheme, error) {
+	if mc != nil {
+		if len(mc.abandoned) == 0 {
+			return rs.cfg.Layout.Classic(), nil
+		}
+		tRec := p.Now()
+		scheme, err := rs.survivorScheme(mc)
+		if err != nil {
+			return nil, err
+		}
+		if timeIt && rs.cfg.Technique == AlternateCombination && mc.mode != recovery.ModeNoRepair {
+			// AC charges the coefficient recomputation as its data-recovery
+			// cost, as in spawn mode; no-repair by definition recovers
+			// nothing, so its data-recovery time stays zero.
+			p.Compute(float64(len(rs.grids)*64) * 1e-7)
+			rs.mu.Lock()
+			if d := p.Now() - tRec; d > rs.res.DataRecoveryTime {
+				rs.res.DataRecoveryTime = d
+			}
+			rs.mu.Unlock()
+		}
+		return scheme, nil
+	}
 	if rs.cfg.Technique != AlternateCombination || len(lost) == 0 {
 		return rs.cfg.Layout.Classic(), nil
 	}
@@ -921,10 +1125,10 @@ func (rs *runState) computeScheme(p *mpi.Proc, lost []int, timeIt bool) (combine
 // contribution on the target grid and a single elementwise Reduce assembles
 // the combined solution. Config.SerialCombine selects the naive
 // ship-everything-to-rank-0 variant for the ablation benchmark.
-func (rs *runState) combinePhase(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, lost []int) error {
-	sp := rs.cfg.Trace.BeginSpan(p.Now(), world.Rank(), "combine", "")
+func (rs *runState) combinePhase(p *mpi.Proc, world, gcomm *mpi.Comm, solver pde.Solver, mine SubGrid, lost []int, mc *modeCtx) error {
+	sp := rs.cfg.Trace.BeginSpan(p.Now(), traceRank(world, mc), "combine", "")
 	defer func() { sp.End(p.Now()) }()
-	scheme, err := rs.computeScheme(p, lost, world.Rank() == 0)
+	scheme, err := rs.computeScheme(p, lost, world.Rank() == 0, mc)
 	if err != nil {
 		return err
 	}

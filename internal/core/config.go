@@ -16,6 +16,7 @@ import (
 	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
 	"ftsg/internal/pde"
+	"ftsg/internal/recovery"
 	"ftsg/internal/telemetry"
 	"ftsg/internal/trace"
 	"ftsg/internal/vtime"
@@ -123,6 +124,20 @@ type Config struct {
 	// RealFailures selects real process kills plus communicator
 	// reconstruction; false selects the simulated-loss mode.
 	RealFailures bool
+	// RecoveryMode selects how a broken communicator is repaired: spawn
+	// (the paper's protocol — re-spawn to full size; the default), shrink
+	// (continue with fewer ranks, redistributing the dead sub-grids through
+	// the hole-tolerant combination coefficients), substitute (restore full
+	// size from SpareRanks pre-allocated spare processes), or norepair
+	// (shrink the communicator but recover no data — the degraded
+	// baseline). Non-spawn modes require RealFailures when failures are
+	// configured; the simulated-loss mode of Figs. 9/10 is spawn-only.
+	RecoveryMode recovery.Mode
+	// SpareRanks is the size of the pre-allocated spare-process pool of the
+	// substitute mode (0 under substitute defaults to 8; ignored by the
+	// other modes). The spares are parked on the spare hosts at startup and
+	// consumed by repairs; when exhausted, repairs fall back to shrink.
+	SpareRanks int
 	// Seed drives victim selection.
 	Seed int64
 	// FailSchedule injects several failure events at increasing steps,
@@ -268,6 +283,14 @@ func (c Config) WithDefaults() Config {
 	case c.ExtraLayers < 0:
 		c.ExtraLayers = -1 // normalised "none"
 	}
+	if c.RecoveryMode == recovery.ModeSubstitute {
+		if c.SpareRanks == 0 {
+			c.SpareRanks = 8
+		}
+		if c.SpareNodes == 0 {
+			c.SpareNodes = 1
+		}
+	}
 	return c
 }
 
@@ -351,6 +374,20 @@ func (c Config) Validate() error {
 				return fmt.Errorf("core: CheckpointFaults.%s = %g outside [0, 1]", pr.name, pr.v)
 			}
 		}
+	}
+	if c.RecoveryMode != recovery.ModeSpawn {
+		if c.NumFailures > 0 && !c.RealFailures {
+			return fmt.Errorf("core: recovery mode %v requires RealFailures (simulated losses are spawn-only)", c.RecoveryMode)
+		}
+		if c.SerialCombine {
+			return fmt.Errorf("core: SerialCombine supports only the spawn recovery mode")
+		}
+	}
+	if c.SpareRanks < 0 {
+		return fmt.Errorf("core: SpareRanks must be >= 0")
+	}
+	if c.SpareRanks > 0 && c.RecoveryMode != recovery.ModeSubstitute {
+		return fmt.Errorf("core: SpareRanks requires the substitute recovery mode")
 	}
 	if len(c.FailSchedule) > 0 {
 		if !c.RealFailures {

@@ -53,6 +53,26 @@ type Result struct {
 	FailedRanks []int
 	Spawned     int
 
+	// Mode is the recovery mode the run used (spawn unless configured).
+	Mode string
+	// FinalProcs is the communicator size at the end of the run: equal to
+	// Procs under spawn and substitute, smaller under shrink/norepair when
+	// failures struck.
+	FinalProcs int
+	// SparesUsed counts pre-allocated spare processes consumed by
+	// substitute repairs (including spares orphaned by abandoned rounds).
+	SparesUsed int
+	// RepairFallbacks counts substitute repair rounds that found the spare
+	// pool exhausted and degraded to shrink-only.
+	RepairFallbacks int
+	// Survivors lists, for the non-spawn modes, the original ranks present
+	// in the final communicator, in communicator order (spawn restores
+	// everything, so it is left nil there).
+	Survivors []int
+	// AbandonedGrids lists sub-grids abandoned by shrink/norepair
+	// recovery (no data, coefficients redistributed), ascending.
+	AbandonedGrids []int
+
 	// Telemetry (populated only when Config.Metrics or Config.Telemetry is
 	// set; zero otherwise): total MPI traffic of the run and checkpoint
 	// I/O volume.

@@ -203,6 +203,75 @@ func TestAlternateCombinationAccuracy(t *testing.T) {
 	}
 }
 
+// TestSurvivorSchemeEverySubsetUpTo3 is the recovery-mode property test:
+// for EVERY subset of up to three lost grids from the Fig. 9 grid set
+// (the N=8, L=4 alternate-combination set the harness measures), the
+// survivor scheme exists, is supported on the survivors, its coefficients
+// sum to exactly 1, and the combined interpolation error stays within the
+// documented degraded bound (DegradedErrorFactor times the classic
+// full-set combination's error).
+func TestSurvivorSchemeEverySubsetUpTo3(t *testing.T) {
+	ly := combine.Layout{N: 8, L: 4}
+	held := AlternateHeld(ly)
+	f := pde.SinProduct
+	target := grid.Level{I: 8, J: 8}
+	base, err := combine.InterpolationScheme(ly.Classic(), f, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseErr := base.L1Error(f)
+	bound := DegradedErrorFactor * baseErr
+
+	check := func(lost Set) {
+		t.Helper()
+		s, err := SurvivorScheme(held, lost)
+		if err != nil {
+			t.Fatalf("lost %v: %v", lost.Levels(), err)
+		}
+		assertSupported(t, s, held, lost)
+		if s.CoeffSum() != 1 {
+			t.Fatalf("lost %v: coefficient sum %g, want exactly 1", lost.Levels(), s.CoeffSum())
+		}
+		comb, err := combine.InterpolationScheme(s, f, target)
+		if err != nil {
+			t.Fatalf("lost %v: %v", lost.Levels(), err)
+		}
+		if e := comb.L1Error(f); e > bound {
+			t.Errorf("lost %v: L1 %g beyond degraded bound %g (%gx classic %g)",
+				lost.Levels(), e, bound, DegradedErrorFactor, baseErr)
+		}
+	}
+
+	n := len(held)
+	subsets := 0
+	for i := 0; i < n; i++ {
+		check(NewSet(held[i]))
+		subsets++
+		for j := i + 1; j < n; j++ {
+			check(NewSet(held[i], held[j]))
+			subsets++
+			for k := j + 1; k < n; k++ {
+				check(NewSet(held[i], held[j], held[k]))
+				subsets++
+			}
+		}
+	}
+	want := n + n*(n-1)/2 + n*(n-1)*(n-2)/6
+	if subsets != want {
+		t.Fatalf("enumerated %d subsets, want %d", subsets, want)
+	}
+}
+
+// TestSurvivorSchemeRejectsBadSum: the partition-of-unity gate is real — a
+// held set whose recovered coefficients cannot reach the survivors is
+// rejected as an error rather than silently mis-weighted.
+func TestSurvivorSchemeRejectsBadSum(t *testing.T) {
+	// No held grids at all: RecoverScheme's error must pass through.
+	if _, err := SurvivorScheme(nil, nil); err == nil {
+		t.Fatal("empty held set accepted")
+	}
+}
+
 func assertSupported(t *testing.T, s combine.Scheme, held []grid.Level, lost Set) {
 	t.Helper()
 	avail := make(Set)

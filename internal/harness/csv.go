@@ -56,9 +56,9 @@ func CSVTable1(w io.Writer, rows []Table1Row) error {
 func CSVFig9(w io.Writer, rows []Fig9Row) error {
 	recs := make([][]string, len(rows))
 	for i, r := range rows {
-		recs[i] = []string{r.Machine, r.Technique.String(), d(r.LostGrids), f(r.Overhead), f(r.ProcessTime)}
+		recs[i] = []string{r.Machine, r.Technique.String(), r.Mode.String(), d(r.LostGrids), f(r.Overhead), f(r.ProcessTime)}
 	}
-	return writeCSV(w, []string{"machine", "technique", "lost_grids", "overhead_s", "process_time_s"}, recs)
+	return writeCSV(w, []string{"machine", "technique", "mode", "lost_grids", "overhead_s", "process_time_s"}, recs)
 }
 
 // CSVFig10 writes Fig. 10's rows as CSV.
@@ -76,13 +76,13 @@ func CSVFig11(w io.Writer, rows []Fig11Row) error {
 	telemetry := hasTelemetryFig11(rows)
 	recs := make([][]string, len(rows))
 	for i, r := range rows {
-		recs[i] = []string{r.Technique.String(), d(r.Failures), d(r.Cores), d(r.SweepCores), f(r.Time), f(r.Efficiency)}
+		recs[i] = []string{r.Technique.String(), r.Mode.String(), d(r.Failures), d(r.Cores), d(r.SweepCores), f(r.Time), f(r.Efficiency)}
 		if telemetry {
 			recs[i] = append(recs[i],
 				f(r.SolveTime), f(r.RepairTime), d64(r.Messages), d64(r.Bytes), d64(r.CkptBytes))
 		}
 	}
-	header := []string{"technique", "failures", "cores", "sweep_cores", "time_s", "efficiency"}
+	header := []string{"technique", "mode", "failures", "cores", "sweep_cores", "time_s", "efficiency"}
 	if telemetry {
 		header = append(header, "solve_s", "repair_s", "messages", "bytes", "ckpt_bytes")
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ftsg/internal/core"
+	"ftsg/internal/recovery"
 )
 
 func TestCSVRenderers(t *testing.T) {
@@ -33,7 +34,7 @@ func TestCSVRenderers(t *testing.T) {
 	if err := CSVFig9(&buf, []Fig9Row{{Machine: "OPL", Technique: core.CheckpointRestart, LostGrids: 1, Overhead: 22.7, ProcessTime: 22.7}}); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "OPL,CR,1,22.7,22.7") {
+	if !strings.Contains(buf.String(), "OPL,CR,spawn,1,22.7,22.7") {
 		t.Fatalf("fig9 record: %q", buf.String())
 	}
 
@@ -46,10 +47,10 @@ func TestCSVRenderers(t *testing.T) {
 	}
 
 	buf.Reset()
-	if err := CSVFig11(&buf, []Fig11Row{{Technique: core.ResamplingCopying, Failures: 2, Cores: 76, SweepCores: 76, Time: 178.8, Efficiency: 0.39}}); err != nil {
+	if err := CSVFig11(&buf, []Fig11Row{{Technique: core.ResamplingCopying, Mode: recovery.ModeShrink, Failures: 2, Cores: 76, SweepCores: 76, Time: 178.8, Efficiency: 0.39}}); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "RC,2,76,76,178.8,0.39") {
+	if !strings.Contains(buf.String(), "RC,shrink,2,76,76,178.8,0.39") {
 		t.Fatalf("fig11 record: %q", buf.String())
 	}
 }

@@ -5,12 +5,15 @@ import (
 	"io"
 
 	"ftsg/internal/core"
+	"ftsg/internal/recovery"
 )
 
 // Fig11Row is one point of Figs. 11a/11b: overall execution time and
-// parallel efficiency at a core count, for a technique and failure count.
+// parallel efficiency at a core count, for a technique, recovery mode and
+// failure count.
 type Fig11Row struct {
 	Technique  core.Technique
+	Mode       recovery.Mode
 	Failures   int
 	Cores      int // total processes of THIS technique's grid set
 	SweepCores int // the shared x-axis (RC-set core count at this scale)
@@ -28,8 +31,9 @@ type Fig11Row struct {
 
 // Fig11 reproduces Figs. 11a and 11b: overall parallel performance across
 // the core-count sweep for the three techniques with zero, one and two real
-// failures, on OPL. Efficiency is relative to each series' smallest
-// configuration: eff(p) = T(p0)·p0 / (T(p)·p).
+// failures, on OPL, under each recovery mode of Options.RecoveryModes
+// (default: spawn, the paper's protocol). Efficiency is relative to each
+// series' smallest configuration: eff(p) = T(p0)·p0 / (T(p)·p).
 func Fig11(o Options) ([]Fig11Row, error) {
 	o = o.WithDefaults()
 	failuresList := []int{0, 1, 2}
@@ -38,6 +42,7 @@ func Fig11(o Options) ([]Fig11Row, error) {
 	}
 	type cell struct {
 		tech             core.Technique
+		mode             recovery.Mode
 		failures         int
 		dp               int
 		cores            int
@@ -47,37 +52,40 @@ func Fig11(o Options) ([]Fig11Row, error) {
 	}
 	var cells []*cell
 	s := newSched(o)
-	for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
-		for _, failures := range failuresList {
-			for _, dp := range o.DiagProcsList {
-				cfg := core.Config{
-					Technique:    tech,
-					DiagProcs:    dp,
-					Steps:        o.Steps,
-					NumFailures:  failures,
-					RealFailures: failures > 0,
-					Seed:         111,
-					Telemetry:    o.Telemetry,
+	for _, mode := range o.RecoveryModes {
+		for _, tech := range []core.Technique{core.CheckpointRestart, core.ResamplingCopying, core.AlternateCombination} {
+			for _, failures := range failuresList {
+				for _, dp := range o.DiagProcsList {
+					cfg := core.Config{
+						Technique:    tech,
+						RecoveryMode: mode,
+						DiagProcs:    dp,
+						Steps:        o.Steps,
+						NumFailures:  failures,
+						RealFailures: failures > 0,
+						Seed:         111,
+						Telemetry:    o.Telemetry,
+					}
+					c := &cell{tech: tech, mode: mode, failures: failures, dp: dp, cores: cfg.WithDefaults().NumProcs()}
+					cells = append(cells, c)
+					s.AddTrials(cfg, o.Trials, func(r *core.Result) {
+						c.total += r.TotalTime
+						c.solve += r.AppTime()
+						c.repair += r.ListTime + r.ReconstructTime
+						c.msgs += r.MPIMessages
+						c.bytes += r.MPIBytes
+						c.cio += r.CheckpointBytesOut + r.CheckpointBytesIn
+					}, func(err error) error {
+						return fmt.Errorf("fig11 %v/%v f=%d dp=%d: %w", c.tech, c.mode, c.failures, c.dp, err)
+					})
 				}
-				c := &cell{tech: tech, failures: failures, dp: dp, cores: cfg.WithDefaults().NumProcs()}
-				cells = append(cells, c)
-				s.AddTrials(cfg, o.Trials, func(r *core.Result) {
-					c.total += r.TotalTime
-					c.solve += r.AppTime()
-					c.repair += r.ListTime + r.ReconstructTime
-					c.msgs += r.MPIMessages
-					c.bytes += r.MPIBytes
-					c.cio += r.CheckpointBytesOut + r.CheckpointBytesIn
-				}, func(err error) error {
-					return fmt.Errorf("fig11 %v f=%d dp=%d: %w", c.tech, c.failures, c.dp, err)
-				})
 			}
 		}
 	}
 	if err := s.Run(); err != nil {
 		return nil, err
 	}
-	// Each (technique, failures) series occupies len(DiagProcsList)
+	// Each (mode, technique, failures) series occupies len(DiagProcsList)
 	// consecutive cells; efficiency is relative to its first point.
 	var rows []Fig11Row
 	stride := len(o.DiagProcsList)
@@ -87,6 +95,7 @@ func Fig11(o Options) ([]Fig11Row, error) {
 			n := float64(o.Trials)
 			series = append(series, Fig11Row{
 				Technique:  c.tech,
+				Mode:       c.mode,
 				Failures:   c.failures,
 				Cores:      c.cores,
 				SweepCores: coresFor(c.dp),
@@ -102,8 +111,8 @@ func Fig11(o Options) ([]Fig11Row, error) {
 		for i := range series {
 			r := &series[i]
 			r.Efficiency = base.Time * float64(base.Cores) / (r.Time * float64(r.Cores))
-			o.logf("fig11: %v f=%d cores=%d time=%.1fs eff=%.2f",
-				r.Technique, r.Failures, r.Cores, r.Time, r.Efficiency)
+			o.logf("fig11: %v/%v f=%d cores=%d time=%.1fs eff=%.2f",
+				r.Technique, r.Mode, r.Failures, r.Cores, r.Time, r.Efficiency)
 		}
 		rows = append(rows, series...)
 	}
@@ -117,20 +126,20 @@ func RenderFig11(w io.Writer, rows []Fig11Row) {
 	fmt.Fprintln(w, "Fig. 11a — overall execution time (s)")
 	fmt.Fprintln(w, "Fig. 11b — overall parallel efficiency (relative to each series' smallest run)")
 	if hasTelemetryFig11(rows) {
-		fmt.Fprintf(w, "%4s  %9s  %7s  %12s  %12s  %10s  %10s  %12s  %14s  %12s\n",
-			"tech", "failures", "cores", "time (11a)", "eff (11b)",
+		fmt.Fprintf(w, "%4s  %10s  %9s  %7s  %12s  %12s  %10s  %10s  %12s  %14s  %12s\n",
+			"tech", "mode", "failures", "cores", "time (11a)", "eff (11b)",
 			"solve", "repair", "messages", "bytes", "ckpt bytes")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%4s  %9d  %7d  %12.1f  %12.2f  %10.1f  %10.2f  %12d  %14d  %12d\n",
-				r.Technique, r.Failures, r.Cores, r.Time, r.Efficiency,
+			fmt.Fprintf(w, "%4s  %10s  %9d  %7d  %12.1f  %12.2f  %10.1f  %10.2f  %12d  %14d  %12d\n",
+				r.Technique, r.Mode, r.Failures, r.Cores, r.Time, r.Efficiency,
 				r.SolveTime, r.RepairTime, r.Messages, r.Bytes, r.CkptBytes)
 		}
 		return
 	}
-	fmt.Fprintf(w, "%4s  %9s  %7s  %12s  %12s\n", "tech", "failures", "cores", "time (11a)", "eff (11b)")
+	fmt.Fprintf(w, "%4s  %10s  %9s  %7s  %12s  %12s\n", "tech", "mode", "failures", "cores", "time (11a)", "eff (11b)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%4s  %9d  %7d  %12.1f  %12.2f\n",
-			r.Technique, r.Failures, r.Cores, r.Time, r.Efficiency)
+		fmt.Fprintf(w, "%4s  %10s  %9d  %7d  %12.1f  %12.2f\n",
+			r.Technique, r.Mode, r.Failures, r.Cores, r.Time, r.Efficiency)
 	}
 }
 

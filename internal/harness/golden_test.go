@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ftsg/internal/recovery"
 )
 
 // update regenerates the golden files from current output:
@@ -69,6 +71,29 @@ func TestGoldenOutputWithTelemetryOff(t *testing.T) {
 				workers, csv.String(), want)
 		}
 
+		rows9, err := Fig9(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table.Reset()
+		csv.Reset()
+		RenderFig9(&table, rows9)
+		if err := CSVFig9(&csv, rows9); err != nil {
+			t.Fatal(err)
+		}
+		if *update && workers == 1 {
+			writeGolden(t, "golden_fig9_table.txt", table.String())
+			writeGolden(t, "golden_fig9_csv.txt", csv.String())
+		}
+		if want := readGolden(t, "golden_fig9_table.txt"); table.String() != want {
+			t.Errorf("workers=%d: fig9 table drifted from seed:\n got:\n%s\nwant:\n%s",
+				workers, table.String(), want)
+		}
+		if want := readGolden(t, "golden_fig9_csv.txt"); csv.String() != want {
+			t.Errorf("workers=%d: fig9 CSV drifted from seed:\n got:\n%s\nwant:\n%s",
+				workers, csv.String(), want)
+		}
+
 		rows11, err := Fig11(o)
 		if err != nil {
 			t.Fatal(err)
@@ -90,6 +115,41 @@ func TestGoldenOutputWithTelemetryOff(t *testing.T) {
 		if want := readGolden(t, "golden_fig11_csv.txt"); csv.String() != want {
 			t.Errorf("workers=%d: fig11 CSV drifted from seed:\n got:\n%s\nwant:\n%s",
 				workers, csv.String(), want)
+		}
+	}
+}
+
+// TestGoldenFig11RecoveryModes locks the four-variant Fig. 11 comparison:
+// the full quick matrix under spawn, shrink, substitute and no-repair, with
+// the mode column distinguishing the series. Deterministic across worker
+// counts; regenerate with -update after intentional changes.
+func TestGoldenFig11RecoveryModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick experiment matrix under four recovery modes")
+	}
+	for _, workers := range []int{1, 8} {
+		o := goldenOpts(workers)
+		o.RecoveryModes = recovery.Modes
+		rows, err := Fig11(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := CSVFig11(&csv, rows); err != nil {
+			t.Fatal(err)
+		}
+		if *update && workers == 1 {
+			writeGolden(t, "golden_fig11_modes_csv.txt", csv.String())
+		}
+		if want := readGolden(t, "golden_fig11_modes_csv.txt"); csv.String() != want {
+			t.Errorf("workers=%d: four-mode fig11 CSV drifted from seed:\n got:\n%s\nwant:\n%s",
+				workers, csv.String(), want)
+		}
+		// Every mode must appear as its own measured series.
+		for _, m := range recovery.Modes {
+			if !bytes.Contains(csv.Bytes(), []byte(","+m.String()+",")) {
+				t.Errorf("workers=%d: mode %s missing from four-mode fig11 CSV", workers, m)
+			}
 		}
 	}
 }

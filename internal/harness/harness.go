@@ -16,6 +16,7 @@ import (
 	"ftsg/internal/core"
 	"ftsg/internal/metrics"
 	"ftsg/internal/mpi"
+	"ftsg/internal/recovery"
 	"ftsg/internal/vtime"
 )
 
@@ -87,6 +88,13 @@ type Options struct {
 	// inter-rack link tier (0 or 1 = a single rack). Defaults keep output
 	// byte-identical to the pre-topology harness.
 	Racks int
+	// RecoveryModes selects the recovery modes Fig. 11 sweeps: each mode
+	// runs the full technique x failures x cores matrix with the repair
+	// protocol forced to it, and rows carry a mode column. Nil runs spawn
+	// only — the paper's protocol, byte-identical to the pre-mode harness
+	// modulo the column. Fig. 9's simulated losses never run the repair
+	// protocol, so its rows are always labeled spawn.
+	RecoveryModes []recovery.Mode
 	// Introspect, when non-nil, registers every run's simulated World with
 	// the introspection hub while it executes, so a telemetry server's
 	// /debug/ranks endpoint can dump per-rank blocked operations of the
@@ -121,6 +129,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if len(o.DiagProcsList) == 0 {
 		o.DiagProcsList = []int{2, 4, 8, 16, 32}
+	}
+	if len(o.RecoveryModes) == 0 {
+		o.RecoveryModes = []recovery.Mode{recovery.ModeSpawn}
 	}
 	return o
 }

@@ -175,6 +175,11 @@ type World struct {
 	mergeTable map[rvzKey]*mergeEntry
 	failed     []int // world ranks, in failure order
 	spawned    int
+	// spareFree holds the world ranks of parked spare processes not yet
+	// claimed, in creation order; sparesUsed counts claims. Both guarded by
+	// state, like spawned.
+	spareFree  []int
+	sparesUsed int
 	maxTime    float64
 	wg         sync.WaitGroup
 }
@@ -268,6 +273,14 @@ type Options struct {
 	// over the whole communicator (the pre-hierarchy behaviour). The
 	// differential tests use it as the reference implementation.
 	FlatCollectives bool
+	// SpareRanks pre-allocates that many extra processes parked at startup:
+	// they are not members of MPI_COMM_WORLD and run no code until a
+	// Comm.ClaimSpares wakes them as replacements (the substitute recovery
+	// mode). Requires the goroutine path (Entry).
+	SpareRanks int
+	// SpareHosts names the hosts the spare processes are placed on, cycled
+	// when shorter than SpareRanks; empty places every spare on host 0.
+	SpareHosts []string
 }
 
 // Report summarises a completed run.
@@ -279,6 +292,9 @@ type Report struct {
 	Failed []int
 	// Spawned counts processes created by SpawnMultiple.
 	Spawned int
+	// SparesUsed counts pre-allocated spare processes consumed by
+	// ClaimSpares (the substitute recovery mode).
+	SparesUsed int
 	// GoroutinesPeak is the high-water mark of runtime.NumGoroutine()
 	// sampled over the run — the goroutine-per-rank path holds O(ranks),
 	// the event-driven path O(EventWorkers). Wall-clock-dependent;
@@ -342,6 +358,35 @@ func Run(o Options) (*Report, error) {
 		procs[r] = st
 		worldRanks[r] = r
 	}
+	if o.SpareRanks > 0 {
+		if o.EventEntry != nil {
+			return nil, fmt.Errorf("mpi: SpareRanks is not supported on the event-driven path")
+		}
+		// Spares are parked as data: alive, in the process table (so claimed
+		// ones get ordinary world ranks below the spawn range), but members
+		// of no communicator and running no goroutine until ClaimSpares.
+		spares := make([]procState, o.SpareRanks)
+		for i := 0; i < o.SpareRanks; i++ {
+			host := 0
+			if len(o.SpareHosts) > 0 {
+				idx, err := cl.HostIndexByName(o.SpareHosts[i%len(o.SpareHosts)])
+				if err != nil {
+					return nil, fmt.Errorf("mpi: spare placement: %w", err)
+				}
+				host = idx
+			}
+			st := &spares[i]
+			st.w, st.wrank, st.host = w, o.NProcs+i, host
+			st.rack = cl.RackOfHost(st.host)
+			st.alive.Store(true)
+			st.cond.L = &st.mu
+			if w.wm != nil {
+				st.clock.SetObserver(w.wm)
+			}
+			procs = append(procs, st)
+			w.spareFree = append(w.spareFree, st.wrank)
+		}
+	}
 	w.procs.Store(&procs)
 	worldComm := &commShared{id: 0, a: worldRanks}
 	w.nextCommID = 1
@@ -383,6 +428,7 @@ func Run(o Options) (*Report, error) {
 		MaxVirtualTime: w.maxTime,
 		Failed:         append([]int(nil), w.failed...),
 		Spawned:        w.spawned,
+		SparesUsed:     w.sparesUsed,
 		GoroutinesPeak: int(w.goroPeak.Load()),
 	}, nil
 }

@@ -81,6 +81,11 @@ type Stats struct {
 	// cost to a recovery.phase.<name> TimeSum — the per-phase breakdown the
 	// telemetry plane serves at /metrics. A nil registry drops everything.
 	Metrics *metrics.Registry
+	// ModeLabel, when non-empty, additionally charges every phase to a
+	// recovery.mode.<label>.phase.<name> TimeSum, so runs that mix recovery
+	// modes keep per-mode repair-cost breakdowns. The spawn path leaves it
+	// empty and its series unchanged.
+	ModeLabel string
 }
 
 // span opens a protocol-phase span on the stats' recorder; the returned
@@ -92,6 +97,9 @@ func (st *Stats) span(t float64, rank int, phase, format string, args ...any) *t
 // charge adds one phase execution's virtual-time cost to the registry.
 func (st *Stats) charge(phase string, seconds float64) {
 	st.Metrics.TimeSum("recovery.phase." + phase).Add(seconds)
+	if st.ModeLabel != "" {
+		st.Metrics.TimeSum("recovery.mode." + st.ModeLabel + ".phase." + phase).Add(seconds)
+	}
 }
 
 // ErrorHandler returns the Fig. 4 error handler: on a process-failure
