@@ -303,17 +303,23 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	rs.reg = reg
-	rep, err := mpi.Run(mpi.Options{
+	opts := mpi.Options{
 		NProcs:     nprocs,
 		Machine:    cfg.Machine,
 		Cluster:    rs.cluster,
-		Entry:      rs.entry,
 		Metrics:    reg,
 		Watchdog:   rs.cfg.Watchdog,
 		Introspect: cfg.Introspect,
 		SpareRanks: cfg.SpareRanks,
 		SpareHosts: spareHosts,
-	})
+	}
+	if cfg.Event {
+		opts.EventEntry = rs.eventEntry
+		opts.EventWorkers = cfg.EventWorkers
+	} else {
+		opts.Entry = rs.entry
+	}
+	rep, err := mpi.Run(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -736,11 +742,21 @@ func (rs *runState) rank(p *mpi.Proc) error {
 // view. (Replacements cannot derive the step themselves once multiple
 // failure events are allowed.)
 func syncRecoveryInfo(world *mpi.Comm, step int, mine []int) (int, []int, error) {
-	var buf []int
-	if world.Rank() == 0 {
-		buf = append([]int{step}, mine...)
+	out, err := mpi.Bcast(world, 0, recoveryInfoBuf(world, step, mine))
+	return parseRecoveryInfo(out, err)
+}
+
+// recoveryInfoBuf builds rank 0's payload for syncRecoveryInfo (nil
+// elsewhere); parseRecoveryInfo decodes the broadcast result. Shared with the
+// event path's fiber twin so both wire formats are one piece of code.
+func recoveryInfoBuf(world *mpi.Comm, step int, mine []int) []int {
+	if world.Rank() != 0 {
+		return nil
 	}
-	out, err := mpi.Bcast(world, 0, buf)
+	return append([]int{step}, mine...)
+}
+
+func parseRecoveryInfo(out []int, err error) (int, []int, error) {
 	if err != nil || len(out) < 1 {
 		return 0, nil, fmt.Errorf("core: broadcast recovery info: %w", err)
 	}
@@ -790,6 +806,17 @@ func (rs *runState) flushCheckpoints(p *mpi.Proc, rank, atStep int) {
 // store's generation count so the collective's shape is independent of how
 // much per-rank damage the header peeks found.
 func agreeRestoreStep(gcomm *mpi.Comm, cand []int, width int) (int, error) {
+	all, err := mpi.Allgather(gcomm, restoreStepBuf(cand, width))
+	if err != nil {
+		return 0, err
+	}
+	return pickRestoreStep(cand, all), nil
+}
+
+// restoreStepBuf pads the candidate list to the exchange width;
+// pickRestoreStep selects the newest step every rank offered. Both are shared
+// with the event path's fiber twin.
+func restoreStepBuf(cand []int, width int) []int64 {
 	if width < len(cand) {
 		width = len(cand)
 	}
@@ -797,10 +824,10 @@ func agreeRestoreStep(gcomm *mpi.Comm, cand []int, width int) (int, error) {
 	for i, s := range cand {
 		buf[i] = int64(s)
 	}
-	all, err := mpi.Allgather(gcomm, buf)
-	if err != nil {
-		return 0, err
-	}
+	return buf
+}
+
+func pickRestoreStep(cand []int, all [][]int64) int {
 	best := 0
 	for _, s := range cand {
 		if s <= best {
@@ -824,7 +851,7 @@ func agreeRestoreStep(gcomm *mpi.Comm, cand []int, width int) (int, error) {
 			best = s
 		}
 	}
-	return best, nil
+	return best
 }
 
 // removeStep returns cand without step, preserving order.

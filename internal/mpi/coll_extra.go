@@ -6,11 +6,10 @@ import "fmt"
 // needs: Alltoall, Scan, Exscan and ReduceScatterBlock. They follow the
 // same construction as coll.go — real message-passing algorithms over the
 // p2p layer, with failure-abort propagation so a dead member cannot deadlock the
-// operation. These are blocking-path only so far: the event-driven path
-// (event.go) has CPS twins for the core set (Barrier, Allreduce, the
-// bcast/reduce trees and the agree rendezvous); a fiber program needing
-// one of these would grow its twin there under the same
-// parity-by-construction rules.
+// operation. Alltoall and Scan have CPS twins on the event-driven path
+// (FiberAlltoall, FiberScan in event_ops.go); Exscan and ReduceScatterBlock
+// are blocking-path only so far — a fiber program needing one would grow its
+// twin there under the same parity-by-construction rules.
 
 const (
 	kindAlltoall = iota + 8
@@ -30,6 +29,7 @@ func Alltoall[T any](c *Comm, parts [][]T) ([][]T, error) {
 	if len(parts) != n {
 		return nil, c.fire(fmt.Errorf("mpi: Alltoall: %d parts for %d ranks: %w", len(parts), n, ErrType))
 	}
+	t0 := opStart(c, "alltoall")
 	tag := internalTag(kindAlltoall, c.nextSeq("alltoall"))
 	me := c.rank
 	out := make([][]T, n)
@@ -56,6 +56,7 @@ func Alltoall[T any](c *Comm, parts [][]T) ([][]T, error) {
 		}
 		out[r] = got
 	}
+	opEnd(c, "alltoall", t0)
 	return out, nil
 }
 
@@ -65,6 +66,7 @@ func Scan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Scan on intercommunicator: %w", ErrComm))
 	}
+	t0 := opStart(c, "scan")
 	tag := internalTag(kindScan, c.nextSeq("scan"))
 	acc := append([]T(nil), data...)
 	if c.rank > 0 {
@@ -86,6 +88,7 @@ func Scan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 			return nil, c.fire(err)
 		}
 	}
+	opEnd(c, "scan", t0)
 	return acc, nil
 }
 
@@ -95,6 +98,7 @@ func Exscan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Exscan on intercommunicator: %w", ErrComm))
 	}
+	t0 := opStart(c, "exscan")
 	tag := internalTag(kindExscan, c.nextSeq("exscan"))
 	var acc []T
 	if c.rank > 0 {
@@ -121,6 +125,7 @@ func Exscan[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) {
 			return nil, c.fire(err)
 		}
 	}
+	opEnd(c, "exscan", t0)
 	return acc, nil
 }
 
@@ -137,6 +142,7 @@ func ReduceScatterBlock[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) 
 		return nil, c.fire(fmt.Errorf("mpi: ReduceScatterBlock: %d elements not divisible by %d ranks: %w",
 			len(data), n, ErrType))
 	}
+	t0 := opStart(c, "reducescatter")
 	tag := internalTag(kindReduceScatter, c.nextSeq("reducescatter"))
 	block := len(data) / n
 	reduced, err := reduceTree(c, 0, tag, data, op)
@@ -153,6 +159,7 @@ func ReduceScatterBlock[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) 
 		}
 		out := append([]T(nil), reduced[:block]...)
 		putBuf(reduced) // the pooled accumulator from reduceTree
+		opEnd(c, "reducescatter", t0)
 		return out, nil
 	}
 	got, _, err := recvRaw[T](c, 0, tag, true)
@@ -160,5 +167,6 @@ func ReduceScatterBlock[T any](c *Comm, data []T, op func(T, T) T) ([]T, error) 
 		abortCollective(c, tag)
 		return nil, c.fire(err)
 	}
+	opEnd(c, "reducescatter", t0)
 	return got, nil
 }

@@ -81,7 +81,7 @@ func (w *World) runEvent(o Options, hands []Proc) {
 		f.p = &hands[r]
 		f.start = func() { entry(f.p, f) }
 	}
-	ex.active = len(fibers)
+	ex.reserve(len(fibers))
 	for r := range fibers {
 		ex.ready(&fibers[r])
 	}
@@ -710,21 +710,11 @@ func fiberRingAllreduce[T any](f *Fiber, c *Comm, t *commTopo, tag, j int, acc [
 // goroutine members of one communicator can even meet in the same Agree
 // instance with identical cost and clock synchronisation.
 func FiberAgree(f *Fiber, c *Comm, flag int, k func(int, error)) {
-	r, t0, err := rvzEnter(c, "agree", true, flag)
-	if err != nil {
-		k(0, c.fire(err))
-		return
-	}
-	f.await(nil, 0, 0, func() bool {
-		if !rvzPoll(c, r, reportDeath, agreeBuild(c)) {
-			return false
-		}
-		res, err := rvzFinish(c, r, "agree", t0)
+	fiberRendezvous(f, c, "agree", reportDeath, true, flag, agreeBuild(c), func(res any, err error) {
 		if res == nil {
 			k(0, c.fire(err))
-			return true
+			return
 		}
 		k(res.(int), c.fire(err))
-		return true
 	})
 }

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -173,55 +174,235 @@ func TestEventVirtualTimeParity(t *testing.T) {
 	}
 }
 
-// TestEventFailureParity kills two ranks and runs the paper's
-// detect/revoke/agree sequence in both modes: the failure verdicts, the
-// revoked-communicator semantics and the agree cost model must leave both
-// paths at the same virtual time with the same counters and failed set.
+// repairDance records where every process (survivors and replacements)
+// ended after a full communicator reconstruction.
+type repairDance struct {
+	mu         sync.Mutex
+	finalRanks map[int]int // world rank -> final comm rank
+	finalSize  int
+}
+
+func newRepairDance() *repairDance {
+	return &repairDance{finalRanks: map[int]int{}}
+}
+
+func (d *repairDance) record(p *Proc, c *Comm) {
+	d.mu.Lock()
+	d.finalRanks[p.WorldRank()] = c.Rank()
+	d.finalSize = c.Size()
+	d.mu.Unlock()
+}
+
+const danceMergeTag = 4
+
+// blockingRepairDance is the goroutine-path full repair dance (paper Figs.
+// 2/3/5): kill the victims, detect, revoke, agree, shrink, respawn (or claim
+// spares), merge, agree, split back to original ranks, barrier. Replacements
+// enter through the child path.
+func blockingRepairDance(t testing.TB, p *Proc, dead func(int) bool, claim bool, d *repairDance) {
+	if pc := p.Parent(); pc != nil {
+		_, _ = pc.Agree(1) // failure report is expected here in general
+		unordered, err := pc.IntercommMerge(true)
+		must(t, err)
+		oldRank, _, err := RecvOne[int](unordered, 0, danceMergeTag)
+		must(t, err)
+		ordered, err := unordered.Split(0, oldRank)
+		must(t, err)
+		d.record(p, ordered)
+		must(t, ordered.Barrier())
+		return
+	}
+	c := p.World()
+	if dead(c.Rank()) {
+		p.Kill()
+	}
+	_ = c.Barrier() // detection point; non-uniform outcome is fine
+	_ = c.Revoke()
+	if flag, err := c.Agree(1); flag != 1 || err == nil {
+		t.Errorf("Agree after failures: flag %d err %v", flag, err)
+	}
+	shrunk, err := c.Shrink()
+	must(t, err)
+	oldGroup, newGroup := c.Group(), shrunk.Group()
+	failedGroup := oldGroup.Difference(newGroup)
+	failedRanks := make([]int, failedGroup.Size())
+	for i := range failedRanks {
+		failedRanks[i] = oldGroup.Rank(failedGroup[i])
+	}
+	var inter *Comm
+	if claim {
+		inter, err = shrunk.ClaimSpares(len(failedRanks))
+	} else {
+		hosts, herr := p.Cluster().SpawnHosts(failedRanks)
+		must(t, herr)
+		inter, err = shrunk.SpawnMultiple(len(failedRanks), hosts, 0)
+	}
+	must(t, err)
+	unordered, err := inter.IntercommMerge(false)
+	must(t, err)
+	_, err = inter.Agree(1)
+	must(t, err)
+	if unordered.Rank() == 0 {
+		base := shrunk.Size()
+		for i, fr := range failedRanks {
+			must(t, SendOne(unordered, base+i, danceMergeTag, fr))
+		}
+	}
+	ordered, err := unordered.Split(0, c.Rank())
+	must(t, err)
+	d.record(p, ordered)
+	must(t, ordered.Barrier())
+}
+
+// eventRepairDance is blockingRepairDance as fibers: the same kill → detect
+// → revoke → agree → shrink → respawn/claim → merge → agree → split round
+// through the Fiber* twins, with respawned children (or claimed spares)
+// attaching back as fibers on the same executor.
+func eventRepairDance(t testing.TB, p *Proc, f *Fiber, dead func(int) bool, claim bool, d *repairDance) {
+	finish := func(ordered *Comm) {
+		d.record(p, ordered)
+		FiberBarrier(f, ordered, func(err error) { must(t, err) })
+	}
+	if pc := p.Parent(); pc != nil {
+		FiberAgree(f, pc, 1, func(int, error) { // failure report expected
+			FiberIntercommMerge(f, pc, true, func(unordered *Comm, err error) {
+				if !must512(t, err) {
+					return
+				}
+				FiberRecvOne[int](f, unordered, 0, danceMergeTag, func(oldRank int, _ Status, err error) {
+					if !must512(t, err) {
+						return
+					}
+					FiberSplit(f, unordered, 0, oldRank, func(ordered *Comm, err error) {
+						if !must512(t, err) {
+							return
+						}
+						finish(ordered)
+					})
+				})
+			})
+		})
+		return
+	}
+	c := p.World()
+	if dead(c.Rank()) {
+		p.Kill()
+	}
+	FiberBarrier(f, c, func(error) { // detection point; non-uniform outcome is fine
+		_ = c.Revoke()
+		FiberAgree(f, c, 1, func(flag int, err error) {
+			if flag != 1 || err == nil {
+				t.Errorf("Agree after failures: flag %d err %v", flag, err)
+			}
+			FiberShrink(f, c, func(shrunk *Comm, err error) {
+				if !must512(t, err) {
+					return
+				}
+				oldGroup, newGroup := c.Group(), shrunk.Group()
+				failedGroup := oldGroup.Difference(newGroup)
+				failedRanks := make([]int, failedGroup.Size())
+				for i := range failedRanks {
+					failedRanks[i] = oldGroup.Rank(failedGroup[i])
+				}
+				withInter := func(inter *Comm, err error) {
+					if !must512(t, err) {
+						return
+					}
+					FiberIntercommMerge(f, inter, false, func(unordered *Comm, err error) {
+						if !must512(t, err) {
+							return
+						}
+						FiberAgree(f, inter, 1, func(_ int, err error) {
+							if !must512(t, err) {
+								return
+							}
+							if unordered.Rank() == 0 {
+								base := shrunk.Size()
+								for i, fr := range failedRanks {
+									if err := FiberSendOne(unordered, base+i, danceMergeTag, fr); err != nil {
+										t.Error(err)
+										return
+									}
+								}
+							}
+							FiberSplit(f, unordered, 0, c.Rank(), func(ordered *Comm, err error) {
+								if !must512(t, err) {
+									return
+								}
+								finish(ordered)
+							})
+						})
+					})
+				}
+				if claim {
+					FiberClaimSpares(f, shrunk, len(failedRanks), withInter)
+					return
+				}
+				hosts, err := p.Cluster().SpawnHosts(failedRanks)
+				if !must512(t, err) {
+					return
+				}
+				FiberSpawnMultiple(f, shrunk, len(failedRanks), hosts, 0, withInter)
+			})
+		})
+	})
+}
+
+// checkDance verifies the reconstructed communicator: full size, survivors
+// on their original ranks, replacements (world ranks nprocs..) on the failed
+// ranks.
+func checkDance(t *testing.T, d *repairDance, nprocs int, dead func(int) bool) {
+	t.Helper()
+	if d.finalSize != nprocs {
+		t.Fatalf("reconstructed size = %d, want %d", d.finalSize, nprocs)
+	}
+	var failed []int
+	for wr := 0; wr < nprocs; wr++ {
+		if dead(wr) {
+			failed = append(failed, wr)
+			continue
+		}
+		if d.finalRanks[wr] != wr {
+			t.Errorf("survivor world %d has rank %d", wr, d.finalRanks[wr])
+		}
+	}
+	for i, fr := range failed {
+		if got := d.finalRanks[nprocs+i]; got != fr {
+			t.Errorf("replacement world %d got rank %d, want %d", nprocs+i, got, fr)
+		}
+	}
+}
+
+// TestEventFailureParity kills two ranks and runs the full repair round —
+// kill → detect → revoke → agree → shrink → respawn → merge → agree → split
+// — in both modes: the failure verdicts, the dynamic-spawn costs, the
+// child-attach protocol and the reconstructed communicator must leave both
+// paths at the same virtual time with the same counters, failed set and
+// final rank mapping.
 func TestEventFailureParity(t *testing.T) {
 	const nprocs = 64
 	wd := Watchdog{Timeout: 60 * time.Second}
 	dead := func(me int) bool { return me == 9 || me == 23 }
 
-	check := func(flag int, err error) {
-		if flag != 1 {
-			t.Errorf("Agree: flag %d, want 1", flag)
-		}
-		if err == nil {
-			t.Error("Agree after failures: want MPI_ERR_PROC_FAILED, got nil")
-		}
-	}
-
-	regB := metrics.New()
+	regB, dB := metrics.New(), newRepairDance()
 	repB, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), Metrics: regB, Watchdog: wd,
-		Entry: func(p *Proc) {
-			c := p.World()
-			if dead(c.Rank()) {
-				p.Kill()
-			}
-			_ = c.Barrier() // detection point; non-uniform outcome is fine
-			_ = c.Revoke()
-			check(c.Agree(1))
-		}})
+		Entry: func(p *Proc) { blockingRepairDance(t, p, dead, false, dB) }})
 	if err != nil {
 		t.Fatal(err)
 	}
-	regE := metrics.New()
+	regE, dE := metrics.New(), newRepairDance()
 	repE, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), Metrics: regE, Watchdog: wd,
-		EventEntry: func(p *Proc, f *Fiber) {
-			c := p.World()
-			if dead(c.Rank()) {
-				p.Kill()
-			}
-			FiberBarrier(f, c, func(error) {
-				_ = c.Revoke()
-				FiberAgree(f, c, 1, func(flag int, err error) { check(flag, err) })
-			})
-		}})
+		EventEntry: func(p *Proc, f *Fiber) { eventRepairDance(t, p, f, dead, false, dE) }})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if t.Failed() {
 		return
+	}
+	checkDance(t, dB, nprocs, dead)
+	checkDance(t, dE, nprocs, dead)
+	if repB.Spawned != 2 || repE.Spawned != 2 {
+		t.Errorf("Spawned: blocking %d, event %d, want 2", repB.Spawned, repE.Spawned)
 	}
 	b, e := eventOutcome(repB, regB), eventOutcome(repE, regE)
 	if e.maxTime != b.maxTime {
@@ -231,7 +412,45 @@ func TestEventFailureParity(t *testing.T) {
 		t.Errorf("failed sets: event %v, blocking %v", e.failed, b.failed)
 	}
 	if e.sentMsgs != b.sentMsgs || e.sentB != b.sentB || e.recvMsgs != b.recvMsgs || e.recvB != b.recvB ||
-		e.revokes != b.revokes {
+		e.revokes != b.revokes || e.spawnedCtr != b.spawnedCtr {
+		t.Errorf("counters: event %+v != blocking %+v", e, b)
+	}
+}
+
+// TestEventClaimSparesParity is TestEventFailureParity for the substitute
+// mode's repair round: claimed spares wake as fibers, attach through the
+// same merge/agree/split protocol, and both paths agree bit-for-bit.
+func TestEventClaimSparesParity(t *testing.T) {
+	const nprocs = 16
+	const spares = 4
+	wd := Watchdog{Timeout: 60 * time.Second}
+	dead := func(me int) bool { return me == 3 || me == 11 }
+
+	regB, dB := metrics.New(), newRepairDance()
+	repB, err := Run(Options{NProcs: nprocs, SpareRanks: spares, Machine: vtime.OPL(), Metrics: regB, Watchdog: wd,
+		Entry: func(p *Proc) { blockingRepairDance(t, p, dead, true, dB) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regE, dE := metrics.New(), newRepairDance()
+	repE, err := Run(Options{NProcs: nprocs, SpareRanks: spares, Machine: vtime.OPL(), Metrics: regE, Watchdog: wd,
+		EventEntry: func(p *Proc, f *Fiber) { eventRepairDance(t, p, f, dead, true, dE) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		return
+	}
+	checkDance(t, dB, nprocs, dead)
+	checkDance(t, dE, nprocs, dead)
+	if repB.SparesUsed != 2 || repE.SparesUsed != 2 {
+		t.Errorf("SparesUsed: blocking %d, event %d, want 2", repB.SparesUsed, repE.SparesUsed)
+	}
+	b, e := eventOutcome(repB, regB), eventOutcome(repE, regE)
+	if e.maxTime != b.maxTime {
+		t.Errorf("MaxVirtualTime: event %v != blocking %v", e.maxTime, b.maxTime)
+	}
+	if e.sentMsgs != b.sentMsgs || e.sentB != b.sentB || e.recvMsgs != b.recvMsgs || e.recvB != b.recvB {
 		t.Errorf("counters: event %+v != blocking %+v", e, b)
 	}
 }
@@ -438,17 +657,90 @@ func TestEventGoroutineCeiling(t *testing.T) {
 	}
 }
 
-// TestEventSpawnUnsupported pins the event-path guard: dynamic process
-// management needs a goroutine entry to run children with, so
-// SpawnMultiple on an event world reports ErrComm instead of spawning.
-func TestEventSpawnUnsupported(t *testing.T) {
-	_, err := Run(Options{NProcs: 1, EventEntry: func(p *Proc, f *Fiber) {
-		// Sole member: the spawn rendezvous completes inline, no park.
-		if _, err := p.World().SpawnMultiple(1, nil, 0); err == nil {
-			t.Error("SpawnMultiple on the event path: want error, got nil")
+// TestEventExecutorAttachDuringRetire pins the reserve-before-attach
+// shutdown protocol: a sole-member world spawns a child and retires
+// immediately, so there is a window where every pre-existing fiber has
+// called fiberDone while the child is reserved but not yet dispatched.
+// Without the reservation step the pool would observe active == 0 in that
+// window, flip done, and either lose the child or panic on its attach; with
+// it the pool stays up until the child itself retires.
+func TestEventExecutorAttachDuringRetire(t *testing.T) {
+	var childRan atomic.Bool
+	rep, err := Run(Options{NProcs: 1, EventWorkers: 1, EventEntry: func(p *Proc, f *Fiber) {
+		if p.Parent() != nil {
+			childRan.Store(true)
+			return
 		}
+		FiberSpawnMultiple(f, p.World(), 1, []string{""}, 0, func(_ *Comm, err error) {
+			must(t, err)
+			// Retire without waiting for the child: no merge, no barrier.
+		})
 	}})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !childRan.Load() {
+		t.Fatal("spawned child never ran: executor shut down mid-attach")
+	}
+	if rep.Spawned != 1 {
+		t.Errorf("Spawned = %d, want 1", rep.Spawned)
+	}
+}
+
+// TestEventSpawnMergeSplitRepairDance is TestSpawnMergeSplitRepairDance on
+// the event path — the direct replacement for the retired spawn-rejection
+// guard: kill ranks 3 and 5 of a 7-rank fiber world, run the full
+// reconstruction, and end with every process holding its original rank in a
+// full-size communicator, with the replacements running as fibers.
+func TestEventSpawnMergeSplitRepairDance(t *testing.T) {
+	const nprocs = 7
+	dead := func(me int) bool { return me == 3 || me == 5 }
+	d := newRepairDance()
+	rep, err := Run(Options{NProcs: nprocs, EventEntry: func(p *Proc, f *Fiber) {
+		eventRepairDance(t, p, f, dead, false, d)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		return
+	}
+	if len(rep.Failed) != 2 || rep.Spawned != 2 {
+		t.Fatalf("failed %v spawned %d", rep.Failed, rep.Spawned)
+	}
+	checkDance(t, d, nprocs, dead)
+}
+
+// TestEvent8192RepairSmoke runs the full kill -> detect -> revoke -> shrink
+// -> respawn -> merge -> split dance at 8192 ranks on the event path and
+// checks the scaling promise that justifies the port: the goroutine
+// high-water mark stays O(workers) — the bounded executor pool plus runtime
+// and harness overhead — not O(ranks), and the dance still repairs the
+// world exactly (replacements re-attach as fibers, survivors keep their
+// ranks).
+func TestEvent8192RepairSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8192-rank repair smoke skipped in -short")
+	}
+	const nprocs = 8192
+	const workers = 8
+	dead := func(r int) bool { return r == 1000 || r == 5000 }
+	d := newRepairDance()
+	rep, err := Run(Options{NProcs: nprocs, Machine: vtime.OPL(), EventWorkers: workers, EventEntry: func(p *Proc, f *Fiber) {
+		eventRepairDance(t, p, f, dead, false, d)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDance(t, d, nprocs, dead)
+	if rep.Spawned != 2 {
+		t.Errorf("Spawned = %d, want 2", rep.Spawned)
+	}
+	if len(rep.Failed) != 2 {
+		t.Errorf("Failed = %v, want two ranks", rep.Failed)
+	}
+	if rep.GoroutinesPeak >= nprocs/8 {
+		t.Errorf("GoroutinesPeak = %d at %d ranks with %d workers: not O(workers)",
+			rep.GoroutinesPeak, nprocs, workers)
 	}
 }

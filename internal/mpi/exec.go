@@ -79,6 +79,25 @@ func (ex *executor) pop(w *World) *Fiber {
 	return f
 }
 
+// reserve accounts for n fibers that are about to be attached, before any
+// of them is enqueued with ready. Attach is therefore a two-step protocol —
+// reserve, then ready — so the pool can never observe the all-retired window
+// between "the last pre-existing fiber called fiberDone" and "the new fiber
+// reached the queue": the reservation keeps active above zero across the
+// attach. runEvent reserves the initial rank fibers the same way, and
+// spawnLocked/claimLocked reserve their children while the spawning
+// collective's own fibers are still accounted active, so done can only flip
+// once every fiber that will ever exist has retired.
+func (ex *executor) reserve(n int) {
+	ex.mu.Lock()
+	if ex.done {
+		ex.mu.Unlock()
+		panic("mpi: executor: reserve after shutdown")
+	}
+	ex.active += n
+	ex.mu.Unlock()
+}
+
 // fiberDone retires one fiber (normal finish or death). The last one shuts
 // the pool down and releases every worker.
 func (ex *executor) fiberDone() {

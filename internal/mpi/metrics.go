@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"sync"
+
 	"ftsg/internal/metrics"
 	"ftsg/internal/vtime"
 )
@@ -37,13 +39,17 @@ import (
 var mpiOps = []string{
 	"send", "recv", "barrier", "bcast", "reduce", "allreduce",
 	"gather", "scatter", "allgather",
-	"shrink", "agree", "spawn", "split", "dup", "create", "merge",
+	"alltoall", "scan", "exscan", "reducescatter",
+	"shrink", "agree", "claim", "spawn", "split", "dup", "create", "merge",
 }
 
 // collHopOps is the set of collectives whose message traffic is split by
-// link tier (hop counters), pre-resolved like mpiOps.
+// link tier (hop counters), pre-resolved like mpiOps. Every collective that
+// sets curOp via opStart must be listed here, or countHop would silently
+// drop its tier counts.
 var collHopOps = []string{
 	"barrier", "bcast", "reduce", "allreduce", "gather", "scatter", "allgather",
+	"alltoall", "scan", "exscan", "reducescatter",
 }
 
 // tierSuffix maps a vtime.LinkTier to its hop-counter name suffix.
@@ -83,6 +89,14 @@ type worldMetrics struct {
 
 	ops   map[string]*metrics.Histogram // read-only after construction
 	costs map[string]*metrics.TimeSum   // read-only after construction
+
+	// extraMu guards the overflow maps below: instruments for op/component
+	// names outside the pre-resolved sets, interned on first observation so
+	// an unknown name hits the registry exactly once. ops/costs themselves
+	// stay read-only (and therefore lock-free on the hot path).
+	extraMu    sync.Mutex
+	extraOps   map[string]*metrics.Histogram
+	extraCosts map[string]*metrics.TimeSum
 
 	// goroPeak/ranksParked are registered only for event-driven worlds
 	// (enableEventGauges): their values are wall-clock noise, and
@@ -220,9 +234,25 @@ func (m *worldMetrics) observeOp(op string, seconds float64) {
 	}
 	h, ok := m.ops[op]
 	if !ok {
-		h = m.reg.Histogram("op." + op) // unknown op: slow path, still correct
+		h = m.extraOp(op) // unknown op: interned once, then cached
 	}
 	h.Observe(seconds)
+}
+
+// extraOp interns the histogram for an op outside the pre-resolved set,
+// touching the registry only on the first observation of each name.
+func (m *worldMetrics) extraOp(op string) *metrics.Histogram {
+	m.extraMu.Lock()
+	defer m.extraMu.Unlock()
+	h, ok := m.extraOps[op]
+	if !ok {
+		h = m.reg.Histogram("op." + op)
+		if m.extraOps == nil {
+			m.extraOps = make(map[string]*metrics.Histogram)
+		}
+		m.extraOps[op] = h
+	}
+	return h
 }
 
 // ObserveCost implements vtime.CostObserver: the per-rank clocks of an
@@ -234,9 +264,25 @@ func (m *worldMetrics) ObserveCost(component string, seconds float64) {
 	}
 	t, ok := m.costs[component]
 	if !ok {
-		t = m.reg.TimeSum("cost." + component)
+		t = m.extraCost(component)
 	}
 	t.Add(seconds)
+}
+
+// extraCost interns the time sum for a component outside the pre-resolved
+// set, touching the registry only on the first observation of each name.
+func (m *worldMetrics) extraCost(component string) *metrics.TimeSum {
+	m.extraMu.Lock()
+	defer m.extraMu.Unlock()
+	t, ok := m.extraCosts[component]
+	if !ok {
+		t = m.reg.TimeSum("cost." + component)
+		if m.extraCosts == nil {
+			m.extraCosts = make(map[string]*metrics.TimeSum)
+		}
+		m.extraCosts[component] = t
+	}
+	return t
 }
 
 // componentForRendezvousOp maps a rendezvous collective to its cost

@@ -188,3 +188,105 @@ func TestMetricsDisabledIsInert(t *testing.T) {
 		t.Fatal("no virtual time elapsed")
 	}
 }
+
+// TestMetricsExtendedCollectivesPreResolved pins the instrument-resolution
+// contract for the extended collectives: alltoall, scan, exscan and
+// reducescatter are members of mpiOps and collHopOps, so their latency
+// histograms and per-tier hop counters come from the read-only maps built at
+// world creation — recording for them never takes extraMu or the registry
+// lock, and the overflow maps stay untouched (nil). Names outside the
+// pre-resolved sets are interned exactly once.
+func TestMetricsExtendedCollectivesPreResolved(t *testing.T) {
+	reg := metrics.New()
+	wm := newWorldMetrics(reg)
+	for _, op := range []string{"alltoall", "scan", "exscan", "reducescatter"} {
+		if _, ok := wm.ops[op]; !ok {
+			t.Errorf("op.%s missing from the pre-resolved histogram set", op)
+		}
+		if _, ok := wm.opHops[op]; !ok {
+			t.Errorf("coll.%s.* missing from the pre-resolved hop-counter set", op)
+		}
+		wm.observeOp(op, 0.5)
+		wm.countHop(op, vtime.TierRack)
+		if got := reg.Histogram("op." + op).Count(); got != 1 {
+			t.Errorf("op.%s count = %d, want 1", op, got)
+		}
+		if got := reg.Counter("coll." + op + ".inter").Value(); got != 1 {
+			t.Errorf("coll.%s.inter = %d, want 1", op, got)
+		}
+	}
+	if wm.extraOps != nil {
+		t.Errorf("pre-resolved ops leaked into the overflow map: %v", wm.extraOps)
+	}
+	wm.ObserveCost(vtime.CompAlpha, 1)
+	if wm.extraCosts != nil {
+		t.Errorf("pre-resolved cost component leaked into the overflow map: %v", wm.extraCosts)
+	}
+
+	// Unknown names hit the registry once, then reuse the cached instrument.
+	wm.observeOp("mystery", 1)
+	first := wm.extraOps["mystery"]
+	if first == nil {
+		t.Fatal("unknown op not interned on first observation")
+	}
+	wm.observeOp("mystery", 2)
+	if wm.extraOps["mystery"] != first || len(wm.extraOps) != 1 {
+		t.Errorf("unknown op re-interned: %d entries", len(wm.extraOps))
+	}
+	if got := reg.Histogram("op.mystery").Count(); got != 2 {
+		t.Errorf("op.mystery count = %d, want 2", got)
+	}
+	wm.ObserveCost("cost.weird", 1)
+	firstCost := wm.extraCosts["cost.weird"]
+	if firstCost == nil {
+		t.Fatal("unknown cost component not interned on first observation")
+	}
+	wm.ObserveCost("cost.weird", 1)
+	if wm.extraCosts["cost.weird"] != firstCost || len(wm.extraCosts) != 1 {
+		t.Errorf("unknown cost component re-interned: %d entries", len(wm.extraCosts))
+	}
+}
+
+// TestMetricsExtendedCollectiveCounts runs each extended collective once on
+// a 4-rank world and pins the observable effect of their mpiOps/collHopOps
+// registration: one op.<name> latency observation per participating rank,
+// and at least one attributed coll.<name>.<tier> hop (the ops all move
+// messages, so dropping them from collHopOps would silently zero these).
+func TestMetricsExtendedCollectiveCounts(t *testing.T) {
+	const n = 4
+	reg := metrics.New()
+	_, err := Run(Options{NProcs: n, Machine: vtime.Generic(), Metrics: reg, Entry: func(p *Proc) {
+		c := p.World()
+		parts := make([][]int, n)
+		for i := range parts {
+			parts[i] = []int{c.Rank(), i}
+		}
+		if _, err := Alltoall(c, parts); err != nil {
+			panic(err)
+		}
+		if _, err := Scan(c, []int{1}, Sum[int]); err != nil {
+			panic(err)
+		}
+		if _, err := Exscan(c, []int{1}, Sum[int]); err != nil {
+			panic(err)
+		}
+		if _, err := ReduceScatterBlock(c, make([]int, n), Sum[int]); err != nil {
+			panic(err)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"alltoall", "scan", "exscan", "reducescatter"} {
+		if got := reg.Histogram("op." + op).Count(); got != n {
+			t.Errorf("op.%s observations = %d, want %d", op, got, n)
+		}
+		var hops int64
+		for _, suffix := range []string{"intra", "inter", "xrack"} {
+			hops += reg.Counter("coll." + op + "." + suffix).Value()
+		}
+		if hops == 0 {
+			t.Errorf("coll.%s.*: no hop counts attributed", op)
+		}
+	}
+}

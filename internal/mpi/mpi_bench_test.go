@@ -312,3 +312,60 @@ func BenchmarkWeakScaleEventOPL4096(b *testing.B)    { benchWeakScalingEvent(b, 
 func BenchmarkWeakScaleEventOPL8192(b *testing.B)    { benchWeakScalingEvent(b, vtime.OPL, 8192) }
 func BenchmarkWeakScaleEventRaijin4096(b *testing.B) { benchWeakScalingEvent(b, vtime.Raijin, 4096) }
 func BenchmarkWeakScaleEventRaijin8192(b *testing.B) { benchWeakScalingEvent(b, vtime.Raijin, 8192) }
+
+// benchWeakScalingRepair runs one full kill -> detect -> revoke -> shrink
+// -> respawn -> merge -> split round per op at the given scale on the
+// blocking path (two victims; the dance helpers from event_test.go do the
+// protocol). Paired with benchWeakScalingEventRepair, it quantifies what
+// the fiber respawn port buys: identical virtual time for the repair, with
+// peak-goroutines dropping from O(ranks) to O(workers).
+func benchWeakScalingRepair(b *testing.B, machine func() *vtime.Machine, nprocs int) {
+	b.Helper()
+	b.ReportAllocs()
+	dead := func(r int) bool { return r == nprocs/4 || r == nprocs/2+1 }
+	var virt float64
+	var peak int
+	for i := 0; i < b.N; i++ {
+		d := newRepairDance()
+		rep, err := Run(Options{NProcs: nprocs, Machine: machine(), Entry: func(p *Proc) {
+			blockingRepairDance(b, p, dead, false, d)
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt = rep.MaxVirtualTime
+		peak = rep.GoroutinesPeak
+	}
+	b.ReportMetric(virt, "vs/op")
+	b.ReportMetric(float64(peak), "peak-goroutines")
+}
+
+// benchWeakScalingEventRepair is benchWeakScalingRepair on the event path:
+// same victims, same protocol through the Fiber* twins, with the respawned
+// replacements re-attaching to the executor as fibers.
+func benchWeakScalingEventRepair(b *testing.B, machine func() *vtime.Machine, nprocs int) {
+	b.Helper()
+	b.ReportAllocs()
+	dead := func(r int) bool { return r == nprocs/4 || r == nprocs/2+1 }
+	var virt float64
+	var peak int
+	for i := 0; i < b.N; i++ {
+		d := newRepairDance()
+		rep, err := Run(Options{NProcs: nprocs, Machine: machine(), EventEntry: func(p *Proc, f *Fiber) {
+			eventRepairDance(b, p, f, dead, false, d)
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		virt = rep.MaxVirtualTime
+		peak = rep.GoroutinesPeak
+	}
+	b.ReportMetric(virt, "vs/op")
+	b.ReportMetric(float64(peak), "peak-goroutines")
+}
+
+func BenchmarkWeakScaleRepairOPL512(b *testing.B)  { benchWeakScalingRepair(b, vtime.OPL, 512) }
+func BenchmarkWeakScaleRepairOPL4096(b *testing.B) { benchWeakScalingRepair(b, vtime.OPL, 4096) }
+
+func BenchmarkWeakScaleEventRepairOPL512(b *testing.B)  { benchWeakScalingEventRepair(b, vtime.OPL, 512) }
+func BenchmarkWeakScaleEventRepairOPL4096(b *testing.B) { benchWeakScalingEventRepair(b, vtime.OPL, 4096) }

@@ -26,7 +26,7 @@ func runWorldWatched(t *testing.T, n int, wd Watchdog, entry func(p *Proc)) *Rep
 }
 
 // must fails the whole test run from inside a rank goroutine.
-func must(t *testing.T, err error) {
+func must(t testing.TB, err error) {
 	if err != nil {
 		t.Errorf("unexpected error: %v", err)
 	}

@@ -340,7 +340,7 @@ func runTransportStress512(t *testing.T) transportStressOutcome {
 	}
 }
 
-func must512(t *testing.T, err error) bool {
+func must512(t testing.TB, err error) bool {
 	if err != nil {
 		t.Error(err)
 		return false

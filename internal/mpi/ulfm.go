@@ -42,24 +42,31 @@ func (c *Comm) Shrink() (*Comm, error) {
 	if c.IsInter() {
 		return nil, c.fire(fmt.Errorf("mpi: Shrink on intercommunicator: %w", ErrComm))
 	}
-	res, err := runRendezvous(c, "shrink", ignoreDeath, true, nil,
-		func(w *World, r *rendezvous) (any, float64) {
-			var alive []int
-			for _, wr := range c.sh.a {
-				if w.alive(wr) {
-					alive = append(alive, wr)
-				}
-			}
-			nfailed := len(c.sh.a) - len(alive)
-			cost := w.machine.ULFM.ShrinkCost(len(c.sh.a), nfailed)
-			return w.newCommLocked(alive, nil), cost
-		})
+	res, err := runRendezvous(c, "shrink", ignoreDeath, true, nil, shrinkBuild(c))
 	if err != nil {
 		return nil, c.fire(err)
 	}
 	sh := res.(*commShared)
 	rank := Group(sh.a).Rank(c.p.st.wrank)
 	return &Comm{sh: sh, p: c.p, rank: rank}, nil
+}
+
+// shrinkBuild is Shrink's shared-result builder: the survivors of the old
+// group in their original relative order, costed by the beta-ULFM shrink
+// model. Shared by the blocking Shrink and FiberShrink so both paths meet in
+// the same rendezvous instance.
+func shrinkBuild(c *Comm) buildFunc {
+	return func(w *World, r *rendezvous) (any, float64) {
+		var alive []int
+		for _, wr := range c.sh.a {
+			if w.alive(wr) {
+				alive = append(alive, wr)
+			}
+		}
+		nfailed := len(c.sh.a) - len(alive)
+		cost := w.machine.ULFM.ShrinkCost(len(c.sh.a), nfailed)
+		return w.newCommLocked(alive, nil), cost
+	}
 }
 
 // Agree performs fault-tolerant agreement on the bitwise AND of the flags

@@ -142,7 +142,12 @@ type World struct {
 	machine *vtime.Machine
 	cluster *topo.Cluster
 	entry   func(*Proc)
-	wm      *worldMetrics // nil when instrumentation is disabled
+	// eventEntry is the fiber program of the event-driven path (nil on the
+	// goroutine path). spawnLocked/claimLocked dispatch children through it
+	// via startProcLocked, so re-spawned replacements and claimed spares run
+	// as fibers on the same executor as the initial ranks.
+	eventEntry func(*Proc, *Fiber)
+	wm         *worldMetrics // nil when instrumentation is disabled
 
 	// linkAlpha/linkBeta are the machine's per-tier LogGP parameters,
 	// resolved once at Run so the send hot path indexes an array instead of
@@ -276,7 +281,7 @@ type Options struct {
 	// SpareRanks pre-allocates that many extra processes parked at startup:
 	// they are not members of MPI_COMM_WORLD and run no code until a
 	// Comm.ClaimSpares wakes them as replacements (the substitute recovery
-	// mode). Requires the goroutine path (Entry).
+	// mode), on either execution path.
 	SpareRanks int
 	// SpareHosts names the hosts the spare processes are placed on, cycled
 	// when shorter than SpareRanks; empty places every spare on host 0.
@@ -328,11 +333,12 @@ func Run(o Options) (*Report, error) {
 		return nil, fmt.Errorf("mpi: cluster has %d slots for %d processes", cl.Slots(), o.NProcs)
 	}
 	w := &World{
-		machine:  m,
-		cluster:  cl,
-		entry:    o.Entry,
-		wm:       newWorldMetrics(o.Metrics),
-		flatColl: o.FlatCollectives,
+		machine:    m,
+		cluster:    cl,
+		entry:      o.Entry,
+		eventEntry: o.EventEntry,
+		wm:         newWorldMetrics(o.Metrics),
+		flatColl:   o.FlatCollectives,
 	}
 	for t := vtime.LinkTier(0); t < vtime.NumTiers; t++ {
 		w.linkAlpha[t], w.linkBeta[t] = m.LinkAlphaBeta(t)
@@ -359,12 +365,10 @@ func Run(o Options) (*Report, error) {
 		worldRanks[r] = r
 	}
 	if o.SpareRanks > 0 {
-		if o.EventEntry != nil {
-			return nil, fmt.Errorf("mpi: SpareRanks is not supported on the event-driven path")
-		}
 		// Spares are parked as data: alive, in the process table (so claimed
 		// ones get ordinary world ranks below the spawn range), but members
-		// of no communicator and running no goroutine until ClaimSpares.
+		// of no communicator and running no code until ClaimSpares launches
+		// them on whichever execution path the world runs.
 		spares := make([]procState, o.SpareRanks)
 		for i := 0; i < o.SpareRanks; i++ {
 			host := 0
@@ -431,6 +435,25 @@ func Run(o Options) (*Report, error) {
 		SparesUsed:     w.sparesUsed,
 		GoroutinesPeak: int(w.goroPeak.Load()),
 	}, nil
+}
+
+// startProcLocked launches a freshly created process on whichever execution
+// path the world runs: a goroutine on the Entry path, or a fiber reserved on
+// and enqueued to the bounded executor on the EventEntry path. Caller holds
+// World.state (write); executor.mu is a strict leaf, so the reserve/ready
+// pair nests fine. On the event path the caller is a rendezvous builder
+// whose own members' fibers are still accounted active, so the reservation
+// can never observe a shut-down executor (see executor.reserve).
+func (w *World) startProcLocked(p *Proc) {
+	if w.eventEntry != nil {
+		f := &Fiber{p: p}
+		f.start = func() { w.eventEntry(p, f) }
+		w.exec.reserve(1)
+		w.exec.ready(f)
+		return
+	}
+	w.wg.Add(1)
+	go w.runProc(p)
 }
 
 // runProc wraps a process's entry, translating Kill panics into fail-stop

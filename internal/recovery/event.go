@@ -1,0 +1,495 @@
+// This file runs the recovery protocol on the event-driven MPI path: CPS
+// twins of RepairCommPlaced, ChildAttach, ReconstructPlaced and the mode
+// matrix (RepairShrinkOnly, RepairSubstitute, ReconstructMode), written
+// against the mpi.Fiber* operations so a repairing rank parks as a
+// continuation instead of a sleeping goroutine. Every twin preserves its
+// blocking original's span, charge and Stats accumulation sequence exactly —
+// the same phases in the same order at the same virtual times — so traces,
+// metrics and timings are byte-identical across the two paths. Respawned
+// replacements and claimed spares attach back as fibers (mpi.World
+// startProcLocked), observing a non-nil Proc.Parent exactly like their
+// goroutine-path counterparts.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"ftsg/internal/mpi"
+)
+
+// FiberRepairComm is RepairComm for fiber code (same-host placement).
+func FiberRepairComm(p *mpi.Proc, f *mpi.Fiber, broken *mpi.Comm, st *Stats, k func(*mpi.Comm, error)) {
+	FiberRepairCommPlaced(p, f, broken, st, SameHostPlacement, k)
+}
+
+// FiberRepairCommPlaced is RepairCommPlaced for fiber code: the Fig. 5
+// parent-side repair — revoke, shrink, failed-procs list, spawn, merge,
+// agree, old-rank distribution, split — with every blocking step a parked
+// continuation.
+func FiberRepairCommPlaced(p *mpi.Proc, f *mpi.Fiber, broken *mpi.Comm, st *Stats, place Placement, k func(*mpi.Comm, error)) {
+	me := broken.Rank()
+	t0 := p.Now()
+	sp := st.span(t0, me, "revoke", "")
+	_ = broken.Revoke()
+	sp.End(p.Now())
+	st.charge("revoke", p.Now()-t0)
+
+	t1 := p.Now()
+	sp1 := st.span(t1, me, "shrink", "")
+	mpi.FiberShrink(f, broken, func(shrunk *mpi.Comm, err error) {
+		sp1.End(p.Now())
+		if err != nil {
+			k(nil, fmt.Errorf("recovery: shrink: %w", err))
+			return
+		}
+		st.ShrinkTime += p.Now() - t1
+		st.charge("shrink", p.Now()-t1)
+
+		t2 := p.Now()
+		failedRanks := FailedProcsList(broken, shrunk)
+		st.ListTime += p.Now() - t2
+		if len(failedRanks) == 0 {
+			k(nil, fmt.Errorf("recovery: repair called with no failed processes"))
+			return
+		}
+		st.FailedRanks = append([]int(nil), failedRanks...)
+		totalFailed := len(failedRanks)
+
+		hosts, err := place(p, failedRanks)
+		if err != nil {
+			k(nil, fmt.Errorf("recovery: placement: %w", err))
+			return
+		}
+
+		t3 := p.Now()
+		sp3 := st.span(t3, me, "spawn", "%d replacements on %v", totalFailed, hosts)
+		mpi.FiberSpawnMultiple(f, shrunk, totalFailed, hosts, 0, func(inter *mpi.Comm, err error) {
+			sp3.End(p.Now())
+			if err != nil {
+				k(nil, fmt.Errorf("recovery: spawn: %w", err))
+				return
+			}
+			st.SpawnTime += p.Now() - t3
+			st.charge("spawn", p.Now()-t3)
+
+			t4 := p.Now()
+			sp4 := st.span(t4, me, "merge", "")
+			mpi.FiberIntercommMerge(f, inter, false, func(unordered *mpi.Comm, err error) {
+				sp4.End(p.Now())
+				if err != nil {
+					k(nil, fmt.Errorf("recovery: merge: %w", err))
+					return
+				}
+				st.MergeTime += p.Now() - t4
+				st.charge("merge", p.Now()-t4)
+
+				// As on the blocking path: past the merge the children are
+				// blocked inside their own attach, so any failure below revokes
+				// the merged communicator to orphan them deterministically.
+				abandon := func(err error) error {
+					_ = unordered.Revoke()
+					return err
+				}
+
+				t5 := p.Now()
+				sp5 := st.span(t5, me, "agree", "")
+				mpi.FiberAgree(f, inter, 1, func(_ int, err error) {
+					sp5.End(p.Now())
+					if err != nil {
+						k(nil, abandon(fmt.Errorf("recovery: agree: %w", err)))
+						return
+					}
+					st.AgreeTime += p.Now() - t5
+					st.charge("agree", p.Now()-t5)
+
+					shrinkedGroupSize := shrunk.Size()
+					if unordered.Rank() == 0 {
+						for i, fr := range failedRanks {
+							if err := mpi.FiberSendOne(unordered, shrinkedGroupSize+i, MergeTag, fr); err != nil {
+								k(nil, abandon(fmt.Errorf("recovery: send old rank: %w", err)))
+								return
+							}
+						}
+					}
+
+					totalProcs := unordered.Size()
+					key := SelectRankKey(unordered.Rank(), shrinkedGroupSize, failedRanks, totalProcs)
+					t6 := p.Now()
+					sp6 := st.span(t6, me, "split", "restore rank order, key %d", key)
+					mpi.FiberSplit(f, unordered, 0, key, func(repaired *mpi.Comm, err error) {
+						sp6.End(p.Now())
+						if err != nil {
+							k(nil, abandon(fmt.Errorf("recovery: split: %w", err)))
+							return
+						}
+						st.SplitTime += p.Now() - t6
+						st.charge("split", p.Now()-t6)
+						k(repaired, nil)
+					})
+				})
+			})
+		})
+	})
+}
+
+// FiberChildAttach is ChildAttach for fiber code: the child part of Fig. 3 —
+// synchronise, merge high, learn the predecessor's rank, split into order.
+func FiberChildAttach(p *mpi.Proc, f *mpi.Fiber, parent *mpi.Comm, st *Stats, k func(*mpi.Comm, int, error)) {
+	me := p.WorldRank()
+	parent.SetErrhandler(ErrorHandler(p))
+	t0 := p.Now()
+	sp := st.span(t0, me, "agree", "child synchronise")
+	mpi.FiberAgree(f, parent, 1, func(_ int, agreeErr error) {
+		sp.End(p.Now())
+		st.AgreeTime += p.Now() - t0
+		st.charge("agree", p.Now()-t0)
+		if agreeErr != nil {
+			k(nil, -1, fmt.Errorf("recovery: child agree: %v: %w", agreeErr, ErrOrphaned))
+			return
+		}
+
+		t1 := p.Now()
+		sp1 := st.span(t1, me, "merge", "child merge high")
+		mpi.FiberIntercommMerge(f, parent, true, func(unordered *mpi.Comm, err error) {
+			sp1.End(p.Now())
+			if err != nil {
+				k(nil, -1, fmt.Errorf("recovery: child merge: %w", err))
+				return
+			}
+			st.MergeTime += p.Now() - t1
+			st.charge("merge", p.Now()-t1)
+
+			mpi.FiberRecvOne[int](f, unordered, 0, MergeTag, func(oldRank int, _ mpi.Status, err error) {
+				if err != nil {
+					if retryable(err) {
+						k(nil, -1, fmt.Errorf("recovery: child receive old rank: %v: %w", err, ErrOrphaned))
+						return
+					}
+					k(nil, -1, fmt.Errorf("recovery: child receive old rank: %w", err))
+					return
+				}
+
+				t2 := p.Now()
+				sp2 := st.span(t2, me, "split", "assume old rank %d", oldRank)
+				mpi.FiberSplit(f, unordered, 0, oldRank, func(ordered *mpi.Comm, err error) {
+					sp2.End(p.Now())
+					if err != nil {
+						if retryable(err) {
+							k(nil, -1, fmt.Errorf("recovery: child split: %v: %w", err, ErrOrphaned))
+							return
+						}
+						k(nil, -1, fmt.Errorf("recovery: child split: %w", err))
+						return
+					}
+					st.SplitTime += p.Now() - t2
+					st.charge("split", p.Now()-t2)
+					k(ordered, oldRank, nil)
+				})
+			})
+		})
+	})
+}
+
+// FiberReconstruct is Reconstruct for fiber code (same-host placement).
+func FiberReconstruct(p *mpi.Proc, f *mpi.Fiber, myWorld, parent *mpi.Comm, st *Stats, k func(*mpi.Comm, int, error)) {
+	FiberReconstructPlaced(p, f, myWorld, parent, st, SameHostPlacement, k)
+}
+
+// FiberReconstructPlaced is ReconstructPlaced for fiber code: the Fig. 3
+// detect/repair loop, expressed as a self-recurring round so retries after a
+// mid-repair failure and the child-becomes-parent transition both continue
+// the same continuation chain.
+func FiberReconstructPlaced(p *mpi.Proc, f *mpi.Fiber, myWorld, parent *mpi.Comm, st *Stats, place Placement, k func(*mpi.Comm, int, error)) {
+	handler := ErrorHandler(p)
+	var replaced map[int]bool // union of failed ranks over all repairs this call
+
+	var round func(reconstructed, parent *mpi.Comm, iter int)
+	round = func(reconstructed, parent *mpi.Comm, iter int) {
+		st.Iterations = iter + 1
+		if parent != nil {
+			// Child path: attach, then behave as a parent to verify.
+			t0 := p.Now()
+			FiberChildAttach(p, f, parent, st, func(ordered *mpi.Comm, _ int, err error) {
+				st.ReconstructTime += p.Now() - t0
+				if err != nil {
+					k(nil, -1, err)
+					return
+				}
+				round(ordered, nil, iter+1)
+			})
+			return
+		}
+
+		reconstructed.SetErrhandler(handler)
+		// Detection as on the blocking path: barrier first, agree last, so the
+		// repair decision is uniform across members.
+		t0 := p.Now()
+		sp := st.span(t0, reconstructed.Rank(), "detect", "barrier + agree round")
+		mpi.FiberBarrier(f, reconstructed, func(barrierErr error) {
+			mpi.FiberAgree(f, reconstructed, 1, func(_ int, agreeErr error) {
+				sp.End(p.Now())
+				st.ListTime += p.Now() - t0
+				st.charge("detect", p.Now()-t0)
+
+				if agreeErr == nil && barrierErr == nil {
+					if replaced != nil {
+						st.FailedRanks = sortedRanks(replaced)
+					}
+					k(reconstructed, reconstructed.Rank(), nil)
+					return
+				}
+
+				t1 := p.Now()
+				FiberRepairCommPlaced(p, f, reconstructed, st, place, func(repaired *mpi.Comm, err error) {
+					st.ReconstructTime += p.Now() - t1
+					if err != nil {
+						if retryable(err) && iter+1 < maxRepairRounds {
+							// Retry from the SAME broken communicator, exactly
+							// as ReconstructPlaced does.
+							round(reconstructed, nil, iter+1)
+							return
+						}
+						k(nil, -1, err)
+						return
+					}
+					if replaced == nil {
+						replaced = make(map[int]bool, len(st.FailedRanks))
+					}
+					for _, r := range st.FailedRanks {
+						replaced[r] = true
+					}
+					round(repaired, nil, iter+1)
+				})
+			})
+		})
+	}
+	round(myWorld, parent, 0)
+}
+
+// FiberRepairShrinkOnly is RepairShrinkOnly for fiber code: the shared front
+// half of every non-spawn repair.
+func FiberRepairShrinkOnly(p *mpi.Proc, f *mpi.Fiber, broken *mpi.Comm, st *Stats, k func(*mpi.Comm, []int, error)) {
+	me := broken.Rank()
+	t0 := p.Now()
+	sp := st.span(t0, me, "revoke", "")
+	_ = broken.Revoke()
+	sp.End(p.Now())
+	st.charge("revoke", p.Now()-t0)
+
+	t1 := p.Now()
+	sp1 := st.span(t1, me, "shrink", "")
+	mpi.FiberShrink(f, broken, func(shrunk *mpi.Comm, err error) {
+		sp1.End(p.Now())
+		if err != nil {
+			k(nil, nil, fmt.Errorf("recovery: shrink: %w", err))
+			return
+		}
+		st.ShrinkTime += p.Now() - t1
+		st.charge("shrink", p.Now()-t1)
+
+		t2 := p.Now()
+		failedRanks := FailedProcsList(broken, shrunk)
+		st.ListTime += p.Now() - t2
+		if len(failedRanks) == 0 {
+			k(nil, nil, fmt.Errorf("recovery: repair called with no failed processes"))
+			return
+		}
+		st.FailedRanks = append([]int(nil), failedRanks...)
+		k(shrunk, failedRanks, nil)
+	})
+}
+
+// FiberRepairSubstitute is RepairSubstitute for fiber code: shrink, claim
+// spares, then the Fig. 5 knitting, with the claim's cost charged to
+// SpawnTime exactly as on the blocking path. On an exhausted spare pool the
+// continuation receives the shrunken communicator with fellBack set.
+func FiberRepairSubstitute(p *mpi.Proc, f *mpi.Fiber, broken *mpi.Comm, st *Stats, k func(repaired *mpi.Comm, failedRanks []int, fellBack bool, err error)) {
+	FiberRepairShrinkOnly(p, f, broken, st, func(shrunk *mpi.Comm, failedRanks []int, err error) {
+		if err != nil {
+			k(nil, nil, false, err)
+			return
+		}
+		totalFailed := len(failedRanks)
+		me := broken.Rank()
+
+		t0 := p.Now()
+		sp := st.span(t0, me, "claim", "%d spares", totalFailed)
+		mpi.FiberClaimSpares(f, shrunk, totalFailed, func(inter *mpi.Comm, cerr error) {
+			sp.End(p.Now())
+			if errors.Is(cerr, mpi.ErrNoSpares) {
+				k(shrunk, failedRanks, true, nil)
+				return
+			}
+			if cerr != nil {
+				k(nil, nil, false, fmt.Errorf("recovery: claim: %w", cerr))
+				return
+			}
+			st.SpawnTime += p.Now() - t0
+			st.charge("claim", p.Now()-t0)
+
+			t1 := p.Now()
+			sp1 := st.span(t1, me, "merge", "")
+			mpi.FiberIntercommMerge(f, inter, false, func(unordered *mpi.Comm, err error) {
+				sp1.End(p.Now())
+				if err != nil {
+					k(nil, nil, false, fmt.Errorf("recovery: merge: %w", err))
+					return
+				}
+				st.MergeTime += p.Now() - t1
+				st.charge("merge", p.Now()-t1)
+
+				abandon := func(err error) error {
+					_ = unordered.Revoke()
+					return err
+				}
+
+				t2 := p.Now()
+				sp2 := st.span(t2, me, "agree", "")
+				mpi.FiberAgree(f, inter, 1, func(_ int, err error) {
+					sp2.End(p.Now())
+					if err != nil {
+						k(nil, nil, false, abandon(fmt.Errorf("recovery: agree: %w", err)))
+						return
+					}
+					st.AgreeTime += p.Now() - t2
+					st.charge("agree", p.Now()-t2)
+
+					shrinkedGroupSize := shrunk.Size()
+					if unordered.Rank() == 0 {
+						for i, fr := range failedRanks {
+							if err := mpi.FiberSendOne(unordered, shrinkedGroupSize+i, MergeTag, fr); err != nil {
+								k(nil, nil, false, abandon(fmt.Errorf("recovery: send old rank: %w", err)))
+								return
+							}
+						}
+					}
+
+					totalProcs := unordered.Size()
+					key := SelectRankKey(unordered.Rank(), shrinkedGroupSize, failedRanks, totalProcs)
+					t3 := p.Now()
+					sp3 := st.span(t3, me, "split", "restore rank order, key %d", key)
+					mpi.FiberSplit(f, unordered, 0, key, func(ordered *mpi.Comm, err error) {
+						sp3.End(p.Now())
+						if err != nil {
+							k(nil, nil, false, abandon(fmt.Errorf("recovery: split: %w", err)))
+							return
+						}
+						st.SplitTime += p.Now() - t3
+						st.charge("split", p.Now()-t3)
+						k(ordered, failedRanks, false, nil)
+					})
+				})
+			})
+		})
+	})
+}
+
+// FiberReconstructMode is ReconstructMode for fiber code: the Fig. 3 loop
+// with the repair step chosen by mode, self-recurring like
+// FiberReconstructPlaced. Survivors thread origOf exactly as on the blocking
+// path; claimed spares pass a nil communicator and their Proc.Parent.
+func FiberReconstructMode(p *mpi.Proc, f *mpi.Fiber, myWorld, parent *mpi.Comm, st *Stats, place Placement, mode Mode, origOf []int, k func(*ModeResult, error)) {
+	if mode == ModeSpawn {
+		FiberReconstructPlaced(p, f, myWorld, parent, st, place, func(c *mpi.Comm, r int, err error) {
+			if err != nil {
+				k(nil, err)
+				return
+			}
+			k(&ModeResult{Comm: c, Rank: r, OrigOf: origOf}, nil)
+		})
+		return
+	}
+	if mode == ModeShrink || mode == ModeNoRepair {
+		if parent != nil {
+			k(nil, fmt.Errorf("recovery: mode %v has no replacement processes", mode))
+			return
+		}
+	}
+
+	handler := ErrorHandler(p)
+	fallbacks := 0
+	var replaced map[int]bool // union of failed ORIGINAL ranks over all rounds
+
+	var round func(reconstructed, parent *mpi.Comm, cur []int, iter int)
+	round = func(reconstructed, parent *mpi.Comm, cur []int, iter int) {
+		st.Iterations = iter + 1
+		if parent != nil {
+			// Claimed-spare path: attach like a spawned child, then verify as
+			// a survivor.
+			t0 := p.Now()
+			FiberChildAttach(p, f, parent, st, func(ordered *mpi.Comm, _ int, err error) {
+				st.ReconstructTime += p.Now() - t0
+				if err != nil {
+					k(nil, err)
+					return
+				}
+				round(ordered, nil, cur, iter+1)
+			})
+			return
+		}
+
+		reconstructed.SetErrhandler(handler)
+		t0 := p.Now()
+		sp := st.span(t0, reconstructed.Rank(), "detect", "barrier + agree round")
+		mpi.FiberBarrier(f, reconstructed, func(barrierErr error) {
+			mpi.FiberAgree(f, reconstructed, 1, func(_ int, agreeErr error) {
+				sp.End(p.Now())
+				st.ListTime += p.Now() - t0
+				st.charge("detect", p.Now()-t0)
+
+				if agreeErr == nil && barrierErr == nil {
+					if replaced != nil {
+						st.FailedRanks = sortedRanks(replaced)
+					}
+					k(&ModeResult{
+						Comm:      reconstructed,
+						Rank:      reconstructed.Rank(),
+						OrigOf:    cur,
+						Fallbacks: fallbacks,
+					}, nil)
+					return
+				}
+
+				t1 := p.Now()
+				finish := func(repaired *mpi.Comm, failedBroken []int, fell bool, rerr error) {
+					st.ReconstructTime += p.Now() - t1
+					if rerr != nil {
+						if retryable(rerr) && iter+1 < maxRepairRounds {
+							round(reconstructed, nil, cur, iter+1)
+							return
+						}
+						k(nil, rerr)
+						return
+					}
+					if cur != nil {
+						if replaced == nil {
+							replaced = make(map[int]bool, len(failedBroken))
+						}
+						for _, br := range failedBroken {
+							replaced[cur[br]] = true
+						}
+					}
+					if mode != ModeSubstitute || fell {
+						cur = removeIdx(cur, failedBroken)
+						if fell {
+							fallbacks++
+						}
+					}
+					round(repaired, nil, cur, iter+1)
+				}
+				switch mode {
+				case ModeShrink, ModeNoRepair:
+					FiberRepairShrinkOnly(p, f, reconstructed, st, func(repaired *mpi.Comm, failedBroken []int, rerr error) {
+						finish(repaired, failedBroken, false, rerr)
+					})
+				case ModeSubstitute:
+					FiberRepairSubstitute(p, f, reconstructed, st, finish)
+				default:
+					finish(nil, nil, false, fmt.Errorf("recovery: unknown mode %v", mode))
+				}
+			})
+		})
+	}
+	round(myWorld, parent, origOf, 0)
+}

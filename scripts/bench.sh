@@ -4,7 +4,7 @@
 # root, then prints per-benchmark deltas against BENCH_baseline.json so
 # reviewers can see hot-path cost at a glance:
 #
-#   ./scripts/bench.sh                    # full suite -> BENCH_pr9.json
+#   ./scripts/bench.sh                    # full suite -> BENCH_pr10.json
 #   ./scripts/bench.sh ./internal/grid/   # one package
 #   BENCH_OUT=BENCH_baseline.json ./scripts/bench.sh   # refresh the baseline
 #
@@ -22,9 +22,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 pkgs="${1:-./...}"
-out="${BENCH_OUT:-BENCH_pr9.json}"
+out="${BENCH_OUT:-BENCH_pr10.json}"
 baseline="BENCH_baseline.json"
-prev="BENCH_pr8.json"
+prev="BENCH_pr9.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
